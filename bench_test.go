@@ -1,0 +1,74 @@
+// Package ursa's root benchmark suite regenerates every table and figure of
+// the paper (one testing.B benchmark per experiment) at a reduced default
+// scale so `go test -bench=.` completes in minutes. Set URSA_BENCH_SCALE=1
+// to run the paper's full configuration, as recorded in EXPERIMENTS.md.
+package ursa_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"ursa/internal/experiments"
+)
+
+// benchScale returns the workload scale for benchmarks (default 0.15).
+func benchScale() float64 {
+	if s := os.Getenv("URSA_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.15
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opt := experiments.Options{Scale: benchScale(), Seed: 1}
+	var rep interface{ String() string }
+	_ = rep
+	for i := 0; i < b.N; i++ {
+		r := e.Run(opt)
+		if i == 0 {
+			b.Logf("%s (scale %.2f)", r.Title, opt.Scale)
+			b.Logf("%v", r.Header)
+			for _, row := range r.Rows {
+				b.Logf("%v", row)
+			}
+			for _, n := range r.Notes {
+				b.Logf("note: %s", n)
+			}
+		}
+	}
+}
+
+func BenchmarkFig1UtilizationPatterns(b *testing.B)        { runExperiment(b, "fig1") }
+func BenchmarkTable1CPUUtilizationEfficiency(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2TPCH(b *testing.B)                     { runExperiment(b, "table2") }
+func BenchmarkFig4TPCHUtilization(b *testing.B)            { runExperiment(b, "fig4") }
+func BenchmarkTable3TPCDS(b *testing.B)                    { runExperiment(b, "table3") }
+func BenchmarkFig5TPCDSUtilization(b *testing.B)           { runExperiment(b, "fig5") }
+func BenchmarkTable4Mixed(b *testing.B)                    { runExperiment(b, "table4") }
+func BenchmarkTable5Oversubscription(b *testing.B)         { runExperiment(b, "table5") }
+func BenchmarkSec52NetworkDemand(b *testing.B)             { runExperiment(b, "sec52net") }
+func BenchmarkFig6BandwidthBottleneck(b *testing.B)        { runExperiment(b, "fig6") }
+func BenchmarkFig7StageAwareness(b *testing.B)             { runExperiment(b, "fig7") }
+func BenchmarkTable6Ordering(b *testing.B)                 { runExperiment(b, "table6") }
+func BenchmarkFig8SyntheticSolo(b *testing.B)              { runExperiment(b, "fig8") }
+func BenchmarkFig9Setting1(b *testing.B)                   { runExperiment(b, "fig9") }
+func BenchmarkFig10Setting2(b *testing.B)                  { runExperiment(b, "fig10") }
+func BenchmarkAblationNetConcurrency(b *testing.B)         { runExperiment(b, "ablation-netcc") }
+func BenchmarkAblationEPT(b *testing.B)                    { runExperiment(b, "ablation-ept") }
+func BenchmarkAblationFaultRecovery(b *testing.B)          { runExperiment(b, "ablation-fault") }
+
+// Example of running a single experiment programmatically.
+func ExampleLookup() {
+	e, ok := experiments.Lookup("table1")
+	fmt.Println(ok, e.Paper)
+	// Output: true Table 1
+}

@@ -1,0 +1,59 @@
+// Command ursa-sql runs SQL queries over CSV files through the mini-SQL
+// frontend and the local monotask runtime. Each CSV becomes a table named
+// after its base name.
+//
+// Usage:
+//
+//	ursa-sql -q "SELECT region, SUM(amount) FROM sales GROUP BY region" sales.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"ursa/internal/sqlmini"
+)
+
+func main() {
+	query := flag.String("q", "", "SQL query to run (required)")
+	flag.Parse()
+	if *query == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ursa-sql -q <query> <table.csv>...")
+		os.Exit(2)
+	}
+	db := sqlmini.NewDB()
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-sql: %v\n", err)
+			os.Exit(1)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		tbl, err := sqlmini.LoadCSV(name, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-sql: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		db.Add(tbl)
+	}
+	res, err := sqlmini.Run(db, *query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ursa-sql: %v\n", err)
+		os.Exit(1)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(res.Cols, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	w.Flush()
+}

@@ -1,0 +1,68 @@
+// mixed_workload runs the §5.1.2 Mixed workload (SQL + machine learning +
+// graph analytics) on Ursa under both job-ordering policies and shows how
+// SRJF trades a little makespan for much better average JCT, plus the JCT
+// distribution per workload class.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/metrics"
+	"ursa/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 3, "workload seed")
+	flag.Parse()
+
+	for _, policy := range []core.Policy{core.EJF, core.SRJF} {
+		loop := eventloop.New()
+		clus := cluster.New(loop, cluster.Default20x32())
+		sys := core.NewSystem(loop, clus, core.Config{Policy: policy})
+		w := workload.Mixed(*seed)
+		for _, s := range w.Jobs {
+			sys.MustSubmit(s.Spec, s.At)
+		}
+		loop.Run()
+		if !sys.AllDone() {
+			panic("workload incomplete")
+		}
+
+		var jobs []metrics.JobTimes
+		classJCTs := map[string][]float64{}
+		for _, j := range sys.Jobs() {
+			jobs = append(jobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
+			classJCTs[classOf(j.Spec.Name)] = append(classJCTs[classOf(j.Spec.Name)], j.JCT().Seconds())
+		}
+		fmt.Printf("policy %-5s makespan %7.1fs  avgJCT %7.1fs\n",
+			policy, metrics.Makespan(jobs), metrics.AvgJCT(jobs))
+		var classes []string
+		for c := range classJCTs {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			jcts := classJCTs[c]
+			fmt.Printf("  %-6s n=%2d  median %7.1fs  p90 %7.1fs\n",
+				c, len(jcts), metrics.Percentile(jcts, 50), metrics.Percentile(jcts, 90))
+		}
+		fmt.Println()
+	}
+}
+
+func classOf(name string) string {
+	switch {
+	case strings.HasPrefix(name, "lr") || strings.HasPrefix(name, "kmeans"):
+		return "ml"
+	case strings.HasPrefix(name, "pagerank") || strings.HasPrefix(name, "cc"):
+		return "graph"
+	default:
+		return "sql"
+	}
+}

@@ -1,0 +1,47 @@
+// synthetic_expect reproduces the §5.3 expectable-performance study: jobs
+// with regular CPU/network alternation whose ideal JCTs can be computed in
+// closed form, run under EJF. If Ursa's fine-grained sharing works, the
+// actual JCT staircase should track the expected one and the cluster CPU
+// should stay nearly fully utilized.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/experiments"
+	"ursa/internal/metrics"
+	"ursa/internal/workload"
+)
+
+func main() {
+	n := flag.Int("jobs", 12, "number of Type-1 jobs (paper: 40)")
+	flag.Parse()
+
+	// Measure the solo JCT first: it anchors the expectation.
+	solo := experiments.RunUrsa(workload.Single(workload.Type1().Spec("solo")),
+		core.Config{}, cluster.Default20x32(), 0)
+	soloJCT := solo.JCTs[0]
+	fmt.Printf("solo Type-1 JCT: %.1fs (paper: 40s), stage ≈ %.1fs\n\n", soloJCT, soloJCT/5)
+
+	res := experiments.RunUrsa(workload.Setting1(*n), core.Config{Policy: core.EJF},
+		cluster.Default20x32(), eventloop.Second)
+	types := make([]int, *n)
+	for i := range types {
+		types[i] = 1
+	}
+	expected := workload.ExpectedJCTs(types,
+		map[int]float64{1: soloJCT}, map[int]float64{1: soloJCT / 5})
+
+	fmt.Println("job   actual   expected   ratio")
+	for i := range res.JCTs {
+		fmt.Printf("%3d  %6.1fs   %7.1fs   %.2f\n",
+			i, res.JCTs[i], expected[i], res.JCTs[i]/expected[i])
+	}
+	fmt.Printf("\ncluster CPU: %s\n", res.Series.Sparkline(metrics.SeriesCPU, 72))
+	fmt.Printf("cluster NET: %s\n", res.Series.Sparkline(metrics.SeriesNet, 72))
+	fmt.Printf("mean CPU utilization: %.1f%%\n", res.Series.Mean(metrics.SeriesCPU))
+}

@@ -1,0 +1,57 @@
+// tpch_cluster reproduces a slice of the paper's headline experiment
+// (Table 2 / Figure 4): an online TPC-H workload on the simulated
+// 20-machine cluster, scheduled by Ursa (monotask-granular allocation,
+// Algorithm 1 placement) and by the Spark-on-YARN executor model, with
+// makespan, average JCT, SE/UE and utilization sparklines.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ursa/internal/baseline"
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/experiments"
+	"ursa/internal/metrics"
+	"ursa/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 40, "number of TPC-H jobs")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	clusCfg := cluster.Default20x32()
+	gen := func() *workload.Workload {
+		return workload.TPCH(*jobs, 5*eventloop.Second, *seed)
+	}
+
+	fmt.Printf("TPC-H, %d jobs, one submission every 5s, 20 machines × 32 cores\n\n", *jobs)
+
+	ursa := experiments.RunUrsa(gen(), core.Config{Policy: core.EJF}, clusCfg, eventloop.Second)
+	spark := experiments.RunBaseline(gen(), baseline.Config{Runtime: baseline.Spark}, clusCfg, eventloop.Second)
+
+	fmt.Printf("%-10s %10s %10s %8s %8s %8s %8s\n",
+		"system", "makespan", "avgJCT", "UEcpu", "SEcpu", "UEmem", "SEmem")
+	for _, r := range []struct {
+		name string
+		res  experiments.Result
+	}{{"Ursa-EJF", ursa}, {"Y+S", spark}} {
+		fmt.Printf("%-10s %9.0fs %9.1fs %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			r.name, r.res.Makespan, r.res.AvgJCT,
+			r.res.Eff.UECPU, r.res.Eff.SECPU, r.res.Eff.UEMem, r.res.Eff.SEMem)
+	}
+
+	fmt.Println("\ncluster CPU utilization over time:")
+	fmt.Printf("  ursa  %s\n", ursa.Series.Sparkline(metrics.SeriesCPU, 72))
+	fmt.Printf("  y+s   %s\n", spark.Series.Sparkline(metrics.SeriesCPU, 72))
+	fmt.Println("\ncluster network receive over time:")
+	fmt.Printf("  ursa  %s\n", ursa.Series.Sparkline(metrics.SeriesNet, 72))
+	fmt.Printf("  y+s   %s\n", spark.Series.Sparkline(metrics.SeriesNet, 72))
+
+	speedup := spark.Makespan / ursa.Makespan
+	fmt.Printf("\nUrsa finishes the workload %.2fx faster; its CPU UE is %.1f%% vs %.1f%%.\n",
+		speedup, ursa.Eff.UECPU, spark.Eff.UECPU)
+}

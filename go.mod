@@ -1,0 +1,3 @@
+module ursa
+
+go 1.22

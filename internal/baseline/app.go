@@ -1,0 +1,260 @@
+package baseline
+
+import (
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// app is one job's driver: it requests containers from YARN and runs the
+// job's tasks in them. For Spark/Tez runtimes tasks occupy one executor
+// slot and execute their monotask phases sequentially (network pull, then
+// compute, then disk); the container's cores stay allocated throughout —
+// the coarse-grained behaviour whose cost §5.1.1 measures. The MonoSpark
+// runtime instead schedules monotasks through per-machine queues.
+type app struct {
+	sys *System
+	job *Job
+
+	containers []*executor
+	ready      []*dag.Task
+	running    int
+	tasksLeft  int
+
+	mono *monoRuntime // non-nil for the MonoSpark runtime
+}
+
+type executor struct {
+	app       *app
+	c         *container
+	slots     int
+	busy      int
+	memUsed   float64
+	idleTimer *eventloop.Timer
+	released  bool
+}
+
+func newApp(sys *System, job *Job) *app {
+	a := &app{sys: sys, job: job, tasksLeft: len(job.Plan.Tasks)}
+	if sys.Cfg.Runtime == MonoSpark {
+		a.mono = newMonoRuntime(a)
+	}
+	return a
+}
+
+func (a *app) start() {
+	a.addReady(a.job.Plan.InitialReady())
+}
+
+func (a *app) addReady(tasks []*dag.Task) {
+	for _, t := range tasks {
+		// Fill the usage estimates (the MonoSpark runtime balances on them
+		// and the straggler analysis groups by them).
+		a.job.Plan.Estimate(t, 1.5)
+	}
+	if a.mono != nil {
+		a.mono.addReady(tasks)
+		return
+	}
+	a.ready = append(a.ready, tasks...)
+	a.schedule()
+}
+
+// wantContainers is the dynamic-allocation target: enough slots for all
+// outstanding tasks (Spark's default targeting), capped at the advertised
+// cluster size. Tez keeps the same target but never releases.
+func (a *app) wantContainers() int {
+	if a.job.Done {
+		return 0
+	}
+	outstanding := len(a.ready) + a.running
+	if a.mono != nil {
+		outstanding = a.mono.outstanding()
+	}
+	slots := a.sys.Cfg.ExecutorCores
+	want := (outstanding + slots - 1) / slots
+	maxC := int(float64(len(a.sys.machines)) * a.sys.machines[0].virtCores / float64(slots))
+	if want > maxC {
+		want = maxC
+	}
+	return want
+}
+
+func (a *app) onContainer(c *container) {
+	ex := &executor{app: a, c: c, slots: a.sys.Cfg.ExecutorCores}
+	a.containers = append(a.containers, ex)
+	// Baseline residency: an executor keeps caches, shuffle buffers and
+	// JVM overhead resident even when idle.
+	ex.setMemUsed(a.idleMem())
+	if a.mono != nil {
+		a.mono.onContainer(ex)
+		return
+	}
+	a.schedule()
+}
+
+// idleMem is the resident footprint of an idle executor (JVM heap, code,
+// cached shuffle structures) — memory held but doing no work.
+func (a *app) idleMem() float64 {
+	return a.sys.Cfg.ExecutorMem * 0.15
+}
+
+// taskMem returns a running task's true residency: the same m2i·I(t)
+// working set Ursa reserves, capped at the slot's share of the container.
+// The workload's footprint is identical across systems; only the
+// allocations differ — which is exactly what UE_mem measures.
+func (a *app) taskMem(t *dag.Task) float64 {
+	resident := t.EstUsage[resource.Mem] * a.sys.Cfg.MemActualFactor
+	cap := (a.sys.Cfg.ExecutorMem - a.idleMem()) / float64(a.sys.Cfg.ExecutorCores)
+	if resident > cap {
+		resident = cap
+	}
+	return resident
+}
+
+func (ex *executor) setMemUsed(target float64) {
+	delta := target - ex.memUsed
+	if delta > 0 {
+		ex.c.machine.m.Mem.Use(delta)
+	} else {
+		ex.c.machine.m.Mem.Unuse(-delta)
+	}
+	ex.memUsed = target
+}
+
+// schedule assigns ready tasks to free executor slots (FIFO within the
+// job, which preserves stage order).
+func (a *app) schedule() {
+	for len(a.ready) > 0 {
+		ex := a.freeSlot()
+		if ex == nil {
+			return
+		}
+		t := a.ready[0]
+		a.ready = a.ready[1:]
+		a.runTask(t, ex)
+	}
+}
+
+func (a *app) freeSlot() *executor {
+	var best *executor
+	for _, ex := range a.containers {
+		if ex.released || ex.busy >= ex.slots {
+			continue
+		}
+		// Prefer the least-busy executor to spread compute.
+		if best == nil || ex.busy < best.busy {
+			best = ex
+		}
+	}
+	return best
+}
+
+// runTask drives one task's monotasks on one executor slot: network pulls
+// start concurrently, the CPU phase runs as a single-threaded flow on the
+// machine's processor-sharing device, disk writes follow.
+func (a *app) runTask(t *dag.Task, ex *executor) {
+	ex.cancelIdle()
+	ex.busy++
+	tm := a.taskMem(t)
+	ex.setMemUsed(ex.memUsed + tm)
+	a.running++
+	start := a.sys.Loop.Now()
+
+	var onDone func(mt *dag.Monotask)
+	launch := func(mt *dag.Monotask) {
+		em := ex.c.machine
+		switch mt.Kind {
+		case resource.CPU:
+			// Charge the task launch overhead to the compute phase.
+			work := mt.CPUWork + a.sys.Cfg.TaskOverhead.Seconds()*em.coreRate
+			em.cpu.StartCapped(work, em.coreRate, func() { onDone(mt) })
+		case resource.Net:
+			em.m.Net.Start(mt.InputBytes, func() { onDone(mt) })
+		case resource.Disk:
+			em.m.Disk.Start(mt.InputBytes, func() { onDone(mt) })
+		}
+	}
+	onDone = func(mt *dag.Monotask) {
+		res := a.job.Plan.Complete(mt)
+		for _, next := range res.NewReadyMonotasks {
+			a.job.Plan.Prepare(next)
+			launch(next)
+		}
+		if !res.TaskDone {
+			return
+		}
+		dur := (a.sys.Loop.Now() - start).Seconds()
+		a.job.StageTaskDurations[t.Stage] = append(a.job.StageTaskDurations[t.Stage], dur)
+		ex.busy--
+		ex.setMemUsed(ex.memUsed - tm)
+		a.running--
+		a.tasksLeft--
+		a.addReady(res.NewReadyTasks)
+		a.afterTask(ex)
+	}
+	for _, mt := range t.ReadyMonotasks() {
+		a.job.Plan.Prepare(mt)
+		launch(mt)
+	}
+}
+
+// afterTask runs completion bookkeeping: job finish, rescheduling, idle
+// release timers.
+func (a *app) afterTask(ex *executor) {
+	if a.tasksLeft == 0 {
+		a.finish()
+		return
+	}
+	a.schedule()
+	if ex.busy == 0 {
+		a.armIdle(ex)
+	}
+}
+
+// armIdle starts the dynamic-allocation idle timeout for an executor.
+func (a *app) armIdle(ex *executor) {
+	if !a.sys.Cfg.DynamicAllocation || ex.released {
+		return
+	}
+	ex.cancelIdle()
+	ex.idleTimer = a.sys.Loop.After(a.sys.Cfg.IdleTimeout, func() {
+		if ex.busy != 0 || ex.released || a.job.Done {
+			return
+		}
+		if a.mono != nil && !a.mono.groupIdle(ex) {
+			return
+		}
+		a.releaseExecutor(ex)
+	})
+}
+
+func (ex *executor) cancelIdle() {
+	if ex.idleTimer != nil {
+		ex.idleTimer.Cancel()
+		ex.idleTimer = nil
+	}
+}
+
+func (a *app) releaseExecutor(ex *executor) {
+	ex.released = true
+	ex.cancelIdle()
+	ex.setMemUsed(0)
+	a.sys.yarn.release(ex.c)
+	if a.mono != nil {
+		a.mono.dropExecutor(ex)
+	}
+	for i, x := range a.containers {
+		if x == ex {
+			a.containers = append(a.containers[:i], a.containers[i+1:]...)
+			break
+		}
+	}
+}
+
+func (a *app) finish() {
+	for len(a.containers) > 0 {
+		a.releaseExecutor(a.containers[0])
+	}
+	a.sys.jobDone(a.job)
+}

@@ -1,0 +1,220 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/metrics"
+	"ursa/internal/resource"
+)
+
+func testCluster() (*eventloop.Loop, *cluster.Cluster) {
+	loop := eventloop.New()
+	cfg := cluster.Config{
+		Machines:           4,
+		CoresPerMachine:    8,
+		MemPerMachine:      32 * resource.GB,
+		NetBandwidth:       1.25e9,
+		DiskBandwidth:      1.7e8,
+		CoreRate:           4e7,
+		NetPerFlowFraction: 0.75,
+	}
+	return loop, cluster.New(loop, cfg)
+}
+
+func shuffleJob(mapP, redP int, totalInput float64) core.JobSpec {
+	g := dag.NewGraph()
+	input := g.CreateData(mapP)
+	input.SetUniformInput(totalInput)
+	msg := g.CreateData(mapP)
+	shuffled := g.CreateData(redP)
+	result := g.CreateData(redP)
+	mapOp := g.CreateOp(resource.CPU, "map").Read(input).Create(msg)
+	mapOp.ComputeIntensity = 1.5
+	mapOp.OutputRatio = 0.5
+	sh := g.CreateOp(resource.Net, "shuffle").Read(msg).Create(shuffled)
+	red := g.CreateOp(resource.CPU, "reduce").Read(shuffled).Create(result)
+	red.OutputRatio = 0.1
+	mapOp.To(sh, dag.Sync)
+	sh.To(red, dag.Async)
+	return core.JobSpec{Name: "shuffle", Graph: g, MemEstimate: 4e9}
+}
+
+func runBaseline(t *testing.T, cfg Config, n int) (*System, *cluster.Cluster) {
+	t.Helper()
+	loop, clus := testCluster()
+	sys := NewSystem(loop, clus, cfg)
+	for i := 0; i < n; i++ {
+		sys.MustSubmit(shuffleJob(16, 8, 4e9), eventloop.Time(eventloop.Duration(i)*eventloop.Second))
+	}
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatalf("%v: %d jobs incomplete", cfg.Runtime, n-sys.done)
+	}
+	return sys, clus
+}
+
+func TestSparkRunsJobs(t *testing.T) {
+	sys, clus := runBaseline(t, Config{Runtime: Spark}, 4)
+	for _, j := range sys.Jobs() {
+		if j.JCT() <= 0 {
+			t.Errorf("job %d JCT = %v", j.ID, j.JCT())
+		}
+	}
+	// All containers released at the end.
+	for i, em := range sys.machines {
+		if em.allocNow != 0 {
+			t.Errorf("machine %d still holds %v cores", i, em.allocNow)
+		}
+		if got := clus.Machines[i].Mem.Allocated(); got != 0 {
+			t.Errorf("machine %d still holds %v mem", i, got)
+		}
+		if got := clus.Machines[i].Mem.Used(); math.Abs(got) > 1 {
+			t.Errorf("machine %d still uses %v mem", i, got)
+		}
+	}
+}
+
+func TestTezHoldsContainersUntilJobEnd(t *testing.T) {
+	loop, clus := testCluster()
+	sys := NewSystem(loop, clus, Config{Runtime: Tez})
+	j := sys.MustSubmit(shuffleJob(16, 8, 4e9), 0)
+	// Mid-run, the job should hold containers even when between stages.
+	var midHeld float64
+	loop.After(3*eventloop.Second, func() {
+		for _, em := range sys.machines {
+			midHeld += em.allocNow
+		}
+	})
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("tez job incomplete")
+	}
+	if midHeld == 0 {
+		t.Error("tez held no containers mid-run")
+	}
+	_ = j
+}
+
+func TestMonoSparkRunsJobs(t *testing.T) {
+	sys, _ := runBaseline(t, Config{Runtime: MonoSpark}, 4)
+	for _, j := range sys.Jobs() {
+		if j.JCT() <= 0 {
+			t.Errorf("job %d JCT = %v", j.ID, j.JCT())
+		}
+	}
+}
+
+// TestUrsaBeatsSparkOnUE is the headline §5.1.1 shape on a small scale:
+// Ursa's per-monotask allocation should give materially higher CPU UE than
+// the executor model, and no worse makespan.
+func TestUrsaBeatsSparkOnUE(t *testing.T) {
+	// Spark run.
+	sparkSys, _ := runBaseline(t, Config{Runtime: Spark}, 6)
+	sparkSnap := sparkSys.Snap()
+	sparkUE := sparkSnap.CoreUsedSeconds / sparkSnap.CoreAllocSeconds
+
+	// Ursa run on an identical cluster and workload.
+	loop, clus := testCluster()
+	ursa := core.NewSystem(loop, clus, core.Config{})
+	for i := 0; i < 6; i++ {
+		ursa.MustSubmit(shuffleJob(16, 8, 4e9), eventloop.Time(eventloop.Duration(i)*eventloop.Second))
+	}
+	loop.Run()
+	if !ursa.AllDone() {
+		t.Fatal("ursa jobs incomplete")
+	}
+	snap := clus.Snap()
+	ursaUE := snap.CoreUsedSeconds / snap.CoreAllocSeconds
+
+	t.Logf("UE_cpu: ursa=%.1f%% spark=%.1f%%", 100*ursaUE, 100*sparkUE)
+	if ursaUE < sparkUE {
+		t.Errorf("Ursa UE (%.2f) not above Spark UE (%.2f)", ursaUE, sparkUE)
+	}
+	if ursaUE < 0.95 {
+		t.Errorf("Ursa UE = %.2f, want ~0.99", ursaUE)
+	}
+	if sparkUE > 0.9 {
+		t.Errorf("Spark UE = %.2f, expected container under-utilization", sparkUE)
+	}
+}
+
+func TestOversubscriptionRunsAndContends(t *testing.T) {
+	base, _ := runBaseline(t, Config{Runtime: Spark, Oversubscribe: 1}, 6)
+	over, _ := runBaseline(t, Config{Runtime: Spark, Oversubscribe: 2}, 6)
+	var baseJobs, overJobs []metrics.JobTimes
+	for _, j := range base.Jobs() {
+		baseJobs = append(baseJobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
+	}
+	for _, j := range over.Jobs() {
+		overJobs = append(overJobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
+	}
+	t.Logf("makespan: x1=%.1fs x2=%.1fs", metrics.Makespan(baseJobs), metrics.Makespan(overJobs))
+	// Over-subscription must not break completion; with a saturating
+	// workload it should not be slower than no over-subscription by much.
+	if metrics.Makespan(overJobs) > metrics.Makespan(baseJobs)*1.5 {
+		t.Errorf("x2 over-subscription much slower: %v vs %v",
+			metrics.Makespan(overJobs), metrics.Makespan(baseJobs))
+	}
+}
+
+func TestTetrisAndCapacityPlacersOnUrsa(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		placer core.Placer
+	}{
+		{"tetris", NewTetris(0.75, true)},
+		{"tetris2", NewTetris(0.75, false)},
+		{"capacity", NewCapacity()},
+	} {
+		loop, clus := testCluster()
+		sys := core.NewSystem(loop, clus, core.Config{Placer: tc.placer})
+		for i := 0; i < 5; i++ {
+			sys.MustSubmit(shuffleJob(16, 8, 4e9), eventloop.Time(eventloop.Duration(i)*eventloop.Second))
+		}
+		loop.Run()
+		if !sys.AllDone() {
+			t.Errorf("%s: jobs incomplete", tc.name)
+		}
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	run := func() eventloop.Time {
+		sys, _ := runBaseline(t, Config{Runtime: Spark}, 5)
+		var last eventloop.Time
+		for _, j := range sys.Jobs() {
+			if j.Finished > last {
+				last = j.Finished
+			}
+		}
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic baseline: %v vs %v", a, b)
+	}
+}
+
+func TestStageDurationsRecorded(t *testing.T) {
+	sys, _ := runBaseline(t, Config{Runtime: Spark}, 1)
+	j := sys.Jobs()[0]
+	if len(j.StageTaskDurations) == 0 {
+		t.Fatal("no stage durations recorded")
+	}
+	total := 0
+	for _, durs := range j.StageTaskDurations {
+		total += len(durs)
+		for _, d := range durs {
+			if d <= 0 {
+				t.Errorf("non-positive task duration %v", d)
+			}
+		}
+	}
+	if total != len(j.Plan.Tasks) {
+		t.Errorf("recorded %d durations, want %d", total, len(j.Plan.Tasks))
+	}
+}

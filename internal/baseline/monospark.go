@@ -1,0 +1,265 @@
+package baseline
+
+import (
+	"sort"
+
+	"ursa/internal/dag"
+	"ursa/internal/resource"
+)
+
+// monoRuntime is the Y+U runtime of §5.1.2: MonoSpark-style per-resource
+// monotask queues (with monotask ordering) local to the containers a single
+// job obtained from YARN. It pipelines resource usage across the job's own
+// tasks, but the containers' cores remain allocated to the job while
+// monotasks of other types run — the executor-model limitation the
+// comparison isolates.
+type monoRuntime struct {
+	a         *app
+	groups    map[*execMachine]*monoGroup
+	order     []*monoGroup
+	pending   []*dag.Task
+	taskAt    map[*dag.Task]*monoGroup
+	taskMem   map[*dag.Task]float64
+	taskStart map[*dag.Task]float64
+	running   int
+}
+
+// monoGroup is the per-machine execution state: the job's containers on one
+// machine and its local per-resource queues.
+type monoGroup struct {
+	rt        *monoRuntime
+	em        *execMachine
+	executors []*executor
+	queues    [3][]*dag.Monotask
+	active    [3]int
+	loadEst   [3]float64
+	tasks     int
+	residency float64 // running tasks' true memory footprint
+}
+
+const monoNetConcurrency = 4
+
+func newMonoRuntime(a *app) *monoRuntime {
+	return &monoRuntime{
+		a:         a,
+		groups:    make(map[*execMachine]*monoGroup),
+		taskAt:    make(map[*dag.Task]*monoGroup),
+		taskMem:   make(map[*dag.Task]float64),
+		taskStart: make(map[*dag.Task]float64),
+	}
+}
+
+func (rt *monoRuntime) outstanding() int { return len(rt.pending) + rt.running }
+
+func (rt *monoRuntime) addReady(tasks []*dag.Task) {
+	rt.pending = append(rt.pending, tasks...)
+	rt.assign()
+}
+
+func (rt *monoRuntime) onContainer(ex *executor) {
+	g, ok := rt.groups[ex.c.machine]
+	if !ok {
+		g = &monoGroup{rt: rt, em: ex.c.machine}
+		rt.groups[ex.c.machine] = g
+		rt.order = append(rt.order, g)
+	}
+	g.executors = append(g.executors, ex)
+	ex.cancelIdle()
+	rt.assign()
+}
+
+// slots returns the group's core count across its live containers.
+func (g *monoGroup) slots() int {
+	n := 0
+	for _, ex := range g.executors {
+		if !ex.released {
+			n += ex.slots
+		}
+	}
+	return n
+}
+
+// assign places pending tasks on the group with the least estimated load —
+// the runtime-utilization heuristic executor frameworks use, which lacks
+// knowledge of other jobs and future releases (§3).
+func (rt *monoRuntime) assign() {
+	for len(rt.pending) > 0 {
+		var best *monoGroup
+		var bestLoad float64
+		for _, g := range rt.order {
+			if g.slots() == 0 {
+				continue
+			}
+			load := (g.loadEst[resource.CPU] + g.loadEst[resource.Net]) / float64(g.slots())
+			if best == nil || load < bestLoad {
+				best, bestLoad = g, load
+			}
+		}
+		if best == nil {
+			return // no containers yet
+		}
+		t := rt.pending[0]
+		rt.pending = rt.pending[1:]
+		rt.taskAt[t] = best
+		tm := rt.a.taskMem(t)
+		rt.taskMem[t] = tm
+		rt.taskStart[t] = rt.a.sys.Loop.Now().Seconds()
+		best.residency += tm
+		rt.running++
+		best.tasks++
+		best.cancelIdle()
+		best.updateMem()
+		for _, k := range resource.MonotaskKinds {
+			best.loadEst[k] += t.EstUsage[k]
+		}
+		for _, mt := range t.ReadyMonotasks() {
+			rt.a.job.Plan.Prepare(mt)
+			best.enqueue(mt)
+		}
+	}
+}
+
+func (g *monoGroup) enqueue(mt *dag.Monotask) {
+	k := mt.Kind
+	g.queues[k] = append(g.queues[k], mt)
+	// Monotask ordering (§4.2.3, enabled in the paper's Y+U simulation):
+	// CPU by descending input, network/disk by ascending input.
+	sort.SliceStable(g.queues[k], func(i, j int) bool {
+		if k == resource.CPU {
+			return g.queues[k][i].InputBytes > g.queues[k][j].InputBytes
+		}
+		return g.queues[k][i].InputBytes < g.queues[k][j].InputBytes
+	})
+	g.pump(k)
+}
+
+func (g *monoGroup) limit(k resource.Kind) int {
+	switch k {
+	case resource.CPU:
+		return g.slots()
+	case resource.Net:
+		return monoNetConcurrency
+	default:
+		return 1
+	}
+}
+
+func (g *monoGroup) pump(k resource.Kind) {
+	for len(g.queues[k]) > 0 && g.active[k] < g.limit(k) {
+		mt := g.queues[k][0]
+		g.queues[k] = g.queues[k][1:]
+		g.start(mt)
+	}
+}
+
+func (g *monoGroup) start(mt *dag.Monotask) {
+	k := mt.Kind
+	g.active[k]++
+	done := func() { g.finished(mt) }
+	switch k {
+	case resource.CPU:
+		g.em.cpu.StartCapped(mt.CPUWork, g.em.coreRate, done)
+	case resource.Net:
+		g.em.m.Net.Start(mt.InputBytes, done)
+	case resource.Disk:
+		g.em.m.Disk.Start(mt.InputBytes, done)
+	}
+}
+
+func (g *monoGroup) finished(mt *dag.Monotask) {
+	rt := g.rt
+	k := mt.Kind
+	g.active[k]--
+	g.loadEst[k] -= mt.EstInput
+	if g.loadEst[k] < 0 {
+		g.loadEst[k] = 0
+	}
+	res := rt.a.job.Plan.Complete(mt)
+	for _, next := range res.NewReadyMonotasks {
+		rt.a.job.Plan.Prepare(next)
+		g.enqueue(next)
+	}
+	if res.TaskDone {
+		g.tasks--
+		rt.running--
+		rt.a.tasksLeft--
+		delete(rt.taskAt, mt.Task)
+		g.residency -= rt.taskMem[mt.Task]
+		delete(rt.taskMem, mt.Task)
+		dur := rt.a.sys.Loop.Now().Seconds() - rt.taskStart[mt.Task]
+		delete(rt.taskStart, mt.Task)
+		rt.a.job.StageTaskDurations[mt.Task.Stage] = append(
+			rt.a.job.StageTaskDurations[mt.Task.Stage], dur)
+		g.updateMem()
+		rt.a.addReady(res.NewReadyTasks)
+		if rt.a.tasksLeft == 0 {
+			rt.a.finish()
+			return
+		}
+		if g.tasks == 0 && len(rt.pending) == 0 {
+			g.armIdle()
+		}
+	}
+	g.pump(k)
+}
+
+// updateMem spreads the group's true residency (idle executor footprint
+// plus running tasks' working sets) over its live executors.
+func (g *monoGroup) updateMem() {
+	live := 0
+	for _, ex := range g.executors {
+		if !ex.released {
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	total := float64(live)*g.rt.a.idleMem() + g.residency
+	// The group can queue more tasks than it has slots; residency can
+	// never exceed what its containers actually hold.
+	if max := float64(live) * g.rt.a.sys.Cfg.ExecutorMem; total > max {
+		total = max
+	}
+	per := total / float64(live)
+	for _, ex := range g.executors {
+		if !ex.released {
+			ex.setMemUsed(per)
+		}
+	}
+}
+
+// groupIdle reports whether the executor's machine group has no work, so
+// the shared idle-release path can apply to the MonoSpark runtime too.
+func (rt *monoRuntime) groupIdle(ex *executor) bool {
+	g := rt.groups[ex.c.machine]
+	return g == nil || (g.tasks == 0 && len(rt.pending) == 0)
+}
+
+// dropExecutor removes a released executor from its group.
+func (rt *monoRuntime) dropExecutor(ex *executor) {
+	g := rt.groups[ex.c.machine]
+	if g == nil {
+		return
+	}
+	for i, x := range g.executors {
+		if x == ex {
+			g.executors = append(g.executors[:i], g.executors[i+1:]...)
+			return
+		}
+	}
+}
+
+func (g *monoGroup) cancelIdle() {
+	for _, ex := range g.executors {
+		ex.cancelIdle()
+	}
+}
+
+func (g *monoGroup) armIdle() {
+	for _, ex := range g.executors {
+		if !ex.released {
+			g.rt.a.armIdle(ex)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/resource"
+)
+
+// Peak-demand placement baselines (§5.1.2). Tetris and Capacity replace
+// Ursa's Algorithm 1 while keeping the monotask execution layer. Both use a
+// task's *peak* demands (as collected from prior runs) and update their
+// availability view only when a whole task completes — in contrast to
+// Algorithm 1's total-usage estimates and per-monotask release. The paper
+// attributes their lower SE_cpu to exactly this difference.
+
+// peakDemand is a task's peak concurrent demand vector: cores, memory
+// bytes, and the fraction of the network / disk device it can drive.
+type peakDemand struct {
+	cores float64
+	mem   float64
+	net   float64
+	disk  float64
+}
+
+// demandOf derives the profiled peak demand from the task structure: our
+// tasks run at most one CPU monotask at a time, pull shuffle data at up to
+// the per-flow network share, and write output at full disk bandwidth.
+func demandOf(t *dag.Task, netPeak float64) peakDemand {
+	d := peakDemand{cores: 1, mem: t.EstUsage[resource.Mem]}
+	for _, mt := range t.Monotasks {
+		switch mt.Kind {
+		case resource.Net:
+			d.net = netPeak
+		case resource.Disk:
+			d.disk = 1
+		}
+	}
+	return d
+}
+
+// avail is a worker's remaining capacity in the placer's coarse-grained
+// accounting.
+type avail struct {
+	cores float64
+	mem   float64
+	net   float64
+	disk  float64
+}
+
+// peakPlacer is the shared bookkeeping of Tetris and Capacity.
+type peakPlacer struct {
+	// netPeak is the peak downlink fraction a single task can use.
+	netPeak float64
+	// useNetwork gates the network dimension (false for Tetris2).
+	useNetwork bool
+	// score ranks a candidate (demand, avail) pair; higher is better.
+	score func(d peakDemand, a avail, w *core.Worker) float64
+
+	state map[int]*avail           // worker ID → availability
+	tasks map[*dag.Task]peakDemand // outstanding placements
+}
+
+func newPeakPlacer(netPeak float64, useNetwork bool,
+	score func(peakDemand, avail, *core.Worker) float64) *peakPlacer {
+	return &peakPlacer{
+		netPeak:    netPeak,
+		useNetwork: useNetwork,
+		score:      score,
+		state:      make(map[int]*avail),
+		tasks:      make(map[*dag.Task]peakDemand),
+	}
+}
+
+func (p *peakPlacer) availOf(w *core.Worker) *avail {
+	a, ok := p.state[w.ID]
+	if !ok {
+		a = &avail{
+			cores: w.Machine.Cores.Capacity(),
+			mem:   w.MemCapacity(),
+			net:   1,
+			disk:  1,
+		}
+		p.state[w.ID] = a
+	}
+	return a
+}
+
+// fits applies the admission gates: a task is only placed where its peak
+// demand fits the remaining (coarse) capacity. With the network dimension
+// on, a single shuffle-heavy task can block a worker's queue — the
+// behaviour that makes Tetris2 outperform Tetris in Table 4.
+func (p *peakPlacer) fits(d peakDemand, a *avail) bool {
+	if d.cores > a.cores || d.mem > a.mem {
+		return false
+	}
+	if p.useNetwork && d.net > a.net {
+		return false
+	}
+	return true
+}
+
+// Place implements core.Placer: tasks are considered job-by-job in pending
+// order (FIFO), each greedily matched to its best-scoring worker.
+func (p *peakPlacer) Place(ctx *core.PlaceContext) []core.Placement {
+	var out []core.Placement
+	for _, ps := range ctx.Pending {
+		for _, t := range ps.Tasks {
+			d := demandOf(t, p.netPeak)
+			var bestW *core.Worker
+			bestScore := 0.0
+			for _, w := range ctx.Workers {
+				a := p.availOf(w)
+				if !p.fits(d, a) {
+					continue
+				}
+				s := p.score(d, *a, w)
+				if bestW == nil || s > bestScore {
+					bestW, bestScore = w, s
+				}
+			}
+			if bestW == nil {
+				continue
+			}
+			a := p.availOf(bestW)
+			a.cores -= d.cores
+			a.mem -= d.mem
+			if p.useNetwork {
+				a.net -= d.net
+			}
+			a.disk -= d.disk
+			p.tasks[t] = d
+			out = append(out, core.Placement{Stage: ps, Task: t, Worker: bestW})
+		}
+	}
+	return out
+}
+
+// TaskFinished returns the task's peak demand to the worker — only at
+// whole-task granularity, never per monotask.
+func (p *peakPlacer) TaskFinished(t *dag.Task, w *core.Worker) {
+	d, ok := p.tasks[t]
+	if !ok {
+		return
+	}
+	delete(p.tasks, t)
+	a := p.availOf(w)
+	a.cores += d.cores
+	a.mem += d.mem
+	if p.useNetwork {
+		a.net += d.net
+	}
+	a.disk += d.disk
+}
+
+// NewTetris builds the Tetris packer: alignment score is the dot product of
+// the normalized peak-demand and availability vectors, maximizing packing
+// density. netPeak should match the cluster's per-flow network share.
+func NewTetris(netPeak float64, includeNetwork bool) core.Placer {
+	return newPeakPlacer(netPeak, includeNetwork,
+		func(d peakDemand, a avail, w *core.Worker) float64 {
+			caps := []float64{w.Machine.Cores.Capacity(), w.MemCapacity(), 1, 1}
+			dv := []float64{d.cores, d.mem, d.net, d.disk}
+			av := []float64{a.cores, a.mem, a.net, a.disk}
+			if !includeNetwork {
+				dv[2], av[2] = 0, 0
+			}
+			var s float64
+			for i := range dv {
+				s += (dv[i] / caps[i]) * (av[i] / caps[i])
+			}
+			return s
+		})
+}
+
+// NewCapacity builds the YARN Capacity-style placer: greedily assign to the
+// worker with the most available resources (cores first, then memory),
+// ignoring network and disk.
+func NewCapacity() core.Placer {
+	return newPeakPlacer(0, false,
+		func(d peakDemand, a avail, w *core.Worker) float64 {
+			return a.cores + a.mem/w.MemCapacity()
+		})
+}
+
+// Interface conformance checks.
+var (
+	_ core.Placer             = (*peakPlacer)(nil)
+	_ core.TaskFinishObserver = (*peakPlacer)(nil)
+)

@@ -1,0 +1,259 @@
+// Package baseline implements the comparison systems of §5: a YARN-like
+// centralized container allocator with heartbeat latency, Spark-like and
+// Tez-like executor runtimes (Y+S, Y+T), a MonoSpark-style per-job monotask
+// runtime over YARN containers (Y+U), CPU over-subscription, and the Tetris
+// and Capacity placement algorithms as drop-in replacements for Ursa's
+// Algorithm 1.
+package baseline
+
+import (
+	"fmt"
+
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+)
+
+// RuntimeKind selects the executor runtime.
+type RuntimeKind int
+
+const (
+	// Spark models Spark-on-YARN: multi-slot executors, dynamic allocation
+	// with an idle timeout, tasks running their phases sequentially.
+	Spark RuntimeKind = iota
+	// Tez models Tez-on-YARN with container reuse: containers are held for
+	// the whole job lifetime.
+	Tez
+	// MonoSpark models Y+U (§5.1.2): the monotask execution layer with
+	// per-resource queues, but drawing resources from YARN containers
+	// owned by a single job.
+	MonoSpark
+)
+
+func (k RuntimeKind) String() string {
+	switch k {
+	case Tez:
+		return "tez"
+	case MonoSpark:
+		return "monospark"
+	}
+	return "spark"
+}
+
+// Config tunes the executor baseline.
+type Config struct {
+	Runtime       RuntimeKind
+	ExecutorCores int
+	// ExecutorMem is the container memory size in bytes.
+	ExecutorMem float64
+	// DynamicAllocation releases idle executors after IdleTimeout.
+	DynamicAllocation bool
+	IdleTimeout       eventloop.Duration
+	// Heartbeat is YARN's allocation latency (1 s in §5).
+	Heartbeat eventloop.Duration
+	// Oversubscribe multiplies the advertised core capacity (Table 5);
+	// physical compute still shares the real cores.
+	Oversubscribe float64
+	// TaskOverhead is the per-task launch cost in the executor (Spark task
+	// deserialization/launch).
+	TaskOverhead eventloop.Duration
+	// MemActualFactor models true residency as a fraction of container
+	// memory at full slot occupancy.
+	MemActualFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExecutorCores <= 0 {
+		if c.Runtime == Tez {
+			c.ExecutorCores = 2
+		} else {
+			c.ExecutorCores = 4
+		}
+	}
+	if c.ExecutorMem <= 0 {
+		if c.Runtime == Tez {
+			c.ExecutorMem = 6e9
+		} else {
+			c.ExecutorMem = 8e9
+		}
+	}
+	if c.IdleTimeout <= 0 {
+		if c.Runtime == Tez {
+			// Container reuse keeps containers across tasks; unused ones
+			// are returned only after a long hold.
+			c.IdleTimeout = 15 * eventloop.Second
+		} else {
+			c.IdleTimeout = 2 * eventloop.Second
+		}
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = eventloop.Second
+	}
+	if c.Oversubscribe <= 0 {
+		c.Oversubscribe = 1
+	}
+	if c.TaskOverhead <= 0 {
+		c.TaskOverhead = 10 * eventloop.Millisecond
+	}
+	if c.MemActualFactor <= 0 {
+		c.MemActualFactor = 0.85
+	}
+	c.DynamicAllocation = true
+	return c
+}
+
+// execMachine wraps a simulated machine with the executor-model CPU
+// accounting: compute runs on a processor-sharing device (so
+// over-subscription slows everything down rather than failing), while
+// container core allocation is tracked separately for SE/UE.
+type execMachine struct {
+	m   *cluster.Machine
+	cpu *cluster.Device
+	// allocCores integrates container-held cores over time.
+	allocCores *cluster.Gauge
+	allocNow   float64
+	virtCores  float64
+	coreRate   float64
+}
+
+func (em *execMachine) freeVirtCores() float64 { return em.virtCores - em.allocNow }
+
+// Job is one submitted job in a baseline run.
+type Job struct {
+	ID   int
+	Spec core.JobSpec
+	Plan *dag.Plan
+
+	Submitted eventloop.Time
+	Finished  eventloop.Time
+	Done      bool
+
+	// StageTaskDurations records per-stage task durations (seconds) for
+	// the straggler analysis of §5.1.2.
+	StageTaskDurations map[*dag.Stage][]float64
+
+	app *app
+}
+
+// JCT returns the job completion time.
+func (j *Job) JCT() eventloop.Duration { return eventloop.Duration(j.Finished - j.Submitted) }
+
+// System runs jobs on YARN + an executor runtime.
+type System struct {
+	Loop *eventloop.Loop
+	Clus *cluster.Cluster
+	Cfg  Config
+
+	machines []*execMachine
+	yarn     *yarn
+	jobs     []*Job
+	done     int
+
+	OnJobFinished func(*Job)
+}
+
+// NewSystem builds a baseline deployment over the cluster.
+func NewSystem(loop *eventloop.Loop, clus *cluster.Cluster, cfg Config) *System {
+	sys := &System{Loop: loop, Clus: clus, Cfg: cfg.withDefaults()}
+	for _, m := range clus.Machines {
+		cores := float64(clus.Cfg.CoresPerMachine)
+		rate := m.CoreRate()
+		sys.machines = append(sys.machines, &execMachine{
+			m:          m,
+			cpu:        cluster.NewDevice(loop, cores*rate, 1/cores),
+			allocCores: cluster.NewGauge(loop),
+			virtCores:  cores * sys.Cfg.Oversubscribe,
+			coreRate:   rate,
+		})
+	}
+	sys.yarn = newYarn(sys)
+	return sys
+}
+
+// Submit schedules a job submission.
+func (s *System) Submit(spec core.JobSpec, at eventloop.Time) (*Job, error) {
+	plan, err := spec.Graph.Build()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: job %q: %w", spec.Name, err)
+	}
+	j := &Job{
+		ID:                 len(s.jobs),
+		Spec:               spec,
+		Plan:               plan,
+		StageTaskDurations: make(map[*dag.Stage][]float64),
+	}
+	s.jobs = append(s.jobs, j)
+	s.Loop.At(at, func() {
+		j.Submitted = s.Loop.Now()
+		j.app = newApp(s, j)
+		s.yarn.register(j.app)
+	})
+	return j, nil
+}
+
+// MustSubmit is Submit for known-good specs.
+func (s *System) MustSubmit(spec core.JobSpec, at eventloop.Time) *Job {
+	j, err := s.Submit(spec, at)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// Jobs returns all submitted jobs.
+func (s *System) Jobs() []*Job { return s.jobs }
+
+// AllDone reports whether every job finished.
+func (s *System) AllDone() bool { return s.done == len(s.jobs) }
+
+func (s *System) jobDone(j *Job) {
+	j.Done = true
+	j.Finished = s.Loop.Now()
+	s.done++
+	s.yarn.unregister(j.app)
+	if s.OnJobFinished != nil {
+		s.OnJobFinished(j)
+	}
+}
+
+// Snap captures usage integrals in the cluster.Snapshot layout so the same
+// efficiency computation serves Ursa and the baselines.
+func (s *System) Snap() cluster.Snapshot {
+	snap := cluster.Snapshot{At: s.Loop.Now()}
+	for _, em := range s.machines {
+		snap.CoreAllocSeconds += em.allocCores.Integral()
+		snap.CoreUsedSeconds += em.cpu.BytesMoved() / em.coreRate
+		snap.MemAllocByteSecs += em.m.Mem.AllocatedSeconds()
+		snap.MemUsedByteSecs += em.m.Mem.UsedSeconds()
+		snap.NetBytesReceived += em.m.Net.BytesMoved()
+		snap.DiskBytesMoved += em.m.Disk.BytesMoved()
+	}
+	return snap
+}
+
+// Source adapts the baseline's accounting for the utilization sampler.
+func (s *System) Source() *execSource { return &execSource{s} }
+
+type execSource struct{ s *System }
+
+func (e *execSource) Machines() int { return len(e.s.machines) }
+func (e *execSource) CPUUsedCoreSeconds(i int) float64 {
+	em := e.s.machines[i]
+	return em.cpu.BytesMoved() / em.coreRate
+}
+func (e *execSource) MemUsedByteSeconds(i int) float64 {
+	return e.s.machines[i].m.Mem.UsedSeconds()
+}
+func (e *execSource) NetBytesReceived(i int) float64 {
+	return e.s.machines[i].m.Net.BytesMoved()
+}
+func (e *execSource) CoresPerMachine() float64 {
+	return float64(e.s.Clus.Cfg.CoresPerMachine)
+}
+func (e *execSource) MemBytesPerMachine() float64 {
+	return float64(e.s.Clus.Cfg.MemPerMachine)
+}
+func (e *execSource) NetBandwidth() float64 {
+	return float64(e.s.Clus.Cfg.NetBandwidth)
+}

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"ursa/internal/eventloop"
+)
+
+// container is a YARN container: a fixed-size core+memory grant on one
+// machine, the coarse-grained allocation unit whose under-utilization §2
+// quantifies.
+type container struct {
+	machine *execMachine
+	cores   float64
+	mem     float64
+	app     *app
+}
+
+// yarn is the centralized resource scheduler of the baseline stacks: FIFO
+// across applications, allocating containers at heartbeat granularity
+// (§5.1.1 uses FIFO with a 1 s heartbeat).
+type yarn struct {
+	sys      *System
+	apps     []*app
+	ticking  bool
+	stopTick func()
+}
+
+func newYarn(sys *System) *yarn { return &yarn{sys: sys} }
+
+func (y *yarn) register(a *app) {
+	y.apps = append(y.apps, a)
+	a.start()
+	y.ensureTicking()
+	// Serve the initial request immediately — YARN AMs get their first
+	// allocation on registration.
+	y.allocate()
+}
+
+func (y *yarn) unregister(a *app) {
+	for i, x := range y.apps {
+		if x == a {
+			y.apps = append(y.apps[:i], y.apps[i+1:]...)
+			return
+		}
+	}
+}
+
+func (y *yarn) ensureTicking() {
+	if y.ticking {
+		return
+	}
+	y.ticking = true
+	y.stopTick = y.sys.Loop.Every(y.sys.Cfg.Heartbeat, y.tick)
+}
+
+func (y *yarn) tick() {
+	if len(y.apps) == 0 {
+		y.ticking = false
+		y.stopTick()
+		return
+	}
+	y.allocate()
+}
+
+// allocate grants containers FIFO across apps: each app's outstanding
+// demand is served before later apps are considered, mirroring YARN FIFO
+// queue behaviour.
+func (y *yarn) allocate() {
+	for _, a := range y.apps {
+		want := a.wantContainers() - len(a.containers)
+		for i := 0; i < want; i++ {
+			c := y.grant(a)
+			if c == nil {
+				break // cluster full for this container size
+			}
+			a.onContainer(c)
+		}
+	}
+}
+
+// grant finds the machine with the most free (advertised) cores that also
+// has the container's memory, allocates, and returns the container.
+func (y *yarn) grant(a *app) *container {
+	cfg := y.sys.Cfg
+	cores := float64(cfg.ExecutorCores)
+	var best *execMachine
+	for _, em := range y.sys.machines {
+		if em.freeVirtCores() < cores || em.m.Mem.Free() < cfg.ExecutorMem {
+			continue
+		}
+		if best == nil || em.freeVirtCores() > best.freeVirtCores() {
+			best = em
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.allocNow += cores
+	best.allocCores.Add(cores)
+	best.m.Mem.MustAlloc(cfg.ExecutorMem)
+	return &container{machine: best, cores: cores, mem: cfg.ExecutorMem, app: a}
+}
+
+// release returns a container's resources.
+func (y *yarn) release(c *container) {
+	c.machine.allocNow -= c.cores
+	c.machine.allocCores.Add(-c.cores)
+	c.machine.m.Mem.FreeAlloc(c.mem)
+}
+
+// releaseLatency converts the heartbeat into the latency budget apps use
+// when sizing requests; exported for tests.
+func (y *yarn) releaseLatency() eventloop.Duration { return y.sys.Cfg.Heartbeat }

@@ -1,0 +1,133 @@
+// Package cluster simulates the hardware substrate of §5: a set of machines
+// with CPU cores, memory, a network link and a disk, advanced on a virtual
+// discrete-event clock. Every scheduler in this repository (Ursa and all
+// baselines) runs against this same physics, so relative results reflect
+// scheduling policy rather than modelling differences.
+package cluster
+
+import (
+	"fmt"
+
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// Config describes the simulated cluster hardware.
+type Config struct {
+	Machines        int
+	CoresPerMachine int
+	MemPerMachine   resource.Bytes
+	// NetBandwidth is each machine's downlink (and uplink) in bytes/s.
+	NetBandwidth resource.BytesPerSec
+	// DiskBandwidth is the sequential bandwidth of the machine's disk.
+	DiskBandwidth resource.BytesPerSec
+	// CoreRate is the work-processing rate of one core in work-bytes/s.
+	// The paper measures CPU monotask work by input size (§4.2.1); a
+	// monotask of W work bytes and compute intensity c occupies a core for
+	// c·W / CoreRate seconds.
+	CoreRate resource.BytesPerSec
+	// NetPerFlowFraction caps a single flow at this fraction of the link
+	// (0 disables the cap). It models per-connection stack overhead so a
+	// lone transfer does not saturate a 10 GbE link.
+	NetPerFlowFraction float64
+}
+
+// Default20x32 mirrors the paper's testbed: 20 machines, 32 virtual cores,
+// 128 GB RAM, 10 Gbps Ethernet, one ~170 MB/s SAS disk.
+func Default20x32() Config {
+	return Config{
+		Machines:           20,
+		CoresPerMachine:    32,
+		MemPerMachine:      128 * resource.GB,
+		NetBandwidth:       1.25e9, // 10 Gbps
+		DiskBandwidth:      170e6,
+		CoreRate:           40e6, // calibrated so workload JCTs match §5 stats
+		NetPerFlowFraction: 0.75,
+	}
+}
+
+// Machine is one simulated server.
+type Machine struct {
+	ID    int
+	Cores *Pool   // unit: cores
+	Mem   *Pool   // unit: bytes
+	Net   *Device // receiver downlink
+	Disk  *Device
+
+	coreRate float64
+}
+
+// CoreRate returns the per-core processing rate in work-bytes/s.
+func (m *Machine) CoreRate() float64 { return m.coreRate }
+
+// Cluster is the full simulated machine set.
+type Cluster struct {
+	Loop     *eventloop.Loop
+	Cfg      Config
+	Machines []*Machine
+}
+
+// New builds a cluster on the given loop.
+func New(loop *eventloop.Loop, cfg Config) *Cluster {
+	if cfg.Machines <= 0 || cfg.CoresPerMachine <= 0 {
+		panic("cluster: need at least one machine and one core")
+	}
+	c := &Cluster{Loop: loop, Cfg: cfg}
+	for i := 0; i < cfg.Machines; i++ {
+		m := &Machine{
+			ID:       i,
+			Cores:    NewPool(loop, fmt.Sprintf("m%d.cores", i), float64(cfg.CoresPerMachine)),
+			Mem:      NewPool(loop, fmt.Sprintf("m%d.mem", i), float64(cfg.MemPerMachine)),
+			Net:      NewDevice(loop, float64(cfg.NetBandwidth), cfg.NetPerFlowFraction),
+			Disk:     NewDevice(loop, float64(cfg.DiskBandwidth), 0),
+			coreRate: float64(cfg.CoreRate),
+		}
+		c.Machines = append(c.Machines, m)
+	}
+	return c
+}
+
+// TotalCores returns the cluster-wide core count.
+func (c *Cluster) TotalCores() float64 {
+	return float64(c.Cfg.Machines * c.Cfg.CoresPerMachine)
+}
+
+// TotalMem returns cluster-wide memory in bytes.
+func (c *Cluster) TotalMem() float64 {
+	return float64(c.Cfg.Machines) * float64(c.Cfg.MemPerMachine)
+}
+
+// FreeMem returns the unreserved memory across all machines.
+func (c *Cluster) FreeMem() float64 {
+	var free float64
+	for _, m := range c.Machines {
+		free += m.Mem.Free()
+	}
+	return free
+}
+
+// Snapshot captures cumulative usage integrals, so a caller can compute SE
+// and UE over a window as the difference of two snapshots.
+type Snapshot struct {
+	At               eventloop.Time
+	CoreAllocSeconds float64
+	CoreUsedSeconds  float64
+	MemAllocByteSecs float64
+	MemUsedByteSecs  float64
+	NetBytesReceived float64
+	DiskBytesMoved   float64
+}
+
+// Snap returns the current cumulative usage integrals.
+func (c *Cluster) Snap() Snapshot {
+	s := Snapshot{At: c.Loop.Now()}
+	for _, m := range c.Machines {
+		s.CoreAllocSeconds += m.Cores.AllocatedSeconds()
+		s.CoreUsedSeconds += m.Cores.UsedSeconds()
+		s.MemAllocByteSecs += m.Mem.AllocatedSeconds()
+		s.MemUsedByteSecs += m.Mem.UsedSeconds()
+		s.NetBytesReceived += m.Net.BytesMoved()
+		s.DiskBytesMoved += m.Disk.BytesMoved()
+	}
+	return s
+}

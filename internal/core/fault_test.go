@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+func TestWorkerFailureMidJobRecovers(t *testing.T) {
+	loop, clus := testCluster(3)
+	sys := NewSystem(loop, clus, Config{})
+	jobs := submitN(t, sys, 4, eventloop.Second)
+	// Kill a machine while the workload is in full flight.
+	loop.After(2*eventloop.Second, func() { sys.FailWorker(1) })
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("jobs did not finish after worker failure")
+	}
+	for _, j := range jobs {
+		if j.State != JobFinished {
+			t.Errorf("job %d state = %v", j.ID, j.State)
+		}
+	}
+	// The failed worker holds nothing.
+	w := sys.Workers[1]
+	if !w.Failed() {
+		t.Fatal("worker not marked failed")
+	}
+	for _, k := range resource.MonotaskKinds {
+		if w.QueueLen(k) != 0 || w.Load(k) != 0 {
+			t.Errorf("failed worker still has %v work", k)
+		}
+	}
+	if got := w.Machine.Mem.Allocated(); got != 0 {
+		t.Errorf("failed worker still reserves %v memory", got)
+	}
+	if got := w.Machine.Cores.Allocated(); got != 0 {
+		t.Errorf("failed worker still holds %v cores", got)
+	}
+}
+
+func TestFailureSlowsButCompletes(t *testing.T) {
+	run := func(fail bool) eventloop.Duration {
+		loop, clus := testCluster(3)
+		sys := NewSystem(loop, clus, Config{})
+		jobs := submitN(t, sys, 4, eventloop.Second)
+		if fail {
+			loop.After(2*eventloop.Second, func() { sys.FailWorker(0) })
+		}
+		loop.Run()
+		if !sys.AllDone() {
+			t.Fatal("incomplete")
+		}
+		var last eventloop.Time
+		for _, j := range jobs {
+			if j.Finished > last {
+				last = j.Finished
+			}
+		}
+		return eventloop.Duration(last)
+	}
+	healthy := run(false)
+	degraded := run(true)
+	if degraded < healthy {
+		t.Errorf("makespan with failure (%v) faster than healthy (%v)",
+			degraded.Seconds(), healthy.Seconds())
+	}
+}
+
+func TestFailAllButOneWorker(t *testing.T) {
+	loop, clus := testCluster(3)
+	sys := NewSystem(loop, clus, Config{})
+	jobs := submitN(t, sys, 2, 0)
+	loop.After(eventloop.Second, func() {
+		sys.FailWorker(0)
+		sys.FailWorker(2)
+		sys.FailWorker(2) // double-fail is a no-op
+	})
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("jobs did not finish on the surviving worker")
+	}
+	_ = jobs
+}
+
+func TestNoWorkLostOnFailure(t *testing.T) {
+	loop, clus := testCluster(3)
+	sys := NewSystem(loop, clus, Config{})
+	jobs := submitN(t, sys, 3, eventloop.Second)
+	loop.After(1500*eventloop.Millisecond, func() { sys.FailWorker(2) })
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("incomplete")
+	}
+	// Every real monotask of every plan completed exactly once (retried
+	// work re-executes, but terminal state must be done for all).
+	for _, j := range jobs {
+		for _, mt := range j.Plan.RealMonotasks() {
+			if mt.State.String() != "done" {
+				t.Fatalf("job %d has unfinished monotask after recovery", j.ID)
+			}
+		}
+	}
+	// Conservation still holds on surviving machines: used core seconds
+	// are at least the total work (retries can only add).
+	var minWork float64
+	for _, j := range jobs {
+		for _, mt := range j.Plan.RealMonotasks() {
+			if mt.Kind == resource.CPU {
+				minWork += mt.CPUWork
+			}
+		}
+	}
+	snap := clus.Snap()
+	if snap.CoreUsedSeconds < minWork/1e8*0.99 {
+		t.Errorf("used core-seconds %v below single-execution work %v",
+			snap.CoreUsedSeconds, minWork/1e8)
+	}
+	if math.IsNaN(snap.CoreUsedSeconds) {
+		t.Error("NaN in accounting")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// JobSpec describes a job to submit.
+type JobSpec struct {
+	Name  string
+	Graph *dag.Graph
+	// MemEstimate is the user-specified job memory estimate M(j) (§4.2.1),
+	// in bytes. Users tend to over-estimate; Ursa clamps per-task requests
+	// with m2i·I(t).
+	MemEstimate float64
+	// M2I overrides the default memory-to-input ratio for the job.
+	M2I float64
+	// MemActualFactor models the job's true resident memory as a fraction
+	// of its reserved memory; it drives the UE_mem metric. Defaults to 0.85.
+	MemActualFactor float64
+}
+
+// JobState tracks a job through admission to completion.
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobAdmitted
+	JobFinished
+)
+
+// Job is a submitted job instance.
+type Job struct {
+	ID   int
+	Spec JobSpec
+	Plan *dag.Plan
+
+	State     JobState
+	Submitted eventloop.Time
+	Admitted  eventloop.Time
+	Finished  eventloop.Time
+
+	// remaining is R, the total remaining per-resource work, initialized
+	// from the plan's estimated usage and decremented as monotasks finish
+	// (§4.2.2 SRJF).
+	remaining resource.Vector
+	// priority is the current ordering score: larger runs first. Worker
+	// queues and placement read it.
+	priority float64
+
+	jm *JobManager
+}
+
+// JM returns the job's manager; nil until the job is submitted.
+func (j *Job) JM() *JobManager { return j.jm }
+
+// JCT returns the job completion time (finish − submit).
+func (j *Job) JCT() eventloop.Duration {
+	return eventloop.Duration(j.Finished - j.Submitted)
+}
+
+// Remaining returns the job's remaining per-resource work estimate R.
+func (j *Job) Remaining() resource.Vector { return j.remaining }
+
+// memActualFactor returns the configured or default true-memory fraction.
+func (j *Job) memActualFactor() float64 {
+	if j.Spec.MemActualFactor > 0 {
+		return j.Spec.MemActualFactor
+	}
+	return 0.85
+}
+
+// m2i returns the job-level default memory-to-input ratio.
+func (j *Job) m2i(cfgDefault float64) float64 {
+	if j.Spec.M2I > 0 {
+		return j.Spec.M2I
+	}
+	return cfgDefault
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// Placement assigns one task to one worker.
+type Placement struct {
+	Stage  *PendingStage
+	Task   *dag.Task
+	Worker *Worker
+}
+
+// PlaceContext is the scheduler state handed to a placement algorithm at
+// each scheduling interval. Worker rates and memory levels are snapshotted
+// once per interval: placement is O(stages × tasks × workers) in the worst
+// case, so per-candidate indirection matters.
+type PlaceContext struct {
+	Now     eventloop.Time
+	Cfg     *Config
+	Workers []*Worker
+	Pending []*PendingStage
+
+	// Per-worker snapshots, indexed like Workers.
+	invRateEPT [][3]float64 // 1/(rate_k · EPT)
+	memFree    []float64
+	memCap     []float64
+
+	orderBoost func(*Job, eventloop.Time) float64
+}
+
+// OrderBoost returns the W·T job-ordering score addend for a stage of job j.
+func (ctx *PlaceContext) OrderBoost(j *Job) float64 {
+	if ctx.orderBoost == nil {
+		return 0
+	}
+	return ctx.orderBoost(j, ctx.Now)
+}
+
+// prepare snapshots worker state for this interval.
+func (ctx *PlaceContext) prepare() {
+	ept := ctx.Cfg.EPT.Seconds()
+	n := len(ctx.Workers)
+	ctx.invRateEPT = make([][3]float64, n)
+	ctx.memFree = make([]float64, n)
+	ctx.memCap = make([]float64, n)
+	for i, w := range ctx.Workers {
+		if w.failed {
+			ctx.memFree[i] = -1 // every placement gate rejects the worker
+			ctx.memCap[i] = w.MemCapacity()
+			continue
+		}
+		for _, k := range resource.MonotaskKinds {
+			if rate := w.Rate(k); rate > 0 {
+				ctx.invRateEPT[i][k] = 1 / (rate * ept)
+			}
+		}
+		ctx.memFree[i] = w.MemFree()
+		ctx.memCap[i] = w.MemCapacity()
+	}
+}
+
+// Placer is a task placement algorithm. Algorithm 1 is the default;
+// baselines (Tetris, Capacity) implement this interface too (§5.1.2).
+type Placer interface {
+	Place(ctx *PlaceContext) []Placement
+}
+
+// TaskFinishObserver is implemented by placers that track worker
+// availability at whole-task granularity (the peak-demand baselines).
+type TaskFinishObserver interface {
+	TaskFinished(t *dag.Task, w *Worker)
+}
+
+// stageBonus is Algorithm 1's "large number" rewarded to plans that place
+// every task of a stage, so complete stages win over partial ones.
+const stageBonus = 1000.0
+
+var defaultPlacer Placer = Algorithm1{}
+
+// Algorithm1 is the paper's stage-aware, load-balancing task placement. For
+// every worker it computes D_r(w) = max(0, (EPT − APT_r(w))/EPT) (and
+// D_mem = free/capacity); for every candidate (task, worker) it computes
+// F(t,w) = Σ_r D_r(w)·Inc_r(t,w) and places whole stages greedily by score.
+type Algorithm1 struct{}
+
+// dVec is D = {D_cpu, D_net, D_disk, D_mem} for one worker.
+type dVec [4]float64
+
+func (Algorithm1) Place(ctx *PlaceContext) []Placement {
+	ctx.prepare()
+	d := computeD(ctx)
+	var out []Placement
+	if ctx.Cfg.DisableStageAware {
+		// Ablation (§5.2): repeatedly pick the single best-scoring task
+		// across all stages instead of whole stages.
+		for anyHeadroom(d) {
+			pl, ok := bestSingleTask(ctx, d)
+			if !ok {
+				break
+			}
+			commit(ctx, d, pl.Task, pl.Worker)
+			out = append(out, pl)
+		}
+		return out
+	}
+	// Two-pass batch variant of Algorithm 1: rank every pending stage by
+	// its StageScore (plus the job-ordering boost) against the interval's
+	// initial headroom, then commit plans in rank order, recomputing each
+	// stage's plan against the updated D just before committing. This
+	// preserves the greedy stage-at-a-time semantics while keeping each
+	// interval O(2 · stages · tasks · workers).
+	type cand struct {
+		ps    *PendingStage
+		score float64
+	}
+	var cands []cand
+	for _, ps := range ctx.Pending {
+		if !stageViable(ctx, ps, d) {
+			continue
+		}
+		score, plan, _ := stageScore(ctx, ps, d)
+		if len(plan) == 0 {
+			continue
+		}
+		cands = append(cands, cand{ps, score + ctx.OrderBoost(ps.Job)})
+	}
+	for i := 1; i < len(cands); i++ { // insertion sort: pools are small
+		for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		if !anyHeadroom(d) {
+			break
+		}
+		if !stageViable(ctx, c.ps, d) {
+			continue
+		}
+		_, plan, nd := stageScore(ctx, c.ps, d)
+		if len(plan) == 0 {
+			continue
+		}
+		d = nd
+		out = append(out, plan...)
+	}
+	return out
+}
+
+// anyHeadroom reports whether any worker retains any capacity at all.
+func anyHeadroom(d []dVec) bool {
+	for i := range d {
+		for _, v := range d[i] {
+			if v > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stageViable cheaply rejects stages no worker can currently host: every
+// task of a stage has the same resource-kind profile, so one representative
+// task suffices. This keeps saturated scheduling intervals cheap.
+func stageViable(ctx *PlaceContext, ps *PendingStage, d []dVec) bool {
+	if len(ps.Tasks) == 0 {
+		return false
+	}
+	t := ps.Tasks[0]
+	var minMem float64
+	needs := [4]bool{}
+	for _, k := range resource.MonotaskKinds {
+		if k == resource.Net && ctx.Cfg.IgnoreNetworkDemand {
+			continue
+		}
+		needs[k] = t.EstUsage[k] > 0
+	}
+	minMem = t.EstUsage[resource.Mem]
+	for wi := range ctx.Workers {
+		ok := ctx.memFree[wi] >= minMem
+		for k := 0; ok && k < 3; k++ {
+			if needs[k] && d[wi][k] <= 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// computeD evaluates the per-worker headroom vectors from live worker state.
+func computeD(ctx *PlaceContext) []dVec {
+	ept := ctx.Cfg.EPT.Seconds()
+	d := make([]dVec, len(ctx.Workers))
+	for i, w := range ctx.Workers {
+		for _, k := range resource.MonotaskKinds {
+			v := (ept - w.APT(k)) / ept
+			if v < 0 {
+				v = 0
+			}
+			d[i][k] = v
+		}
+		d[i][resource.Mem] = ctx.memFree[i] / ctx.memCap[i]
+	}
+	return d
+}
+
+// incVec computes Inc_r(t,w): the normalized load increase on each resource
+// if t is placed on w (§4.2.2). CPU/network/disk increases are estimated
+// usage divided by the worker's type-r processing rate, normalized by EPT;
+// memory is the estimated usage normalized by capacity.
+func incVec(ctx *PlaceContext, t *dag.Task, wi int) dVec {
+	var inc dVec
+	f := &ctx.invRateEPT[wi]
+	inc[resource.CPU] = t.EstUsage[resource.CPU] * f[resource.CPU]
+	if !ctx.Cfg.IgnoreNetworkDemand {
+		inc[resource.Net] = t.EstUsage[resource.Net] * f[resource.Net]
+	}
+	inc[resource.Disk] = t.EstUsage[resource.Disk] * f[resource.Disk]
+	inc[resource.Mem] = t.EstUsage[resource.Mem] / ctx.memCap[wi]
+	return inc
+}
+
+// scoreTask computes F(t,w), returning ok=false when w is not viable: it
+// lacks memory, or some resource is exhausted (D_r = 0) while the task needs
+// it (Inc_r > 0) — placing there would block the task (§4.2.2).
+func scoreTask(ctx *PlaceContext, t *dag.Task, wi int, d dVec) (f float64, inc dVec, ok bool) {
+	if ctx.memFree[wi] < t.EstUsage[resource.Mem] {
+		return 0, inc, false
+	}
+	inc = incVec(ctx, t, wi)
+	for k := range d {
+		ik := inc[k]
+		if ik <= 0 {
+			continue
+		}
+		dk := d[k]
+		if dk <= 0 {
+			return 0, inc, false
+		}
+		if ik > dk {
+			// Availability is bounded by D_r: cap the contribution.
+			ik = dk
+		}
+		f += dk * ik
+	}
+	return f, inc, true
+}
+
+// applyInc commits a placement's load increase to the D copy.
+func applyInc(d dVec, inc dVec) dVec {
+	for k := range d {
+		d[k] -= inc[k]
+		if d[k] < 0 {
+			d[k] = 0
+		}
+	}
+	return d
+}
+
+// stageScore implements the StageScore function of Algorithm 1 on a copy of
+// D, returning the normalized score (plus the stage bonus when every task
+// was placed), the placement plan, and the updated D.
+func stageScore(ctx *PlaceContext, ps *PendingStage, d []dVec) (float64, []Placement, []dVec) {
+	nd := make([]dVec, len(d))
+	copy(nd, d)
+	var plan []Placement
+	score := 0.0
+	bonus := stageBonus
+	for _, t := range ps.Tasks {
+		bestW := -1
+		bestF := 0.0
+		var bestInc dVec
+		for wi := range ctx.Workers {
+			f, inc, ok := scoreTask(ctx, t, wi, nd[wi])
+			if !ok {
+				continue
+			}
+			if bestW < 0 || f > bestF {
+				bestW, bestF, bestInc = wi, f, inc
+			}
+		}
+		if bestW < 0 {
+			bonus = 0
+			continue
+		}
+		plan = append(plan, Placement{Stage: ps, Task: t, Worker: ctx.Workers[bestW]})
+		nd[bestW] = applyInc(nd[bestW], bestInc)
+		score += bestF
+	}
+	if len(plan) == 0 {
+		return 0, nil, d
+	}
+	return score/float64(len(plan)) + bonus, plan, nd
+}
+
+// bestSingleTask is the non-stage-aware ablation: the highest-F (task,
+// worker) pair across the whole pool, with the job-ordering boost applied
+// per task.
+func bestSingleTask(ctx *PlaceContext, d []dVec) (Placement, bool) {
+	best := Placement{}
+	bestScore := 0.0
+	found := false
+	for _, ps := range ctx.Pending {
+		if !stageViable(ctx, ps, d) {
+			continue
+		}
+		boost := ctx.OrderBoost(ps.Job)
+		for _, t := range ps.Tasks {
+			if t.Worker >= 0 {
+				continue
+			}
+			for wi := range ctx.Workers {
+				f, _, ok := scoreTask(ctx, t, wi, d[wi])
+				if !ok {
+					continue
+				}
+				if s := f + boost; !found || s > bestScore {
+					found, bestScore = true, s
+					best = Placement{Stage: ps, Task: t, Worker: ctx.Workers[wi]}
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// commit applies a single placement to D (non-stage-aware path).
+func commit(ctx *PlaceContext, d []dVec, t *dag.Task, w *Worker) {
+	_, inc, _ := scoreTask(ctx, t, w.ID, d[w.ID])
+	d[w.ID] = applyInc(d[w.ID], inc)
+	// Mark as planned so bestSingleTask skips it within this interval.
+	t.Worker = w.ID
+}

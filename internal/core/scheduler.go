@@ -1,0 +1,270 @@
+package core
+
+import (
+	"sort"
+
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// Scheduler is Ursa's centralized scheduler (§4.2.2): it admits jobs under a
+// cluster-wide memory reservation to prevent memory deadlock, and places
+// ready tasks onto workers in batches at the scheduling interval.
+type Scheduler struct {
+	sys *System
+
+	// admissionQueue holds submitted jobs waiting for memory reservation.
+	admissionQueue []*Job
+	// admitted are running jobs.
+	admitted []*Job
+	// reservedMem is the cluster-wide memory reserved for admitted jobs.
+	reservedMem float64
+
+	// pending is the pool of (job, stage) entries with ready unplaced
+	// tasks.
+	pending []*PendingStage
+
+	ticking  bool
+	stopTick func()
+}
+
+// PendingStage is a stage with ready, not yet placed tasks, the placement
+// unit of Algorithm 1.
+type PendingStage struct {
+	Job   *Job
+	Stage *dag.Stage
+	Tasks []*dag.Task
+}
+
+func newScheduler(sys *System) *Scheduler { return &Scheduler{sys: sys} }
+
+// submit runs at a job's submission time: create the JM and try admission.
+func (s *Scheduler) submit(j *Job) {
+	j.Submitted = s.sys.Loop.Now()
+	j.State = JobQueued
+	j.jm = newJobManager(s.sys, j)
+	s.admissionQueue = append(s.admissionQueue, j)
+	s.tryAdmit()
+	s.ensureTicking()
+}
+
+// memEstimate returns M(j) clamped to cluster capacity so a single
+// over-estimated job cannot deadlock admission.
+func (s *Scheduler) memEstimate(j *Job) float64 {
+	m := j.Spec.MemEstimate
+	if total := s.sys.Cluster.TotalMem(); m > total {
+		m = total
+	}
+	return m
+}
+
+// tryAdmit admits queued jobs while the cluster-wide memory reservation
+// allows (§4.2.2 "Job admission"). Under SRJF the queue is examined in
+// priority order; under EJF in submission order.
+func (s *Scheduler) tryAdmit() {
+	if len(s.admissionQueue) == 0 {
+		return
+	}
+	if s.sys.Cfg.Policy == SRJF {
+		s.refreshPriorities()
+		sort.SliceStable(s.admissionQueue, func(i, j int) bool {
+			return s.admissionQueue[i].priority > s.admissionQueue[j].priority
+		})
+	}
+	total := s.sys.Cluster.TotalMem()
+	var still []*Job
+	for i, j := range s.admissionQueue {
+		m := s.memEstimate(j)
+		if s.reservedMem+m <= total {
+			s.reservedMem += m
+			s.admit(j)
+			continue
+		}
+		// Keep admission ordered: once a job does not fit, later jobs wait
+		// behind it (starvation is handled by this strict ordering, as in
+		// existing schedulers).
+		still = append(still, s.admissionQueue[i:]...)
+		break
+	}
+	s.admissionQueue = still
+}
+
+func (s *Scheduler) admit(j *Job) {
+	j.State = JobAdmitted
+	j.Admitted = s.sys.Loop.Now()
+	s.admitted = append(s.admitted, j)
+	j.jm.onAdmit()
+}
+
+// addReadyTasks registers estimated, ready tasks for placement at the next
+// scheduling interval.
+func (s *Scheduler) addReadyTasks(j *Job, tasks []*dag.Task) {
+	byStage := make(map[*dag.Stage]*PendingStage)
+	for _, ps := range s.pending {
+		if ps.Job == j {
+			byStage[ps.Stage] = ps
+		}
+	}
+	for _, t := range tasks {
+		ps, ok := byStage[t.Stage]
+		if !ok {
+			ps = &PendingStage{Job: j, Stage: t.Stage}
+			byStage[t.Stage] = ps
+			s.pending = append(s.pending, ps)
+		}
+		ps.Tasks = append(ps.Tasks, t)
+	}
+	s.ensureTicking()
+}
+
+// taskFinished lets the active placer observe whole-task completions; the
+// peak-demand baselines (Tetris, Capacity) release their availability
+// accounting only here, unlike Ursa's per-monotask release.
+func (s *Scheduler) taskFinished(j *Job, t *dag.Task, w *Worker) {
+	if tf, ok := s.sys.Cfg.Placer.(TaskFinishObserver); ok && tf != nil {
+		tf.TaskFinished(t, w)
+	}
+}
+
+// jobFinished finalizes a job, releases its reservation and re-runs
+// admission.
+func (s *Scheduler) jobFinished(j *Job) {
+	j.State = JobFinished
+	j.Finished = s.sys.Loop.Now()
+	s.reservedMem -= s.memEstimate(j)
+	if s.reservedMem < 0 {
+		s.reservedMem = 0
+	}
+	for i, a := range s.admitted {
+		if a == j {
+			s.admitted = append(s.admitted[:i], s.admitted[i+1:]...)
+			break
+		}
+	}
+	s.tryAdmit()
+	s.sys.jobDone(j)
+}
+
+// ensureTicking starts the periodic placement tick when there is work.
+func (s *Scheduler) ensureTicking() {
+	if s.ticking {
+		return
+	}
+	s.ticking = true
+	s.stopTick = s.sys.Loop.Every(s.sys.Cfg.SchedInterval, s.tick)
+}
+
+// tick is one scheduling interval: refresh priorities, run placement over
+// the pending pool, dispatch the resulting assignments.
+func (s *Scheduler) tick() {
+	if len(s.pending) == 0 && len(s.admissionQueue) == 0 {
+		// Nothing to do; stop ticking until new work arrives.
+		s.ticking = false
+		s.stopTick()
+		return
+	}
+	s.refreshPriorities()
+	placer := s.sys.Cfg.Placer
+	if placer == nil {
+		placer = defaultPlacer
+	}
+	ctx := &PlaceContext{
+		Now:        s.sys.Loop.Now(),
+		Cfg:        &s.sys.Cfg,
+		Workers:    s.sys.Workers,
+		Pending:    s.pending,
+		orderBoost: s.orderBoost,
+	}
+	placements := placer.Place(ctx)
+	for _, pl := range placements {
+		pl.Stage.remove(pl.Task)
+		pl.Stage.Job.jm.taskPlaced(pl.Task, pl.Worker)
+	}
+	// Drop exhausted pool entries.
+	var live []*PendingStage
+	for _, ps := range s.pending {
+		if len(ps.Tasks) > 0 {
+			live = append(live, ps)
+		}
+	}
+	s.pending = live
+}
+
+func (ps *PendingStage) remove(t *dag.Task) {
+	for i, x := range ps.Tasks {
+		if x == t {
+			ps.Tasks = append(ps.Tasks[:i], ps.Tasks[i+1:]...)
+			return
+		}
+	}
+}
+
+// refreshPriorities recomputes each job's ordering score (§4.2.2). EJF uses
+// the submission time; SRJF ranks jobs by the inverse of (2L−R)·R
+// normalized by L, so when a resource is heavily demanded, more weight goes
+// to picking the job with the smallest remaining work on it.
+func (s *Scheduler) refreshPriorities() {
+	switch s.sys.Cfg.Policy {
+	case EJF:
+		for _, j := range s.admitted {
+			j.priority = -j.Submitted.Seconds()
+		}
+		for _, j := range s.admissionQueue {
+			j.priority = -j.Submitted.Seconds()
+		}
+	case SRJF:
+		var load resource.Vector // L: total remaining work of admitted jobs
+		for _, j := range s.admitted {
+			load = load.Add(j.remaining)
+		}
+		score := func(j *Job) float64 {
+			var p float64
+			for _, k := range resource.Kinds {
+				l, r := load[k], j.remaining[k]
+				if l <= 0 {
+					continue
+				}
+				p += (2*l - r) * r / l
+			}
+			if p <= 0 {
+				return 1e18 // effectively done: run it first to finish it
+			}
+			return 1 / p
+		}
+		for _, j := range s.admitted {
+			j.priority = score(j)
+		}
+		for _, j := range s.admissionQueue {
+			// Queued jobs rank by their remaining hint against the same L.
+			j.priority = score(j)
+		}
+	}
+}
+
+// jobRankStep is the per-rank additive placement boost. It exceeds the
+// maximum possible per-task F contribution (Σ_r D_r·min(Inc_r,D_r) ≤ 4), so
+// among stages that place equally completely, job ordering strictly
+// prevails — the behaviour §5.3 relies on for simultaneously submitted
+// jobs, where the W·T aging term alone cannot break ties.
+const jobRankStep = 5.0
+
+// orderBoost converts a job's ordering state into the additive placement
+// score of §4.2.2: a rank term that enforces the policy order (EJF or SRJF)
+// plus the paper's W·T aging term.
+func (s *Scheduler) orderBoost(j *Job, now eventloop.Time) float64 {
+	if s.sys.Cfg.DisableJobOrdering {
+		return 0
+	}
+	rank := 0
+	for _, o := range s.admitted {
+		if o.priority > j.priority {
+			rank++
+		}
+	}
+	boost := jobRankStep * float64(len(s.admitted)-rank)
+	if s.sys.Cfg.Policy == EJF {
+		boost += s.sys.Cfg.OrderingWeight * (now - j.Submitted).Seconds()
+	}
+	return boost
+}

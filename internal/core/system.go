@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"ursa/internal/cluster"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// System is the Ursa deployment facade: it wires the centralized scheduler,
+// one worker per machine, and per-job job managers onto a cluster and an
+// event loop (Figure 2).
+type System struct {
+	Loop    *eventloop.Loop
+	Cluster *cluster.Cluster
+	Cfg     Config
+	Sched   *Scheduler
+	Workers []*Worker
+
+	jobs []*Job
+	done int
+
+	// OnJobFinished, if set, is invoked as each job completes.
+	OnJobFinished func(*Job)
+}
+
+// NewSystem builds an Ursa system over the given cluster.
+func NewSystem(loop *eventloop.Loop, clus *cluster.Cluster, cfg Config) *System {
+	sys := &System{Loop: loop, Cluster: clus, Cfg: cfg.withDefaults()}
+	sys.Sched = newScheduler(sys)
+	for _, m := range clus.Machines {
+		sys.Workers = append(sys.Workers, newWorker(sys, m))
+	}
+	return sys
+}
+
+// Submit schedules a job submission at the given virtual time and returns
+// the job handle. The plan is built immediately so specification errors
+// surface at submission setup rather than mid-simulation.
+func (s *System) Submit(spec JobSpec, at eventloop.Time) (*Job, error) {
+	plan, err := spec.Graph.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: job %q: %w", spec.Name, err)
+	}
+	j := &Job{ID: len(s.jobs), Spec: spec, Plan: plan}
+	j.remaining = planWorkHint(plan)
+	s.jobs = append(s.jobs, j)
+	s.Loop.At(at, func() { s.Sched.submit(j) })
+	return j, nil
+}
+
+// MustSubmit is Submit for statically known-good specs.
+func (s *System) MustSubmit(spec JobSpec, at eventloop.Time) *Job {
+	j, err := s.Submit(spec, at)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// Jobs returns all submitted jobs in submission order.
+func (s *System) Jobs() []*Job { return s.jobs }
+
+// AllDone reports whether every submitted job has finished.
+func (s *System) AllDone() bool { return s.done == len(s.jobs) }
+
+func (s *System) jobDone(j *Job) {
+	s.done++
+	if s.OnJobFinished != nil {
+		s.OnJobFinished(j)
+	}
+}
+
+func (s *System) maxWorkerMem() float64 {
+	return float64(s.Cluster.Cfg.MemPerMachine)
+}
+
+// FailWorker injects a machine failure at the current virtual time (§4.3):
+// the worker's in-flight monotasks are aborted and its incomplete tasks are
+// reset and rescheduled onto the surviving workers. Completed monotask
+// outputs are treated as checkpointed (durable), matching the paper's
+// checkpoint-based recovery. Failing an already-failed worker is a no-op.
+func (s *System) FailWorker(id int) {
+	if id < 0 || id >= len(s.Workers) {
+		panic(fmt.Sprintf("core: no worker %d", id))
+	}
+	w := s.Workers[id]
+	if w.failed {
+		return
+	}
+	victims := w.fail()
+	byJob := make(map[*Job][]*dag.Task)
+	for t, j := range victims {
+		j.Plan.ResetForRetry(t)
+		byJob[j] = append(byJob[j], t)
+	}
+	for j, tasks := range byJob {
+		j.jm.reportReady(tasks)
+	}
+}
+
+// planWorkHint initializes R, the remaining per-resource work used by SRJF,
+// from the plan structure: total job input attributed to each resource kind
+// by the monotask counts of each logical op. This plays the role of the
+// "historical information" the paper assumes for recurring workloads.
+func planWorkHint(p *dag.Plan) resource.Vector {
+	var v resource.Vector
+	input := jobInputBytes(p)
+	var counts [3]float64
+	real := p.RealMonotasks()
+	for _, mt := range real {
+		counts[mt.Kind]++
+	}
+	totalMT := float64(len(real))
+	if totalMT == 0 {
+		return v
+	}
+	for _, k := range resource.MonotaskKinds {
+		// Every monotask's work is on the order of its input share.
+		v[k] = input * counts[k] / totalMT * 2
+	}
+	return v
+}
+
+// jobInputBytes sums the sizes of the plan's pre-set input datasets.
+func jobInputBytes(p *dag.Plan) float64 {
+	var total float64
+	for _, d := range p.Graph.Datasets() {
+		if d.Creator == nil {
+			total += d.Total()
+		}
+	}
+	return total
+}

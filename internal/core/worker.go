@@ -1,0 +1,365 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ursa/internal/cluster"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// Worker manages one machine's distributed monotask queues (§4.2.3): one
+// queue per resource kind, ordered by job priority and monotask size, with
+// per-kind concurrency control, plus the actual resource allocation and the
+// processing-rate monitor feeding the scheduler's APT load measure.
+type Worker struct {
+	ID      int
+	sys     *System
+	Machine *cluster.Machine
+
+	queues  [3]mtQueue // indexed by resource.CPU/Net/Disk
+	running [3]int
+	// load is the estimated remaining work (bytes) of monotasks assigned
+	// to this worker per kind, the numerator of APT_r(w).
+	load [3]float64
+
+	rates [3]*rateMonitor
+
+	// taskMem tracks per-task memory reservations (§4.2.1: memory is
+	// requested per task, not per monotask).
+	taskMem map[*dag.Task]taskMem
+
+	// active tracks in-flight monotasks with their abort hooks so a
+	// worker failure (§4.3) can reclaim resources deterministically.
+	active map[*dag.Monotask]func()
+	failed bool
+
+	enqSeq uint64
+}
+
+type taskMem struct {
+	job      *Job
+	reserved float64
+	used     float64
+}
+
+// Failed reports whether the worker has been failed by fault injection.
+func (w *Worker) Failed() bool { return w.failed }
+
+func newWorker(sys *System, m *cluster.Machine) *Worker {
+	w := &Worker{
+		ID:      m.ID,
+		sys:     sys,
+		Machine: m,
+		taskMem: make(map[*dag.Task]taskMem),
+		active:  make(map[*dag.Monotask]func()),
+	}
+	netInit := float64(sys.Cluster.Cfg.NetBandwidth)
+	if f := sys.Cluster.Cfg.NetPerFlowFraction; f > 0 && f <= 1 {
+		netInit *= f
+	}
+	w.rates[resource.CPU] = newRateMonitor(sys.Loop, m.CoreRate(), sys.Cfg.RateWindow)
+	w.rates[resource.Net] = newRateMonitor(sys.Loop, netInit, sys.Cfg.RateWindow)
+	w.rates[resource.Disk] = newRateMonitor(sys.Loop, float64(sys.Cluster.Cfg.DiskBandwidth), sys.Cfg.RateWindow)
+	for k := range w.queues {
+		w.queues[k].cfg = &sys.Cfg
+	}
+	return w
+}
+
+// Rate returns the measured processing rate for kind k in bytes/s. For CPU
+// it is the whole-machine rate (per-core rate × cores), per §4.2.2.
+func (w *Worker) Rate(k resource.Kind) float64 {
+	r := w.rates[k].rate()
+	if k == resource.CPU {
+		r *= w.Machine.Cores.Capacity()
+	}
+	return r
+}
+
+// APT returns the approximate processing time to complete all type-k
+// monotasks currently assigned to the worker (§4.2.2). An idle core makes
+// APT_cpu zero, signalling immediately available CPU.
+func (w *Worker) APT(k resource.Kind) float64 {
+	if k == resource.CPU && w.idleCores() > 0 {
+		return 0
+	}
+	rate := w.Rate(k)
+	if rate <= 0 {
+		return 0
+	}
+	return w.load[k] / rate
+}
+
+// MemFree returns unreserved memory bytes on the worker.
+func (w *Worker) MemFree() float64 { return w.Machine.Mem.Free() }
+
+// MemCapacity returns total memory bytes on the worker.
+func (w *Worker) MemCapacity() float64 { return w.Machine.Mem.Capacity() }
+
+// Load returns the estimated remaining assigned work for kind k in bytes.
+func (w *Worker) Load(k resource.Kind) float64 { return w.load[k] }
+
+// QueueLen returns the number of queued (not running) monotasks of kind k.
+func (w *Worker) QueueLen(k resource.Kind) int { return w.queues[k].Len() }
+
+func (w *Worker) idleCores() float64 { return w.Machine.Cores.Free() }
+
+// reserveTask reserves the task's estimated memory (clamped to what is
+// free) and models the job's actual residency for UE accounting.
+func (w *Worker) reserveTask(j *Job, t *dag.Task) {
+	res := t.EstUsage[resource.Mem]
+	if free := w.Machine.Mem.Free(); res > free {
+		// Estimation drift: clamp rather than deadlock; the surplus would
+		// spill to disk in a real deployment.
+		res = free
+	}
+	w.Machine.Mem.MustAlloc(res)
+	used := res * j.memActualFactor()
+	w.Machine.Mem.Use(used)
+	w.taskMem[t] = taskMem{job: j, reserved: res, used: used}
+	t.MemReserved = res
+	for _, k := range resource.MonotaskKinds {
+		w.load[k] += taskKindEst(t, k)
+	}
+}
+
+// releaseTask frees the task's memory reservation when it completes.
+func (w *Worker) releaseTask(t *dag.Task) {
+	tm, ok := w.taskMem[t]
+	if !ok {
+		return
+	}
+	delete(w.taskMem, t)
+	w.Machine.Mem.Unuse(tm.used)
+	w.Machine.Mem.FreeAlloc(tm.reserved)
+}
+
+// taskKindEst sums the estimated inputs of a task's monotasks of kind k.
+func taskKindEst(t *dag.Task, k resource.Kind) float64 {
+	return t.EstUsage[k]
+}
+
+// Enqueue places a ready monotask in the appropriate queue and pumps the
+// queue. The job's current priority is snapshotted so queue order is stable
+// while the monotask waits; queues drain within roughly EPT, so staleness
+// under SRJF is bounded and small.
+func (w *Worker) Enqueue(j *Job, mt *dag.Monotask) {
+	if !mt.Kind.Valid() || mt.Kind == resource.Mem {
+		panic(fmt.Sprintf("core: enqueue of non-monotask kind %v", mt.Kind))
+	}
+	w.enqSeq++
+	item := &queuedMT{
+		job:  j,
+		mt:   mt,
+		prio: j.priority,
+		seq:  w.enqSeq,
+	}
+	// Latency-sensitive small monotasks skip the queue entirely (§4.2.3).
+	if mt.Kind == resource.Net && mt.InputBytes < w.sys.Cfg.SmallMonotaskBytes {
+		w.start(item, false)
+		return
+	}
+	heap.Push(&w.queues[mt.Kind], item)
+	w.pump(mt.Kind)
+}
+
+// concurrencyLimit returns the per-kind concurrent execution limit
+// (§4.2.3): all cores for CPU, a small constant for network, one per disk.
+func (w *Worker) concurrencyLimit(k resource.Kind) int {
+	switch k {
+	case resource.CPU:
+		return int(w.Machine.Cores.Capacity())
+	case resource.Net:
+		return w.sys.Cfg.NetConcurrency
+	default:
+		return 1
+	}
+}
+
+// pump starts queued monotasks while concurrency and resources allow.
+func (w *Worker) pump(k resource.Kind) {
+	for w.queues[k].Len() > 0 && w.running[k] < w.concurrencyLimit(k) {
+		if k == resource.CPU && w.idleCores() < 1 {
+			return
+		}
+		item := heap.Pop(&w.queues[k]).(*queuedMT)
+		w.start(item, true)
+	}
+}
+
+// start executes one monotask: CPU occupies a core for the dispatch
+// overhead plus work/rate; network and disk drive a flow on the machine's
+// shared device. counted=false marks bypassed small monotasks that do not
+// consume a concurrency slot.
+func (w *Worker) start(item *queuedMT, counted bool) {
+	mt := item.mt
+	mt.State = dag.MTRunning
+	startAt := w.sys.Loop.Now()
+	if counted {
+		w.running[mt.Kind]++
+	}
+	finish := func() {
+		delete(w.active, mt)
+		elapsed := (w.sys.Loop.Now() - startAt).Seconds()
+		w.rates[mt.Kind].sample(mt.InputBytes, elapsed)
+		if counted {
+			w.running[mt.Kind]--
+		}
+		w.load[mt.Kind] -= mt.EstInput
+		if w.load[mt.Kind] < 0 {
+			w.load[mt.Kind] = 0
+		}
+		item.job.jm.monotaskDone(w, mt)
+		w.pump(mt.Kind)
+	}
+	switch mt.Kind {
+	case resource.CPU:
+		w.Machine.Cores.MustAlloc(1)
+		overhead := w.sys.Cfg.DispatchOverhead
+		inCompute := false
+		var dispatch, compute *eventloop.Timer
+		dispatch = w.sys.Loop.After(overhead, func() {
+			inCompute = true
+			w.Machine.Cores.Use(1)
+			dur := eventloop.FromSeconds(mt.CPUWork / w.Machine.CoreRate())
+			compute = w.sys.Loop.After(dur, func() {
+				w.Machine.Cores.Unuse(1)
+				w.Machine.Cores.FreeAlloc(1)
+				finish()
+			})
+		})
+		w.active[mt] = func() {
+			if inCompute {
+				compute.Cancel()
+				w.Machine.Cores.Unuse(1)
+			} else {
+				dispatch.Cancel()
+			}
+			w.Machine.Cores.FreeAlloc(1)
+		}
+	case resource.Net:
+		flow := w.Machine.Net.Start(mt.InputBytes, finish)
+		w.active[mt] = func() { w.Machine.Net.Abort(flow) }
+	case resource.Disk:
+		flow := w.Machine.Disk.Start(mt.InputBytes, finish)
+		w.active[mt] = func() { w.Machine.Disk.Abort(flow) }
+	}
+}
+
+// fail implements worker failure (§4.3): abort everything in flight,
+// release held resources, clear the queues, and return the incomplete
+// tasks (with their owning jobs) for the scheduler to retry elsewhere.
+func (w *Worker) fail() map[*dag.Task]*Job {
+	w.failed = true
+	for _, abort := range w.active {
+		abort()
+	}
+	w.active = make(map[*dag.Monotask]func())
+	for k := range w.queues {
+		w.queues[k].items = nil
+		w.running[k] = 0
+		w.load[k] = 0
+	}
+	victims := make(map[*dag.Task]*Job, len(w.taskMem))
+	for t, tm := range w.taskMem {
+		victims[t] = tm.job
+	}
+	for t := range victims {
+		w.releaseTask(t)
+	}
+	return victims
+}
+
+// queuedMT is a queue entry with its ordering snapshot.
+type queuedMT struct {
+	job  *Job
+	mt   *dag.Monotask
+	prio float64
+	seq  uint64
+}
+
+// mtQueue orders monotasks per §4.2.3: by job priority (EJF/SRJF), then —
+// within the same job and stage — CPU monotasks by descending input size
+// (large tasks start earlier to shorten the stage) and network/disk
+// monotasks by ascending input size (make dependents ready earlier).
+type mtQueue struct {
+	cfg   *Config
+	items []*queuedMT
+}
+
+func (q *mtQueue) Len() int { return len(q.items) }
+
+func (q *mtQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.cfg.DisableMonotaskOrdering {
+		return a.seq < b.seq
+	}
+	if a.prio != b.prio {
+		return a.prio > b.prio // higher priority job first
+	}
+	if a.job == b.job && a.mt.Task.Stage == b.mt.Task.Stage && a.mt.InputBytes != b.mt.InputBytes {
+		if a.mt.Kind == resource.CPU {
+			return a.mt.InputBytes > b.mt.InputBytes
+		}
+		return a.mt.InputBytes < b.mt.InputBytes
+	}
+	return a.seq < b.seq
+}
+
+func (q *mtQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *mtQueue) Push(x any) { q.items = append(q.items, x.(*queuedMT)) }
+
+func (q *mtQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// rateMonitor implements the worker's periodic processing-rate estimate
+// X/T (§4.2.2): X is the input bytes of monotasks completed in the window,
+// T their accumulated execution time.
+type rateMonitor struct {
+	loop        *eventloop.Loop
+	window      eventloop.Duration
+	current     float64
+	bytes       float64
+	seconds     float64
+	windowStart eventloop.Time
+}
+
+func newRateMonitor(loop *eventloop.Loop, initial float64, window eventloop.Duration) *rateMonitor {
+	return &rateMonitor{loop: loop, window: window, current: initial, windowStart: loop.Now()}
+}
+
+func (r *rateMonitor) sample(bytes, seconds float64) {
+	r.roll()
+	r.bytes += bytes
+	r.seconds += seconds
+}
+
+func (r *rateMonitor) rate() float64 {
+	r.roll()
+	return r.current
+}
+
+// roll commits the window if it has elapsed, blending with the previous
+// estimate to damp noise from sparse samples.
+func (r *rateMonitor) roll() {
+	now := r.loop.Now()
+	if now-r.windowStart < eventloop.Time(r.window) {
+		return
+	}
+	if r.seconds > 1e-9 {
+		observed := r.bytes / r.seconds
+		r.current = 0.5*r.current + 0.5*observed
+	}
+	r.bytes, r.seconds = 0, 0
+	r.windowStart = now
+}

@@ -1,0 +1,311 @@
+// Package dag implements Ursa's execution-layer primitives (§4.1): operation
+// graphs over distributed datasets, typed single-resource Ops with sync/async
+// dependencies, CPU-subgraph collapsing, monotask generation, and the
+// derivation of tasks (connected components after removing network-monotask
+// in-edges) and stages.
+package dag
+
+import (
+	"fmt"
+
+	"ursa/internal/resource"
+)
+
+// DepKind is the dependency type between two Ops (§4.1.1).
+type DepKind int
+
+const (
+	// Sync imposes a synchronization barrier: the downstream Op may start
+	// only after the upstream Op finishes on all partitions.
+	Sync DepKind = iota
+	// Async lets the downstream Op run on a partition as soon as the
+	// upstream Op finishes on that partition.
+	Async
+)
+
+func (k DepKind) String() string {
+	if k == Sync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Dataset abstracts a distributed dataset with partitions
+// (OpGraph.CreateData in the paper). Partition sizes are filled in at
+// runtime as producing monotasks complete, mirroring the JM metadata store.
+type Dataset struct {
+	ID         int
+	Partitions int
+	// PartSizes holds the bytes of each partition; -1 until produced.
+	PartSizes []float64
+	// Creator is the op that produces this dataset, nil for job inputs.
+	Creator *Op
+}
+
+// Total returns the summed size of all produced partitions.
+func (d *Dataset) Total() float64 {
+	var t float64
+	for _, s := range d.PartSizes {
+		if s > 0 {
+			t += s
+		}
+	}
+	return t
+}
+
+// SetInput marks the dataset as a pre-existing job input with the given
+// per-partition sizes.
+func (d *Dataset) SetInput(sizes []float64) {
+	if len(sizes) != d.Partitions {
+		panic(fmt.Sprintf("dag: dataset %d has %d partitions, got %d sizes",
+			d.ID, d.Partitions, len(sizes)))
+	}
+	copy(d.PartSizes, sizes)
+}
+
+// SetUniformInput marks the dataset as a job input of total bytes split
+// evenly over its partitions.
+func (d *Dataset) SetUniformInput(total float64) {
+	per := total / float64(d.Partitions)
+	for i := range d.PartSizes {
+		d.PartSizes[i] = per
+	}
+}
+
+// Edge is a typed dependency between two ops.
+type Edge struct {
+	From, To *Op
+	Kind     DepKind
+}
+
+// Op is a unit of the operation graph that uses a single resource type
+// (OpGraph.CreateOp). CPU ops carry a cost model (and, under the local
+// runtime, a UDF); network and disk ops move their input bytes.
+type Op struct {
+	ID   int
+	Kind resource.Kind
+	Name string
+	// Parallelism is the number of monotasks generated for the op. It
+	// defaults to the partition count of the first created dataset.
+	Parallelism int
+
+	// ComputeIntensity is the CPU work per input byte (CPU ops only).
+	// The JM's estimator deliberately ignores it — the paper estimates CPU
+	// usage by input size and corrects via processing-rate monitoring.
+	ComputeIntensity float64
+	// OutputRatio is output bytes per input byte for created datasets.
+	OutputRatio float64
+	// FixedOutputBytes, when positive, makes the op's total output exactly
+	// this many bytes (split over its monotasks) regardless of input —
+	// e.g. a model aggregation whose result size is the model, not a
+	// fraction of the gradients.
+	FixedOutputBytes float64
+	// Broadcast makes every monotask of this (network) op pull the entire
+	// input dataset rather than a shard.
+	Broadcast bool
+	// Shards optionally skews a shuffle: Shards[i] is the fraction of the
+	// upstream data pulled by monotask i. Defaults to uniform.
+	Shards []float64
+	// M2I optionally overrides the job's memory-to-input ratio for tasks
+	// containing this op (§4.2.1: e.g. 2 for filter, 1+s for join).
+	M2I float64
+	// UDF is an opaque user function used only by the local runtime.
+	UDF any
+
+	reads   []*Dataset
+	creates []*Dataset
+	out     []Edge
+	in      []Edge
+
+	graph *Graph
+	// members is the collapsed-chain cost model; simple CPU ops get a
+	// single member at build time.
+	members []*member
+}
+
+// Read declares that the op consumes d. Returns op for chaining.
+func (o *Op) Read(d *Dataset) *Op {
+	o.reads = append(o.reads, d)
+	return o
+}
+
+// Create declares that the op produces d. Returns op for chaining.
+func (o *Op) Create(d *Dataset) *Op {
+	if d.Creator != nil {
+		panic(fmt.Sprintf("dag: dataset %d already has a creator", d.ID))
+	}
+	d.Creator = o
+	o.creates = append(o.creates, d)
+	return o
+}
+
+// SetUDF attaches a user function for the local runtime. Returns op for
+// chaining.
+func (o *Op) SetUDF(udf any) *Op {
+	o.UDF = udf
+	return o
+}
+
+// To adds a dependency edge from o to next (Op1.To(Op2) in the paper).
+func (o *Op) To(next *Op, kind DepKind) *Op {
+	if next.graph != o.graph {
+		panic("dag: edge across graphs")
+	}
+	e := Edge{From: o, To: next, Kind: kind}
+	o.out = append(o.out, e)
+	next.in = append(next.in, e)
+	return o
+}
+
+// Reads returns the datasets the op consumes.
+func (o *Op) Reads() []*Dataset { return o.reads }
+
+// Creates returns the datasets the op produces.
+func (o *Op) Creates() []*Dataset { return o.creates }
+
+// In returns incoming dependency edges.
+func (o *Op) In() []Edge { return o.in }
+
+// Out returns outgoing dependency edges.
+func (o *Op) Out() []Edge { return o.out }
+
+func (o *Op) String() string {
+	return fmt.Sprintf("op%d(%s,%s)", o.ID, o.Kind, o.Name)
+}
+
+// Graph is the OpGraph primitive: datasets, ops and dependencies.
+type Graph struct {
+	ops      []*Op
+	datasets []*Dataset
+}
+
+// NewGraph returns an empty operation graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// CreateData creates a dataset with the given partition count.
+func (g *Graph) CreateData(partitions int) *Dataset {
+	if partitions <= 0 {
+		panic("dag: dataset needs at least one partition")
+	}
+	d := &Dataset{ID: len(g.datasets), Partitions: partitions}
+	d.PartSizes = make([]float64, partitions)
+	for i := range d.PartSizes {
+		d.PartSizes[i] = -1
+	}
+	g.datasets = append(g.datasets, d)
+	return d
+}
+
+// CreateOp creates an op of the given resource kind. Only the monotask
+// kinds (CPU, Net, Disk) are valid.
+func (g *Graph) CreateOp(kind resource.Kind, name string) *Op {
+	if kind != resource.CPU && kind != resource.Net && kind != resource.Disk {
+		panic(fmt.Sprintf("dag: invalid op kind %v", kind))
+	}
+	o := &Op{
+		ID:          len(g.ops),
+		Kind:        kind,
+		Name:        name,
+		OutputRatio: 1,
+		graph:       g,
+	}
+	if kind == resource.CPU {
+		o.ComputeIntensity = 1
+	}
+	g.ops = append(g.ops, o)
+	return o
+}
+
+// Ops returns all ops in creation order.
+func (g *Graph) Ops() []*Op { return g.ops }
+
+// Datasets returns all datasets in creation order.
+func (g *Graph) Datasets() []*Dataset { return g.datasets }
+
+// Depth returns the length of the longest op chain, the DAG-depth statistic
+// the paper reports for its workloads.
+func (g *Graph) Depth() int {
+	memo := make(map[*Op]int, len(g.ops))
+	var depth func(o *Op) int
+	depth = func(o *Op) int {
+		if d, ok := memo[o]; ok {
+			return d
+		}
+		memo[o] = 1 // cycle guard; validated acyclic separately
+		best := 0
+		for _, e := range o.in {
+			if d := depth(e.From); d > best {
+				best = d
+			}
+		}
+		memo[o] = best + 1
+		return best + 1
+	}
+	max := 0
+	for _, o := range g.ops {
+		if d := depth(o); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants: acyclicity, resolvable parallelism,
+// and that every read dataset is either a job input or created by some op.
+func (g *Graph) Validate() error {
+	// Kahn's algorithm for cycle detection.
+	indeg := make(map[*Op]int, len(g.ops))
+	for _, o := range g.ops {
+		indeg[o] = len(o.in)
+	}
+	var queue []*Op
+	for _, o := range g.ops {
+		if indeg[o] == 0 {
+			queue = append(queue, o)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, e := range o.out {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if seen != len(g.ops) {
+		return fmt.Errorf("dag: graph has a dependency cycle")
+	}
+	for _, o := range g.ops {
+		if o.effectiveParallelism() <= 0 {
+			return fmt.Errorf("dag: %v has no parallelism (set Parallelism or Create a dataset)", o)
+		}
+		// Reads of creator-less datasets are job inputs; their sizes may be
+		// provided after Build (the local runtime materializes them then),
+		// and Prepare fails with a precise error if they never are.
+		if o.Broadcast && o.Kind != resource.Net {
+			return fmt.Errorf("dag: %v is Broadcast but not a network op", o)
+		}
+		if o.Shards != nil && len(o.Shards) != o.effectiveParallelism() {
+			return fmt.Errorf("dag: %v has %d shards for parallelism %d",
+				o, len(o.Shards), o.effectiveParallelism())
+		}
+	}
+	return nil
+}
+
+func (o *Op) effectiveParallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	if len(o.creates) > 0 {
+		return o.creates[0].Partitions
+	}
+	if len(o.reads) > 0 {
+		return o.reads[0].Partitions
+	}
+	return 0
+}

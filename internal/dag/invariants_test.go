@@ -1,0 +1,178 @@
+package dag
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/resource"
+)
+
+// randomGraph builds a random valid chain/branch DAG for property tests.
+func randomGraph(rng *rand.Rand) *Graph {
+	g := NewGraph()
+	nStages := rng.Intn(5) + 1
+	input := g.CreateData(rng.Intn(8) + 1)
+	input.SetUniformInput(1000 * (1 + rng.Float64()))
+	cur := input
+	var prev *Op
+	for s := 0; s < nStages; s++ {
+		p := rng.Intn(8) + 1
+		out := g.CreateData(p)
+		kind := resource.CPU
+		if rng.Intn(3) == 0 {
+			kind = resource.Net
+		}
+		op := g.CreateOp(kind, "op").Read(cur).Create(out)
+		op.Parallelism = p
+		if kind == resource.CPU {
+			op.ComputeIntensity = 0.5 + rng.Float64()
+		}
+		op.OutputRatio = 0.2 + rng.Float64()
+		if prev != nil {
+			if rng.Intn(2) == 0 {
+				prev.To(op, Sync)
+			} else {
+				prev.To(op, Async)
+			}
+		}
+		prev = op
+		cur = out
+	}
+	return g
+}
+
+// TestPropertyPlanInvariants checks the §4.1.3 structural invariants over
+// random graphs:
+//  1. every non-virtual monotask belongs to exactly one task;
+//  2. all cross-task (and barrier) edges point into network monotasks;
+//  3. tasks of a stage share the same op signature;
+//  4. driving the plan to completion executes every real monotask once.
+func TestPropertyPlanInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		p, err := g.Build()
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		// (1) membership
+		seen := map[*Monotask]int{}
+		for _, task := range p.Tasks {
+			for _, mt := range task.Monotasks {
+				seen[mt]++
+				if mt.Task != task {
+					return false
+				}
+			}
+		}
+		for _, mt := range p.Monotasks {
+			if mt.Virtual() {
+				if seen[mt] != 0 {
+					return false
+				}
+				continue
+			}
+			if seen[mt] != 1 {
+				return false
+			}
+		}
+		// (2) direct cross-task edges target network monotasks (only
+		// barrier hops may gate CPU/disk monotasks across tasks, which is
+		// how a sync edge between two CPU ops materializes).
+		for _, mt := range p.Monotasks {
+			if mt.Virtual() {
+				continue
+			}
+			for _, out := range mt.Outs {
+				if out.Virtual() {
+					continue
+				}
+				if out.Task != mt.Task && out.Kind != resource.Net {
+					return false
+				}
+			}
+		}
+		// (3) stage homogeneity
+		for _, st := range p.Stages {
+			sig := ""
+			for i, task := range st.Tasks {
+				s := taskSig(task)
+				if i == 0 {
+					sig = s
+				} else if s != sig {
+					return false
+				}
+			}
+		}
+		// (4) full execution
+		count := 0
+		var runnable []*Monotask
+		for _, task := range p.InitialReady() {
+			runnable = append(runnable, task.ReadyMonotasks()...)
+		}
+		for len(runnable) > 0 {
+			mt := runnable[0]
+			runnable = runnable[1:]
+			p.Prepare(mt)
+			res := p.Complete(mt)
+			count++
+			runnable = append(runnable, res.NewReadyMonotasks...)
+			for _, nt := range res.NewReadyTasks {
+				runnable = append(runnable, nt.ReadyMonotasks()...)
+			}
+		}
+		return p.AllDone() && count == len(p.RealMonotasks())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// taskSig is the task's op-name SET — the paper's stage criterion is "tasks
+// from the same Ops", not the same op multiset (unequal parallelism can put
+// two monotasks of one op in one task).
+func taskSig(t *Task) string {
+	names := map[string]bool{}
+	for _, mt := range t.Monotasks {
+		names[mt.OpName()] = true
+	}
+	var sorted []string
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	return strings.Join(sorted, "|")
+}
+
+// TestPropertyEstimateNonNegative: estimates are always finite and
+// non-negative, with memory following m2i·I.
+func TestPropertyEstimateNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		p, err := g.Build()
+		if err != nil {
+			return false
+		}
+		for _, task := range p.InitialReady() {
+			p.Estimate(task, 1.5)
+			for _, k := range resource.Kinds {
+				v := task.EstUsage[k]
+				if v < 0 || v != v {
+					return false
+				}
+			}
+			if task.InputBytes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"ursa/internal/dag"
+	"ursa/internal/localrt"
+)
+
+// Union concatenates two datasets of the same type. Both sides flow into a
+// single CPU op that reads both datasets partition-wise.
+func Union[T any](a, b *Dataset[T], name string) *Dataset[T] {
+	if a.s != b.s {
+		panic("dataset: Union across sessions")
+	}
+	parts := a.d.Partitions
+	if b.d.Partitions > parts {
+		parts = b.d.Partitions
+	}
+	op, out := cpuOp(a.s, name, parts, func(ins [][]localrt.Row) []localrt.Row {
+		rows := append([]localrt.Row{}, ins[0]...)
+		return append(rows, ins[1]...)
+	})
+	op.Read(a.d)
+	op.Read(b.d)
+	if a.op != nil {
+		a.op.To(op, dag.Async)
+	}
+	if b.op != nil {
+		b.op.To(op, dag.Async)
+	}
+	return &Dataset[T]{s: a.s, d: out, op: op}
+}
+
+// Distinct removes duplicate rows (keys must be comparable), shuffling so
+// equal rows meet in one partition.
+func Distinct[T comparable](in *Dataset[T], name string, parts int) *Dataset[T] {
+	keyed := Map(in, name+"-key", func(v T) Pair[T, struct{}] {
+		return Pair[T, struct{}]{Key: v}
+	})
+	uniq := ReduceByKey(keyed, name, parts, func(a, b struct{}) struct{} { return a })
+	return Map(uniq, name+"-unkey", func(p Pair[T, struct{}]) T { return p.Key })
+}
+
+// CountByKey returns the number of rows per key.
+func CountByKey[K comparable, V any](in *Dataset[Pair[K, V]], name string, parts int) *Dataset[Pair[K, int]] {
+	ones := Map(in, name+"-ones", func(p Pair[K, V]) Pair[K, int] {
+		return Pair[K, int]{Key: p.Key, Val: 1}
+	})
+	return ReduceByKey(ones, name, parts, func(a, b int) int { return a + b })
+}
+
+// Keys projects a keyed dataset onto its keys.
+func Keys[K comparable, V any](in *Dataset[Pair[K, V]], name string) *Dataset[K] {
+	return Map(in, name, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects a keyed dataset onto its values.
+func Values[K comparable, V any](in *Dataset[Pair[K, V]], name string) *Dataset[V] {
+	return Map(in, name, func(p Pair[K, V]) V { return p.Val })
+}
+
+// KeyBy turns rows into pairs keyed by f.
+func KeyBy[T any, K comparable](in *Dataset[T], name string, f func(T) K) *Dataset[Pair[K, T]] {
+	return Map(in, name, func(v T) Pair[K, T] { return Pair[K, T]{Key: f(v), Val: v} })
+}
+
+// Aggregate folds all rows into a single value on one partition: each
+// partition folds locally with seq, the partials shuffle to one reducer
+// combined with comb.
+func Aggregate[T, A any](in *Dataset[T], name string, zero A,
+	seq func(A, T) A, comb func(A, A) A) *Dataset[A] {
+	partials := MapPartitions(in, name+"-seq", func(rows []T) []Pair[int, A] {
+		acc := zero
+		for _, r := range rows {
+			acc = seq(acc, r)
+		}
+		return []Pair[int, A]{{Key: 0, Val: acc}}
+	})
+	combined := ReduceByKey(partials, name+"-comb", 1, comb)
+	return Values(combined, name+"-value")
+}
+
+// Count returns the number of rows (as a one-row dataset; Collect it).
+func Count[T any](in *Dataset[T], name string) *Dataset[int] {
+	return Aggregate(in, name, 0,
+		func(acc int, _ T) int { return acc + 1 },
+		func(a, b int) int { return a + b })
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestUnion(t *testing.T) {
+	s := NewSession()
+	a := Parallelize(s, []int{1, 2, 3}, 2)
+	b := Parallelize(s, []int{4, 5}, 2)
+	u := Union(a, b, "union")
+	got := MustCollect(u)
+	sort.Ints(got)
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := NewSession()
+	in := Parallelize(s, []string{"a", "b", "a", "c", "b", "a"}, 3)
+	d := Distinct(in, "distinct", 2)
+	got := MustCollect(d)
+	sort.Strings(got)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("distinct = %v", got)
+	}
+}
+
+func TestCountByKeyAndProjections(t *testing.T) {
+	s := NewSession()
+	pairs := Parallelize(s, []Pair[string, float64]{
+		{"x", 1}, {"y", 2}, {"x", 3}, {"x", 4},
+	}, 2)
+	counts := CountByKey(pairs, "cbk", 2)
+	got := map[string]int{}
+	for _, p := range MustCollect(counts) {
+		got[p.Key] = p.Val
+	}
+	if got["x"] != 3 || got["y"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestKeysValuesKeyBy(t *testing.T) {
+	s := NewSession()
+	words := Parallelize(s, []string{"apple", "fig", "kiwi"}, 2)
+	byLen := KeyBy(words, "bylen", func(w string) int { return len(w) })
+	ks := Keys(byLen, "keys")
+	vs := Values(byLen, "vals")
+	gotK := MustCollect(ks)
+	gotV := MustCollect(vs)
+	sort.Ints(gotK)
+	sort.Strings(gotV)
+	if gotK[0] != 3 || gotK[2] != 5 {
+		t.Errorf("keys = %v", gotK)
+	}
+	if gotV[0] != "apple" || len(gotV) != 3 {
+		t.Errorf("values = %v", gotV)
+	}
+}
+
+func TestAggregateAndCount(t *testing.T) {
+	s := NewSession()
+	nums := Parallelize(s, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 4)
+	sum := Aggregate(nums, "sum", 0,
+		func(acc, v int) int { return acc + v },
+		func(a, b int) int { return a + b })
+	n := Count(nums, "count")
+	if got := MustCollect(sum); len(got) != 1 || got[0] != 55 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := MustCollect(n); len(got) != 1 || got[0] != 10 {
+		t.Errorf("count = %v", got)
+	}
+}

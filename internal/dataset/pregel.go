@@ -1,0 +1,79 @@
+package dataset
+
+// Pregel-like vertex-centric interface (§4.1.2): per superstep every vertex
+// sends a message along its out-edges (scatter), messages per destination
+// are combined, and each vertex applies its combined inbox to its state.
+// The iteration compiles to the same CPU/network op alternation the paper's
+// graph workloads exhibit (Figure 1c/d).
+
+// VertexProgram defines one vertex-centric computation.
+type VertexProgram[K comparable, S, M any] struct {
+	// Scatter produces the message a vertex sends along each out-edge.
+	Scatter func(id K, state S, outDegree int) M
+	// Combine merges two messages destined for the same vertex.
+	Combine func(a, b M) M
+	// Apply folds the combined inbox into the vertex state. hasMsg is
+	// false for vertices that received nothing this superstep.
+	Apply func(id K, state S, msg M, hasMsg bool) S
+}
+
+// RunPregel executes the program for the given number of supersteps over
+// vertices (id → initial state) and directed edges (src → dst), returning
+// the final vertex states.
+func RunPregel[K comparable, S, M any](s *Session,
+	vertices []Pair[K, S], edges []Pair[K, K],
+	parts, supersteps int, prog VertexProgram[K, S, M]) *Dataset[Pair[K, S]] {
+
+	// Pre-group adjacency once: Pair[src, dsts].
+	adjacency := GroupByKey(Parallelize(s, edges, parts), "adjacency", parts)
+	state := Parallelize(s, vertices, parts)
+
+	cur := repartition(state, "init", parts)
+	for step := 0; step < supersteps; step++ {
+		name := sname("superstep", step)
+		// Scatter: join states with adjacency, emit one message per edge.
+		withAdj := CoGroup(cur, adjacency, name+"-scatter", parts)
+		msgs := FlatMap(withAdj, name+"-msgs", func(g CoGrouped[K, S, []K]) []Pair[K, M] {
+			if len(g.Left) == 0 || len(g.Right) == 0 {
+				return nil
+			}
+			state := g.Left[0]
+			var out []Pair[K, M]
+			for _, dsts := range g.Right {
+				m := prog.Scatter(g.Key, state, len(dsts))
+				for _, dst := range dsts {
+					out = append(out, Pair[K, M]{dst, m})
+				}
+			}
+			return out
+		})
+		inbox := ReduceByKey(msgs, name+"-combine", parts, prog.Combine)
+		// Apply: full-outer co-group of states and inboxes.
+		joined := CoGroup(cur, inbox, name+"-apply", parts)
+		cur = FlatMap(joined, name+"-next", func(g CoGrouped[K, S, M]) []Pair[K, S] {
+			if len(g.Left) == 0 {
+				return nil // message to a vertex that does not exist
+			}
+			st := g.Left[0]
+			if len(g.Right) > 0 {
+				st = prog.Apply(g.Key, st, g.Right[0], true)
+			} else {
+				var zero M
+				st = prog.Apply(g.Key, st, zero, false)
+			}
+			return []Pair[K, S]{{g.Key, st}}
+		})
+	}
+	return cur
+}
+
+// repartition shuffles a keyed dataset into parts partitions so iterative
+// joins are co-partitioned from the first superstep.
+func repartition[K comparable, V any](in *Dataset[Pair[K, V]], name string, parts int) *Dataset[Pair[K, V]] {
+	return ReduceByKey(in, name+"-repart", parts, func(a, b V) V { return b })
+}
+
+func sname(prefix string, i int) string {
+	const digits = "0123456789"
+	return prefix + "-" + string(digits[i/10%10]) + string(digits[i%10])
+}

@@ -1,0 +1,215 @@
+package eventloop
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := Time(2_500_000).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := FromSeconds(1.5); got != 1_500_000 {
+		t.Errorf("FromSeconds(1.5) = %v, want 1500000", got)
+	}
+	if got := FromSeconds(0); got != 0 {
+		t.Errorf("FromSeconds(0) = %v, want 0", got)
+	}
+	if got := FromSeconds(-3); got != 0 {
+		t.Errorf("FromSeconds(-3) = %v, want 0", got)
+	}
+	if got := FromSeconds(1e-9); got != 1 {
+		t.Errorf("FromSeconds(tiny positive) = %v, want 1 (clamped)", got)
+	}
+}
+
+func TestRunExecutesInTimestampOrder(t *testing.T) {
+	l := New()
+	var order []int
+	l.After(3*Second, func() { order = append(order, 3) })
+	l.After(1*Second, func() { order = append(order, 1) })
+	l.After(2*Second, func() { order = append(order, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if l.Now() != Time(3*Second) {
+		t.Errorf("Now() = %v, want 3s", l.Now())
+	}
+}
+
+func TestEqualTimestampsRunFIFO(t *testing.T) {
+	l := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(Time(5*Second), func() { order = append(order, i) })
+	}
+	l.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	l := New()
+	var hits []Time
+	l.After(Second, func() {
+		hits = append(hits, l.Now())
+		l.After(Second, func() {
+			hits = append(hits, l.Now())
+		})
+	})
+	l.Run()
+	if len(hits) != 2 || hits[0] != Time(Second) || hits[1] != Time(2*Second) {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := New()
+	fired := false
+	tm := l.After(Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel() on pending timer = false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel() = true")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestPostRunsAtCurrentInstant(t *testing.T) {
+	l := New()
+	var at Time = -1
+	l.After(2*Second, func() {
+		l.Post(func() { at = l.Now() })
+	})
+	l.Run()
+	if at != Time(2*Second) {
+		t.Errorf("Post ran at %v, want 2s", at)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	l := New()
+	ran := false
+	l.After(10*Second, func() { ran = true })
+	l.RunUntil(Time(5 * Second))
+	if ran {
+		t.Fatal("future event ran early")
+	}
+	if l.Now() != Time(5*Second) {
+		t.Errorf("Now() = %v, want 5s", l.Now())
+	}
+	l.RunUntil(Time(20 * Second))
+	if !ran {
+		t.Fatal("event did not run by its deadline")
+	}
+}
+
+func TestStop(t *testing.T) {
+	l := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		l.After(Duration(i)*Second, func() {
+			count++
+			if count == 2 {
+				l.Stop()
+			}
+		})
+	}
+	l.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 after Stop", count)
+	}
+	l.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5 after resumed Run", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	l := New()
+	var ticks []Time
+	var stop func()
+	stop = l.Every(Second, func() {
+		ticks = append(ticks, l.Now())
+		if len(ticks) == 3 {
+			stop()
+		}
+	})
+	l.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 entries", ticks)
+	}
+	for i, at := range ticks {
+		if at != Time(Duration(i+1)*Second) {
+			t.Errorf("tick %d at %v, want %ds", i, at, i+1)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	l := New()
+	l.After(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		l.At(0, func() {})
+	})
+	l.Run()
+}
+
+// TestPropertyOrderPreserved drives random schedules through the loop and
+// checks the execution order equals the stable sort by (time, insertion).
+func TestPropertyOrderPreserved(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		type ev struct {
+			at  Time
+			seq int
+		}
+		var scheduled []ev
+		var ran []ev
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			at := Time(rng.Int63n(1000)) * Time(Millisecond)
+			e := ev{at: at, seq: i}
+			scheduled = append(scheduled, e)
+			l.At(at, func() { ran = append(ran, e) })
+		}
+		l.Run()
+		sort.SliceStable(scheduled, func(i, j int) bool {
+			if scheduled[i].at != scheduled[j].at {
+				return scheduled[i].at < scheduled[j].at
+			}
+			return scheduled[i].seq < scheduled[j].seq
+		})
+		if len(ran) != len(scheduled) {
+			return false
+		}
+		for i := range ran {
+			if ran[i] != scheduled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

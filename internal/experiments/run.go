@@ -1,0 +1,228 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation (§5), shared by cmd/ursa-bench and the
+// repository's benchmark suite. Each experiment runs the relevant workload
+// on the relevant systems over the simulated cluster and reports the same
+// rows or series the paper does.
+package experiments
+
+import (
+	"fmt"
+
+	"ursa/internal/baseline"
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/metrics"
+	"ursa/internal/trace"
+	"ursa/internal/workload"
+)
+
+// Options scales and seeds an experiment run. Scale 1 is the paper's
+// configuration; smaller values shrink job counts proportionally so smoke
+// runs and benchmarks stay fast.
+type Options struct {
+	Scale float64
+	Seed  int64
+	// SampleInterval for utilization series; 0 disables sampling.
+	SampleInterval eventloop.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// scaled returns max(1, round(n·scale)).
+func (o Options) scaled(n int) int {
+	k := int(float64(n)*o.Scale + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Result captures one system's run over one workload.
+type Result struct {
+	System   string
+	Makespan float64
+	AvgJCT   float64
+	Eff      metrics.Efficiency
+	// JCTs are per-job completion times in submission order, seconds.
+	JCTs []float64
+	// Series is the cluster utilization time series (nil if not sampled).
+	Series *trace.TimeSeries
+	// PerMachineCPU is each machine's mean CPU utilization %.
+	PerMachineCPU []float64
+	// StragglerRatio is the mean per-job ratio of total stage straggler
+	// time to JCT (§5.1.2), in percent.
+	StragglerRatio float64
+}
+
+// RunUrsa executes a workload on Ursa with the given scheduler config.
+func RunUrsa(w *workload.Workload, cfg core.Config, clusCfg cluster.Config, sample eventloop.Duration) Result {
+	loop := eventloop.New()
+	clus := cluster.New(loop, clusCfg)
+	sys := core.NewSystem(loop, clus, cfg)
+	var sampler *metrics.Sampler
+	if sample > 0 {
+		sampler = metrics.NewSampler(loop, metrics.ClusterSource(clus), sample)
+	}
+	start := clus.Snap()
+	var end cluster.Snapshot
+	sys.OnJobFinished = func(*core.Job) {
+		if sys.AllDone() {
+			end = clus.Snap()
+			if sampler != nil {
+				sampler.Stop()
+			}
+		}
+	}
+	for _, s := range w.Jobs {
+		sys.MustSubmit(s.Spec, s.At)
+	}
+	loop.Run()
+	if !sys.AllDone() {
+		panic(fmt.Sprintf("experiments: workload %s stalled on ursa", w.Name))
+	}
+	res := Result{System: "ursa-" + cfg.Policy.String()}
+	var jobs []metrics.JobTimes
+	for _, j := range sys.Jobs() {
+		jobs = append(jobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
+		res.JCTs = append(res.JCTs, j.JCT().Seconds())
+	}
+	res.Makespan = metrics.Makespan(jobs)
+	res.AvgJCT = metrics.AvgJCT(jobs)
+	res.Eff = metrics.ComputeEfficiency(start, end, clus.TotalCores(), clus.TotalMem())
+	if sampler != nil {
+		res.Series = sampler.Cluster
+		res.PerMachineCPU = sampler.MeanPerMachineCPU()
+	}
+	res.StragglerRatio = ursaStragglerRatio(sys)
+	return res
+}
+
+// RunBaseline executes a workload on an executor baseline (Y+S, Y+T, Y+U).
+func RunBaseline(w *workload.Workload, cfg baseline.Config, clusCfg cluster.Config, sample eventloop.Duration) Result {
+	loop := eventloop.New()
+	clus := cluster.New(loop, clusCfg)
+	sys := baseline.NewSystem(loop, clus, cfg)
+	var sampler *metrics.Sampler
+	if sample > 0 {
+		sampler = metrics.NewSampler(loop, sys.Source(), sample)
+	}
+	start := sys.Snap()
+	var end cluster.Snapshot
+	sys.OnJobFinished = func(*baseline.Job) {
+		if sys.AllDone() {
+			end = sys.Snap()
+			if sampler != nil {
+				sampler.Stop()
+			}
+		}
+	}
+	for _, s := range w.Jobs {
+		sys.MustSubmit(s.Spec, s.At)
+	}
+	loop.Run()
+	if !sys.AllDone() {
+		panic(fmt.Sprintf("experiments: workload %s stalled on %v", w.Name, cfg.Runtime))
+	}
+	res := Result{System: "y+" + cfg.Runtime.String()}
+	var jobs []metrics.JobTimes
+	var stragglerSum float64
+	for _, j := range sys.Jobs() {
+		jobs = append(jobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
+		res.JCTs = append(res.JCTs, j.JCT().Seconds())
+		var st float64
+		for _, durs := range j.StageTaskDurations {
+			st += metrics.StageStragglerTime(durs)
+		}
+		if jct := j.JCT().Seconds(); jct > 0 {
+			stragglerSum += 100 * st / jct
+		}
+	}
+	res.Makespan = metrics.Makespan(jobs)
+	res.AvgJCT = metrics.AvgJCT(jobs)
+	res.Eff = metrics.ComputeEfficiency(start, end, clus.TotalCores(), clus.TotalMem())
+	if len(jobs) > 0 {
+		res.StragglerRatio = stragglerSum / float64(len(jobs))
+	}
+	if sampler != nil {
+		res.Series = sampler.Cluster
+		res.PerMachineCPU = sampler.MeanPerMachineCPU()
+	}
+	return res
+}
+
+// ursaStragglerRatio computes the §5.1.2 straggler measure from the JMs'
+// task lifetime records.
+func ursaStragglerRatio(sys *core.System) float64 {
+	var sum float64
+	n := 0
+	for _, j := range sys.Jobs() {
+		jm := j.JM()
+		if jm == nil {
+			continue
+		}
+		byStage := map[int][]float64{}
+		for t, done := range jm.TaskDoneAt {
+			placed, ok := jm.TaskPlacedAt[t]
+			if !ok {
+				continue
+			}
+			byStage[t.Stage.ID] = append(byStage[t.Stage.ID], (done - placed).Seconds())
+		}
+		var st float64
+		for _, durs := range byStage {
+			st += metrics.StageStragglerTime(durs)
+		}
+		if jct := j.JCT().Seconds(); jct > 0 {
+			sum += 100 * st / jct
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Report is a rendered experiment outcome: a table plus optional series.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Series maps a label (e.g. "ursa-EJF") to a utilization time series
+	// for figure experiments.
+	Series map[string]*trace.TimeSeries
+	Notes  []string
+}
+
+// Experiment binds an id to its runner.
+type Experiment struct {
+	ID    string
+	Paper string
+	Desc  string
+	Run   func(Options) *Report
+}
+
+// fmtRow renders makespan/avgJCT/efficiency columns.
+func effRow(name string, r Result) []string {
+	return []string{
+		name,
+		fmt.Sprintf("%.0f", r.Makespan),
+		fmt.Sprintf("%.2f", r.AvgJCT),
+		fmt.Sprintf("%.2f", r.Eff.UECPU),
+		fmt.Sprintf("%.2f", r.Eff.SECPU),
+		fmt.Sprintf("%.2f", r.Eff.UEMem),
+		fmt.Sprintf("%.2f", r.Eff.SEMem),
+	}
+}
+
+var effHeader = []string{"system", "makespan(s)", "avgJCT(s)", "UEcpu(%)", "SEcpu(%)", "UEmem(%)", "SEmem(%)"}

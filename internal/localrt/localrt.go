@@ -1,0 +1,310 @@
+// Package localrt is the real execution engine for operation graphs: it
+// runs a plan's monotasks on in-memory data with actual goroutines, CPU
+// monotasks executing user UDFs and network monotasks moving rows between
+// partitions (hash-bucketed for shuffles, replicated for broadcasts). It
+// validates the execution layer's semantics independently of the simulator
+// and powers the examples and the mini-SQL engine.
+package localrt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"ursa/internal/dag"
+	"ursa/internal/resource"
+)
+
+// Row is one record of a dataset partition.
+type Row = any
+
+// UDF is the user function of a CPU op: it receives one row-slice per
+// declared read (in ReadRef order) and returns the rows of the produced
+// partition.
+type UDF func(inputs [][]Row) []Row
+
+// Keyed lets a row steer itself through a shuffle; rows that do not
+// implement it are routed round-robin.
+type Keyed interface {
+	ShuffleKey() any
+}
+
+// Runtime executes one plan over materialized inputs. A Runtime (like the
+// plan it drives) is single-use.
+type Runtime struct {
+	plan    *dag.Plan
+	mu      sync.Mutex
+	store   map[*dag.Dataset][][]Row
+	workers int
+}
+
+// New builds a runtime for the plan. Input datasets must be provided via
+// SetInput before Run.
+func New(plan *dag.Plan) *Runtime {
+	return &Runtime{
+		plan:    plan,
+		store:   make(map[*dag.Dataset][][]Row),
+		workers: runtime.NumCPU(),
+	}
+}
+
+// SetWorkers overrides the CPU worker pool size (minimum 1).
+func (r *Runtime) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+}
+
+// SetInput materializes a job-input dataset by distributing rows across its
+// partitions round-robin, and records partition sizes (row counts) in the
+// plan's metadata store so usage estimation works unchanged.
+func (r *Runtime) SetInput(d *dag.Dataset, rows []Row) {
+	parts := make([][]Row, d.Partitions)
+	for i, row := range rows {
+		p := i % d.Partitions
+		parts[p] = append(parts[p], row)
+	}
+	r.SetInputPartitions(d, parts)
+}
+
+// SetInputPartitions materializes a job-input dataset with explicit
+// partitioning.
+func (r *Runtime) SetInputPartitions(d *dag.Dataset, parts [][]Row) {
+	if len(parts) != d.Partitions {
+		panic(fmt.Sprintf("localrt: dataset %d wants %d partitions, got %d",
+			d.ID, d.Partitions, len(parts)))
+	}
+	sizes := make([]float64, len(parts))
+	for i, p := range parts {
+		sizes[i] = float64(len(p))
+	}
+	d.SetInput(sizes)
+	r.store[d] = parts
+}
+
+// Rows returns the materialized rows of a dataset after Run, concatenated
+// over partitions.
+func (r *Runtime) Rows(d *dag.Dataset) []Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Row
+	for _, p := range r.store[d] {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Partitions returns the materialized partitions of a dataset after Run.
+func (r *Runtime) Partitions(d *dag.Dataset) [][]Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store[d]
+}
+
+// Run executes the plan to completion. CPU monotasks run on a bounded
+// worker pool; network and disk monotasks are in-memory moves. The
+// coordinator (this goroutine) owns all plan state.
+func (r *Runtime) Run() error {
+	type completion struct {
+		mt  *dag.Monotask
+		err error
+	}
+	results := make(chan completion)
+	inflight := 0
+	sem := make(chan struct{}, r.workers)
+
+	launch := func(mt *dag.Monotask) {
+		r.plan.Prepare(mt)
+		inflight++
+		if mt.Kind == resource.CPU {
+			go func() {
+				sem <- struct{}{}
+				err := r.execute(mt)
+				<-sem
+				results <- completion{mt, err}
+			}()
+			return
+		}
+		// Network/disk data movement is memory-speed locally; execute
+		// inline but report through the same channel for uniform flow.
+		go func() {
+			results <- completion{mt, r.execute(mt)}
+		}()
+	}
+
+	var runnable []*dag.Monotask
+	for _, t := range r.plan.InitialReady() {
+		runnable = append(runnable, t.ReadyMonotasks()...)
+	}
+	for {
+		for _, mt := range runnable {
+			launch(mt)
+		}
+		runnable = runnable[:0]
+		if inflight == 0 {
+			break
+		}
+		c := <-results
+		inflight--
+		if c.err != nil {
+			// Drain stragglers before reporting.
+			for inflight > 0 {
+				<-results
+				inflight--
+			}
+			return c.err
+		}
+		res := r.plan.Complete(c.mt)
+		runnable = append(runnable, res.NewReadyMonotasks...)
+		for _, t := range res.NewReadyTasks {
+			runnable = append(runnable, t.ReadyMonotasks()...)
+		}
+	}
+	if !r.plan.AllDone() {
+		return fmt.Errorf("localrt: plan stalled with incomplete tasks")
+	}
+	return nil
+}
+
+// execute materializes one monotask's outputs.
+func (r *Runtime) execute(mt *dag.Monotask) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("localrt: %v panicked: %v", mt, p)
+		}
+	}()
+	steps := r.plan.ExecSteps(mt)
+	outputs := make([][]Row, len(steps))
+	for si, step := range steps {
+		inputs := make([][]Row, len(step.Reads))
+		for ri, ref := range step.Reads {
+			if ref.Dataset == nil {
+				inputs[ri] = outputs[ref.Step]
+				continue
+			}
+			inputs[ri] = r.gather(ref, mt)
+		}
+		var rows []Row
+		switch udf := step.UDF.(type) {
+		case nil:
+			for _, in := range inputs {
+				rows = append(rows, in...)
+			}
+		case UDF:
+			rows = udf(inputs)
+		case func(inputs [][]Row) []Row:
+			rows = udf(inputs)
+		default:
+			return fmt.Errorf("localrt: %v has unsupported UDF type %T", mt, step.UDF)
+		}
+		outputs[si] = rows
+		for _, d := range step.Creates {
+			r.write(d, mt, rows)
+		}
+	}
+	return nil
+}
+
+// gather collects a monotask's input rows from a dataset under its mapping.
+func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := ref.Dataset
+	parts := r.store[d]
+	paral := parallelismOf(mt)
+	switch ref.Mapping {
+	case dag.MapBroadcast:
+		var all []Row
+		for _, p := range parts {
+			all = append(all, p...)
+		}
+		return all
+	case dag.MapShard:
+		// Pull-based shuffle: take this index's bucket of every partition.
+		var out []Row
+		for _, p := range parts {
+			for _, row := range p {
+				if bucketOf(row, paral) == mt.Index {
+					out = append(out, row)
+				}
+			}
+		}
+		return out
+	default:
+		if d.Partitions < paral {
+			// Several monotasks split one partition: deal its rows
+			// round-robin among them so no row is duplicated.
+			i := mt.Index * d.Partitions / paral
+			first := (i*paral + d.Partitions - 1) / d.Partitions
+			next := ((i+1)*paral + d.Partitions - 1) / d.Partitions
+			consumers := next - first
+			pos := mt.Index - first
+			var out []Row
+			for k, row := range parts[i] {
+				if k%consumers == pos {
+					out = append(out, row)
+				}
+			}
+			return out
+		}
+		lo, hi := dag.PartRange(d, paral, mt.Index)
+		var out []Row
+		for i := lo; i < hi && i < len(parts); i++ {
+			out = append(out, parts[i]...)
+		}
+		return out
+	}
+}
+
+// write stores a monotask's produced rows into the created dataset.
+func (r *Runtime) write(d *dag.Dataset, mt *dag.Monotask, rows []Row) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parts, ok := r.store[d]
+	if !ok {
+		parts = make([][]Row, d.Partitions)
+		r.store[d] = parts
+	}
+	paral := parallelismOf(mt)
+	switch {
+	case d.Partitions == paral:
+		parts[mt.Index] = append(parts[mt.Index], rows...)
+	case d.Partitions < paral:
+		idx := mt.Index * d.Partitions / paral
+		parts[idx] = append(parts[idx], rows...)
+	default:
+		// Spread rows over this monotask's partition range round-robin.
+		lo, hi := dag.PartRange(d, paral, mt.Index)
+		n := hi - lo
+		for i, row := range rows {
+			parts[lo+i%n] = append(parts[lo+i%n], row)
+		}
+	}
+}
+
+// parallelismOf infers the monotask's op parallelism from its task's stage
+// structure; monotask indexes are dense in [0, parallelism).
+func parallelismOf(mt *dag.Monotask) int {
+	// Indexes are assigned densely per op; the op's parallelism is the
+	// count of sibling monotasks, which equals Index max + 1. Scanning
+	// siblings on every call would be O(n²); the lop parallelism is
+	// available through the stage's structure instead.
+	return mt.Parallelism()
+}
+
+// bucketOf routes a row to a shuffle bucket: keyed rows hash on their key,
+// others round-robin by value hash.
+func bucketOf(row Row, buckets int) int {
+	if buckets <= 1 {
+		return 0
+	}
+	var key any = row
+	if k, ok := row.(Keyed); ok {
+		key = k.ShuffleKey()
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", key)
+	return int(h.Sum64() % uint64(buckets))
+}

@@ -1,0 +1,276 @@
+package localrt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/dag"
+	"ursa/internal/resource"
+)
+
+// kv is a keyed row for shuffle tests.
+type kv struct {
+	K string
+	V int
+}
+
+func (p kv) ShuffleKey() any { return p.K }
+
+// buildWordCount constructs the canonical map + shuffle + reduce graph over
+// lines of text.
+func buildWordCount(inParts, outParts int) (*dag.Graph, *dag.Dataset, *dag.Dataset) {
+	g := dag.NewGraph()
+	lines := g.CreateData(inParts)
+	pairs := g.CreateData(inParts)
+	shuffled := g.CreateData(outParts)
+	counts := g.CreateData(outParts)
+
+	tokenize := g.CreateOp(resource.CPU, "tokenize").Read(lines).Create(pairs)
+	tokenize.SetUDF(UDF(func(in [][]Row) []Row {
+		agg := map[string]int{}
+		for _, row := range in[0] {
+			for _, w := range strings.Fields(row.(string)) {
+				agg[w]++
+			}
+		}
+		var out []Row
+		for w, c := range agg {
+			out = append(out, kv{w, c})
+		}
+		return out
+	}))
+	shuffle := g.CreateOp(resource.Net, "shuffle").Read(pairs).Create(shuffled)
+	reduce := g.CreateOp(resource.CPU, "reduce").Read(shuffled).Create(counts)
+	reduce.SetUDF(UDF(func(in [][]Row) []Row {
+		agg := map[string]int{}
+		for _, row := range in[0] {
+			p := row.(kv)
+			agg[p.K] += p.V
+		}
+		var out []Row
+		for w, c := range agg {
+			out = append(out, kv{w, c})
+		}
+		return out
+	}))
+	tokenize.To(shuffle, dag.Sync)
+	shuffle.To(reduce, dag.Async)
+	return g, lines, counts
+}
+
+func TestWordCount(t *testing.T) {
+	g, lines, counts := buildWordCount(4, 3)
+	plan := g.MustBuild()
+	rt := New(plan)
+	rt.SetInput(lines, []Row{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+		"fox and dog and fox",
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, row := range rt.Rows(counts) {
+		p := row.(kv)
+		if _, dup := got[p.K]; dup {
+			t.Errorf("word %q appears in two output partitions", p.K)
+		}
+		got[p.K] = p.V
+	}
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 3,
+		"lazy": 1, "dog": 3, "and": 2}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], c)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d distinct words, want %d", len(got), len(want))
+	}
+}
+
+func TestCollapsedChainRunsAllUDFs(t *testing.T) {
+	g := dag.NewGraph()
+	in := g.CreateData(3)
+	mid := g.CreateData(3)
+	out := g.CreateData(3)
+	double := g.CreateOp(resource.CPU, "double").Read(in).Create(mid)
+	double.SetUDF(UDF(func(ins [][]Row) []Row {
+		var rows []Row
+		for _, r := range ins[0] {
+			rows = append(rows, r.(int)*2)
+		}
+		return rows
+	}))
+	inc := g.CreateOp(resource.CPU, "inc").Read(mid).Create(out)
+	inc.SetUDF(UDF(func(ins [][]Row) []Row {
+		var rows []Row
+		for _, r := range ins[0] {
+			rows = append(rows, r.(int)+1)
+		}
+		return rows
+	}))
+	double.To(inc, dag.Async)
+	plan := g.MustBuild()
+	if len(plan.Tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3 (chain collapsed)", len(plan.Tasks))
+	}
+	rt := New(plan)
+	rt.SetInput(in, []Row{1, 2, 3, 4, 5, 6})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for _, r := range rt.Rows(out) {
+		got = append(got, r.(int))
+	}
+	sort.Ints(got)
+	want := []int{3, 5, 7, 9, 11, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBroadcastJoin(t *testing.T) {
+	g := dag.NewGraph()
+	facts := g.CreateData(4)
+	dims := g.CreateData(1)
+	dimCopy := g.CreateData(4)
+	joined := g.CreateData(4)
+
+	bc := g.CreateOp(resource.Net, "bcast").Read(dims).Create(dimCopy)
+	bc.Broadcast = true
+	bc.Parallelism = 4
+	join := g.CreateOp(resource.CPU, "join").Read(facts).Read(dimCopy).Create(joined)
+	join.SetUDF(UDF(func(ins [][]Row) []Row {
+		names := map[int]string{}
+		for _, r := range ins[1] {
+			p := r.(kv)
+			names[p.V] = p.K
+		}
+		var out []Row
+		for _, r := range ins[0] {
+			id := r.(int)
+			if name, ok := names[id]; ok {
+				out = append(out, name)
+			}
+		}
+		return out
+	}))
+	bc.To(join, dag.Async)
+	plan := g.MustBuild()
+	rt := New(plan)
+	rt.SetInput(facts, []Row{1, 2, 3, 2, 1})
+	rt.SetInput(dims, []Row{kv{"one", 1}, kv{"two", 2}, kv{"three", 3}})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rows := rt.Rows(joined)
+	if len(rows) != 5 {
+		t.Fatalf("joined rows = %d, want 5", len(rows))
+	}
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r.(string)]++
+	}
+	if counts["one"] != 2 || counts["two"] != 2 || counts["three"] != 1 {
+		t.Errorf("join result = %v", counts)
+	}
+}
+
+func TestUnequalParallelismNoRowLossOrDup(t *testing.T) {
+	for _, parts := range [][2]int{{6, 2}, {2, 6}, {5, 3}, {3, 5}} {
+		g := dag.NewGraph()
+		in := g.CreateData(parts[0])
+		out := g.CreateData(parts[1])
+		op := g.CreateOp(resource.CPU, "copy").Read(in).Create(out)
+		op.Parallelism = parts[1]
+		plan := g.MustBuild()
+		rt := New(plan)
+		var rows []Row
+		for i := 0; i < 30; i++ {
+			rows = append(rows, i)
+		}
+		rt.SetInput(in, rows)
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]int{}
+		for _, r := range rt.Rows(out) {
+			seen[r.(int)]++
+		}
+		for i := 0; i < 30; i++ {
+			if seen[i] != 1 {
+				t.Errorf("parts %v: row %d seen %d times", parts, i, seen[i])
+			}
+		}
+	}
+}
+
+func TestUDFPanicBecomesError(t *testing.T) {
+	g := dag.NewGraph()
+	in := g.CreateData(2)
+	out := g.CreateData(2)
+	op := g.CreateOp(resource.CPU, "boom").Read(in).Create(out)
+	op.SetUDF(UDF(func([][]Row) []Row { panic("kaboom") }))
+	plan := g.MustBuild()
+	rt := New(plan)
+	rt.SetInput(in, []Row{1, 2, 3})
+	err := rt.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+}
+
+// TestPropertyShuffleRouting: every keyed row lands in exactly one bucket,
+// and identical keys land together.
+func TestPropertyShuffleRouting(t *testing.T) {
+	f := func(keys []string, buckets uint8) bool {
+		b := int(buckets%16) + 1
+		byKey := map[string]int{}
+		for _, k := range keys {
+			got := bucketOf(kv{k, 1}, b)
+			if got < 0 || got >= b {
+				return false
+			}
+			if prev, ok := byKey[k]; ok && prev != got {
+				return false
+			}
+			byKey[k] = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordCountManyShapes(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {2, 5}, {8, 3}, {5, 8}} {
+		g, lines, counts := buildWordCount(shape[0], shape[1])
+		plan := g.MustBuild()
+		rt := New(plan)
+		var input []Row
+		for i := 0; i < 40; i++ {
+			input = append(input, fmt.Sprintf("w%d w%d common", i%7, i%3))
+		}
+		rt.SetInput(lines, input)
+		if err := rt.Run(); err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		total := 0
+		for _, row := range rt.Rows(counts) {
+			total += row.(kv).V
+		}
+		if total != 120 { // 3 words per line × 40 lines
+			t.Errorf("shape %v: total word count = %d, want 120", shape, total)
+		}
+	}
+}

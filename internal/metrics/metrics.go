@@ -1,0 +1,277 @@
+// Package metrics computes the paper's evaluation measures (§5): makespan,
+// average JCT, scheduling efficiency SE = allocated/total, utilization
+// efficiency UE = used/allocated for CPU and memory, cluster utilization
+// time series, per-worker balance, and the straggler statistic.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"ursa/internal/cluster"
+	"ursa/internal/eventloop"
+	"ursa/internal/trace"
+)
+
+// Series names used by the samplers, matching the figure legends.
+const (
+	SeriesCPU = "[CPU]Totl%"
+	SeriesMem = "[MEM]Used%"
+	SeriesNet = "[NET]Receive%"
+)
+
+// Efficiency holds SE and UE for CPU and memory over a window, in percent.
+type Efficiency struct {
+	SECPU, UECPU float64
+	SEMem, UEMem float64
+}
+
+// ComputeEfficiency derives SE/UE between two cluster snapshots. Total
+// capacity-time uses the window between the snapshots (the makespan when
+// snapped at workload start and end).
+func ComputeEfficiency(start, end cluster.Snapshot, totalCores, totalMem float64) Efficiency {
+	window := (end.At - start.At).Seconds()
+	if window <= 0 {
+		return Efficiency{}
+	}
+	coreAlloc := end.CoreAllocSeconds - start.CoreAllocSeconds
+	coreUsed := end.CoreUsedSeconds - start.CoreUsedSeconds
+	memAlloc := end.MemAllocByteSecs - start.MemAllocByteSecs
+	memUsed := end.MemUsedByteSecs - start.MemUsedByteSecs
+	e := Efficiency{
+		SECPU: 100 * coreAlloc / (totalCores * window),
+		SEMem: 100 * memAlloc / (totalMem * window),
+	}
+	if coreAlloc > 0 {
+		e.UECPU = 100 * coreUsed / coreAlloc
+	}
+	if memAlloc > 0 {
+		e.UEMem = 100 * memUsed / memAlloc
+	}
+	return e
+}
+
+// JobTimes is the minimal job record the JCT statistics need.
+type JobTimes struct {
+	Submitted, Finished eventloop.Time
+}
+
+// Makespan returns last finish − first submit in seconds.
+func Makespan(jobs []JobTimes) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	first := jobs[0].Submitted
+	last := jobs[0].Finished
+	for _, j := range jobs {
+		if j.Submitted < first {
+			first = j.Submitted
+		}
+		if j.Finished > last {
+			last = j.Finished
+		}
+	}
+	return (last - first).Seconds()
+}
+
+// AvgJCT returns the mean job completion time in seconds.
+func AvgJCT(jobs []JobTimes) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range jobs {
+		s += (j.Finished - j.Submitted).Seconds()
+	}
+	return s / float64(len(jobs))
+}
+
+// Percentile returns the p-th percentile (0-100) of values using nearest-rank
+// on a sorted copy.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// StageStragglerTime implements the §5.1.2 straggler measure for one stage:
+// completion times beyond Q3 + 1.5·IQR mark stragglers, and the straggler
+// time is the last completion minus that threshold (0 if none).
+func StageStragglerTime(completions []float64) float64 {
+	if len(completions) < 4 {
+		return 0
+	}
+	q1 := Percentile(completions, 25)
+	q3 := Percentile(completions, 75)
+	threshold := q3 + 1.5*(q3-q1)
+	last := completions[0]
+	for _, c := range completions {
+		if c > last {
+			last = c
+		}
+	}
+	if last <= threshold {
+		return 0
+	}
+	return last - threshold
+}
+
+// Imbalance returns the mean absolute deviation from the mean, as a
+// percentage of capacity, for per-worker utilization rates in percent — the
+// paper's "difference in the average CPU utilization among workers".
+func Imbalance(perWorkerUtil []float64) float64 {
+	if len(perWorkerUtil) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, u := range perWorkerUtil {
+		mean += u
+	}
+	mean /= float64(len(perWorkerUtil))
+	var dev float64
+	for _, u := range perWorkerUtil {
+		dev += math.Abs(u - mean)
+	}
+	return dev / float64(len(perWorkerUtil))
+}
+
+// Source exposes cumulative per-machine usage integrals for sampling. The
+// simulated cluster implements it directly for Ursa runs; the executor
+// baselines implement it over their own CPU accounting.
+type Source interface {
+	Machines() int
+	// CPUUsedCoreSeconds returns machine i's cumulative busy core-seconds.
+	CPUUsedCoreSeconds(i int) float64
+	// MemUsedByteSeconds returns machine i's cumulative resident byte-seconds.
+	MemUsedByteSeconds(i int) float64
+	// NetBytesReceived returns machine i's cumulative downlink bytes.
+	NetBytesReceived(i int) float64
+	CoresPerMachine() float64
+	MemBytesPerMachine() float64
+	NetBandwidth() float64
+}
+
+// ClusterSource adapts a simulated cluster to the Source interface.
+func ClusterSource(c *cluster.Cluster) Source { return clusterSource{c} }
+
+type clusterSource struct{ c *cluster.Cluster }
+
+func (s clusterSource) Machines() int                    { return len(s.c.Machines) }
+func (s clusterSource) CPUUsedCoreSeconds(i int) float64 { return s.c.Machines[i].Cores.UsedSeconds() }
+func (s clusterSource) MemUsedByteSeconds(i int) float64 { return s.c.Machines[i].Mem.UsedSeconds() }
+func (s clusterSource) NetBytesReceived(i int) float64   { return s.c.Machines[i].Net.BytesMoved() }
+func (s clusterSource) CoresPerMachine() float64         { return float64(s.c.Cfg.CoresPerMachine) }
+func (s clusterSource) MemBytesPerMachine() float64      { return float64(s.c.Cfg.MemPerMachine) }
+func (s clusterSource) NetBandwidth() float64            { return float64(s.c.Cfg.NetBandwidth) }
+
+// Sampler periodically records cluster-wide (and per-machine) utilization
+// into time series.
+type Sampler struct {
+	loop     *eventloop.Loop
+	src      Source
+	interval eventloop.Duration
+
+	Cluster *trace.TimeSeries
+	// PerMachineCPU[i] is machine i's CPU utilization % per sample.
+	PerMachineCPU [][]float64
+
+	prev     []machineSnap
+	prevAt   eventloop.Time
+	stopFunc func()
+}
+
+type machineSnap struct {
+	coreUsed float64
+	memUsed  float64
+	netBytes float64
+}
+
+// NewSampler starts sampling immediately at the given interval. Call Stop
+// when the workload completes so the loop can drain.
+func NewSampler(loop *eventloop.Loop, src Source, interval eventloop.Duration) *Sampler {
+	s := &Sampler{
+		loop:          loop,
+		src:           src,
+		interval:      interval,
+		Cluster:       trace.New(SeriesCPU, SeriesMem, SeriesNet),
+		PerMachineCPU: make([][]float64, src.Machines()),
+		prevAt:        loop.Now(),
+	}
+	s.prev = s.snapMachines()
+	s.stopFunc = loop.Every(interval, s.sample)
+	return s
+}
+
+func (s *Sampler) snapMachines() []machineSnap {
+	out := make([]machineSnap, s.src.Machines())
+	for i := range out {
+		out[i] = machineSnap{
+			coreUsed: s.src.CPUUsedCoreSeconds(i),
+			memUsed:  s.src.MemUsedByteSeconds(i),
+			netBytes: s.src.NetBytesReceived(i),
+		}
+	}
+	return out
+}
+
+func (s *Sampler) sample() {
+	now := s.loop.Now()
+	dt := (now - s.prevAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	cur := s.snapMachines()
+	var cpu, mem, net float64
+	coresPer := s.src.CoresPerMachine()
+	memPer := s.src.MemBytesPerMachine()
+	bwPer := s.src.NetBandwidth()
+	for i := range cur {
+		mcpu := 100 * (cur[i].coreUsed - s.prev[i].coreUsed) / (coresPer * dt)
+		cpu += mcpu
+		mem += 100 * (cur[i].memUsed - s.prev[i].memUsed) / (memPer * dt)
+		net += 100 * (cur[i].netBytes - s.prev[i].netBytes) / (bwPer * dt)
+		s.PerMachineCPU[i] = append(s.PerMachineCPU[i], mcpu)
+	}
+	n := float64(len(cur))
+	s.Cluster.Add(now.Seconds(), map[string]float64{
+		SeriesCPU: cpu / n,
+		SeriesMem: mem / n,
+		SeriesNet: net / n,
+	})
+	s.prev, s.prevAt = cur, now
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() { s.stopFunc() }
+
+// MeanPerMachineCPU returns each machine's average CPU utilization %.
+func (s *Sampler) MeanPerMachineCPU() []float64 {
+	out := make([]float64, len(s.PerMachineCPU))
+	for i, samples := range s.PerMachineCPU {
+		if len(samples) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range samples {
+			sum += v
+		}
+		out[i] = sum / float64(len(samples))
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ursa/internal/cluster"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+func TestMakespanAndAvgJCT(t *testing.T) {
+	jobs := []JobTimes{
+		{Submitted: 0, Finished: eventloop.Time(10 * eventloop.Second)},
+		{Submitted: eventloop.Time(5 * eventloop.Second), Finished: eventloop.Time(25 * eventloop.Second)},
+	}
+	if got := Makespan(jobs); got != 25 {
+		t.Errorf("Makespan = %v, want 25", got)
+	}
+	if got := AvgJCT(jobs); got != 15 {
+		t.Errorf("AvgJCT = %v, want 15", got)
+	}
+	if Makespan(nil) != 0 || AvgJCT(nil) != 0 {
+		t.Error("empty job list should give zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return Percentile(vals, p) == 0
+		}
+		got := Percentile(vals, math.Mod(math.Abs(p), 100))
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStageStragglerTime(t *testing.T) {
+	// Uniform completions: no stragglers.
+	if got := StageStragglerTime([]float64{10, 10, 10, 10}); got != 0 {
+		t.Errorf("uniform stage straggler = %v, want 0", got)
+	}
+	// One task far behind: Q1=10, Q3=10, threshold=10, straggler 30.
+	if got := StageStragglerTime([]float64{10, 10, 10, 10, 10, 10, 10, 40}); math.Abs(got-30) > 1e-9 {
+		t.Errorf("straggler time = %v, want 30", got)
+	}
+	// Small stages are excluded.
+	if got := StageStragglerTime([]float64{1, 100}); got != 0 {
+		t.Errorf("2-task stage straggler = %v, want 0", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{50, 50, 50}); got != 0 {
+		t.Errorf("balanced imbalance = %v, want 0", got)
+	}
+	if got := Imbalance([]float64{40, 60}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("imbalance = %v, want 10", got)
+	}
+}
+
+func TestComputeEfficiency(t *testing.T) {
+	start := cluster.Snapshot{At: 0}
+	end := cluster.Snapshot{
+		At:               eventloop.Time(100 * eventloop.Second),
+		CoreAllocSeconds: 500, // 5 cores avg over 100 s on a 10-core cluster
+		CoreUsedSeconds:  400,
+		MemAllocByteSecs: 50 * 100,
+		MemUsedByteSecs:  25 * 100,
+	}
+	e := ComputeEfficiency(start, end, 10, 100)
+	if math.Abs(e.SECPU-50) > 1e-9 || math.Abs(e.UECPU-80) > 1e-9 {
+		t.Errorf("CPU SE/UE = %v/%v, want 50/80", e.SECPU, e.UECPU)
+	}
+	if math.Abs(e.SEMem-50) > 1e-9 || math.Abs(e.UEMem-50) > 1e-9 {
+		t.Errorf("Mem SE/UE = %v/%v, want 50/50", e.SEMem, e.UEMem)
+	}
+}
+
+func TestSamplerTracksUtilization(t *testing.T) {
+	loop := eventloop.New()
+	clus := cluster.New(loop, cluster.Config{
+		Machines: 2, CoresPerMachine: 4, MemPerMachine: resource.GB,
+		NetBandwidth: 1e9, DiskBandwidth: 1e8, CoreRate: 1e8,
+	})
+	s := NewSampler(loop, ClusterSource(clus), eventloop.Second)
+	// Occupy 2 of 8 cores for 10 s on machine 0.
+	m := clus.Machines[0]
+	m.Cores.MustAlloc(2)
+	m.Cores.Use(2)
+	loop.After(10*eventloop.Second, func() {
+		m.Cores.Unuse(2)
+		m.Cores.FreeAlloc(2)
+		s.Stop()
+	})
+	loop.Run()
+	if s.Cluster.Len() < 9 {
+		t.Fatalf("samples = %d, want >= 9", s.Cluster.Len())
+	}
+	// Cluster CPU%: machine0 at 50%, machine1 at 0% => 25%.
+	if got := s.Cluster.Mean(SeriesCPU); math.Abs(got-25) > 1 {
+		t.Errorf("mean CPU%% = %v, want ~25", got)
+	}
+	per := s.MeanPerMachineCPU()
+	if math.Abs(per[0]-50) > 1 || math.Abs(per[1]) > 1 {
+		t.Errorf("per-machine CPU%% = %v, want [50 0]", per)
+	}
+	if got := Imbalance(per); math.Abs(got-25) > 1 {
+		t.Errorf("imbalance = %v, want ~25", got)
+	}
+}

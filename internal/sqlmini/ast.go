@@ -1,0 +1,436 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a scalar expression over a row.
+type Expr interface {
+	fmt.Stringer
+}
+
+// ColRef references a (possibly table-qualified) column.
+type ColRef struct {
+	Table, Name string
+}
+
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal number or string.
+type Lit struct{ Value any }
+
+func (l Lit) String() string { return fmt.Sprintf("%v", l.Value) }
+
+// BinOp is a binary operation: arithmetic, comparison, AND/OR.
+type BinOp struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (b BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+// AggKind is an aggregate function.
+type AggKind int
+
+const (
+	AggNone AggKind = iota
+	AggSum
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "none"
+}
+
+// SelectItem is one output column: either a scalar expression or an
+// aggregate over one.
+type SelectItem struct {
+	Agg   AggKind
+	Expr  Expr // nil for COUNT(*)
+	Alias string
+}
+
+// Name returns the output column name.
+func (s SelectItem) Name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Agg != AggNone {
+		inner := "*"
+		if s.Expr != nil {
+			inner = s.Expr.String()
+		}
+		return fmt.Sprintf("%s(%s)", s.Agg, inner)
+	}
+	return s.Expr.String()
+}
+
+// JoinClause is a single equi-join.
+type JoinClause struct {
+	Table    string
+	LeftKey  ColRef
+	RightKey ColRef
+}
+
+// OrderClause orders the output.
+type OrderClause struct {
+	Col  string
+	Desc bool
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Select  []SelectItem
+	From    string
+	Join    *JoinClause
+	Where   Expr
+	GroupBy []ColRef
+	OrderBy *OrderClause
+	Limit   int // -1 = none
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+	if p.keyword("join") {
+		jc := &JoinClause{}
+		if jc.Table, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		jc.LeftKey, jc.RightKey = left, right
+		q.Join = jc
+	}
+	if p.keyword("where") {
+		if q.Where, err = p.parseExpr(0); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		oc := &OrderClause{Col: col}
+		if p.keyword("desc") {
+			oc.Desc = true
+		} else {
+			p.keyword("asc")
+		}
+		q.OrderBy = oc
+	}
+	if p.keyword("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT wants a number, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+var aggNames = map[string]AggKind{
+	"sum": AggSum, "count": AggCount, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	if p.symbol("*") {
+		item.Expr = ColRef{Name: "*"}
+		return item, nil
+	}
+	t := p.peek()
+	if t.kind == tokIdent {
+		if kind, ok := aggNames[strings.ToLower(t.text)]; ok &&
+			p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.pos += 2 // agg name and '('
+			item.Agg = kind
+			if kind == AggCount && p.symbol("*") {
+				// COUNT(*): nil expression.
+			} else {
+				e, err := p.parseExpr(0)
+				if err != nil {
+					return item, err
+				}
+				item.Expr = e
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return item, err
+			}
+			item.Alias = p.parseAlias()
+			return item, nil
+		}
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return item, err
+	}
+	item.Expr = e
+	item.Alias = p.parseAlias()
+	return item, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.keyword("as") {
+		if name, err := p.ident(); err == nil {
+			return name
+		}
+	}
+	return ""
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.symbol(".") {
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: name, Name: col}, nil
+	}
+	return ColRef{Name: name}, nil
+}
+
+// precedence table for binary operators.
+func precOf(op string) int {
+	switch op {
+	case "or":
+		return 1
+	case "and":
+		return 2
+	case "=", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/":
+		return 5
+	}
+	return 0
+}
+
+// parseExpr is a precedence-climbing expression parser.
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peekBinOp()
+		prec := precOf(op)
+		if op == "" || prec < minPrec {
+			return left, nil
+		}
+		p.consumeBinOp(op)
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) peekBinOp() string {
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/":
+			return t.text
+		}
+	}
+	if t.kind == tokIdent {
+		lower := strings.ToLower(t.text)
+		if lower == "and" || lower == "or" {
+			return lower
+		}
+	}
+	return ""
+}
+
+func (p *parser) consumeBinOp(string) { p.pos++ }
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Lit{v}, nil
+	case t.kind == tokString:
+		p.pos++
+		return Lit{t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		return p.parseColRefExpr()
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+}
+
+func (p *parser) parseColRefExpr() (Expr, error) {
+	c, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,90 @@
+// Package sqlmini is the SQL frontend of the reproduction, standing in for
+// the paper's Hive plug-in (§4.1.2): a SELECT subset (projections,
+// aggregates, WHERE, a single equi-JOIN, GROUP BY, ORDER BY, LIMIT) parsed
+// into a logical plan, lightly optimized (predicate pushdown, join
+// selectivity estimation feeding the m2i memory hint of §4.2.1), and
+// compiled onto the dataset API so queries execute on the real local
+// runtime or can be costed on the simulator.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentRune(rune(input[i]))) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		case unicode.IsDigit(c):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			i++
+			start := i
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start-1)
+			}
+			toks = append(toks, token{tokString, input[start:i], start})
+			i++
+		case strings.ContainsRune("(),*.=+-/", c):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			toks = append(toks, token{tokSymbol, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,134 @@
+// Package trace holds utilization time series and renders them as CSV or
+// compact ASCII charts, used to regenerate the paper's utilization figures
+// (Figures 1, 4-10).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TimeSeries is a set of named series sampled at common timestamps.
+type TimeSeries struct {
+	// Times holds sample timestamps in seconds.
+	Times []float64
+	// Series maps a name (e.g. "[CPU]Totl%") to per-sample values.
+	Series map[string][]float64
+	order  []string
+}
+
+// New returns an empty time series.
+func New(names ...string) *TimeSeries {
+	ts := &TimeSeries{Series: make(map[string][]float64)}
+	for _, n := range names {
+		ts.Series[n] = nil
+		ts.order = append(ts.order, n)
+	}
+	return ts
+}
+
+// Add appends one sample row. Values must match the declared names.
+func (ts *TimeSeries) Add(t float64, values map[string]float64) {
+	ts.Times = append(ts.Times, t)
+	for _, n := range ts.Names() {
+		ts.Series[n] = append(ts.Series[n], values[n])
+	}
+}
+
+// Names returns series names in declaration (or sorted) order.
+func (ts *TimeSeries) Names() []string {
+	if len(ts.order) == len(ts.Series) {
+		return ts.order
+	}
+	var names []string
+	for n := range ts.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Slice returns the sub-series within [from, to) seconds.
+func (ts *TimeSeries) Slice(from, to float64) *TimeSeries {
+	out := New(ts.Names()...)
+	for i, t := range ts.Times {
+		if t >= from && t < to {
+			row := map[string]float64{}
+			for _, n := range ts.Names() {
+				row[n] = ts.Series[n][i]
+			}
+			out.Add(t, row)
+		}
+	}
+	return out
+}
+
+// Mean returns the average of a series, 0 if empty.
+func (ts *TimeSeries) Mean(name string) float64 {
+	vals := ts.Series[name]
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// WriteCSV emits the series as CSV with a time column.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	names := ts.Names()
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i, t := range ts.Times {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%.3f", t))
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.2f", ts.Series[n][i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a series as a one-line unicode chart, downsampled to
+// width columns; handy for eyeballing utilization shapes in test logs.
+func (ts *TimeSeries) Sparkline(name string, width int) string {
+	vals := ts.Series[name]
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	blocks := []rune(" ▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for c := 0; c < width; c++ {
+		lo := c * len(vals) / width
+		hi := (c + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var m float64
+		for i := lo; i < hi && i < len(vals); i++ {
+			if vals[i] > m {
+				m = vals[i]
+			}
+		}
+		idx := int(m / 100 * float64(len(blocks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *TimeSeries {
+	ts := New("cpu", "net")
+	for i := 0; i < 10; i++ {
+		ts.Add(float64(i), map[string]float64{
+			"cpu": float64(i * 10),
+			"net": float64(100 - i*10),
+		})
+	}
+	return ts
+}
+
+func TestAddAndNames(t *testing.T) {
+	ts := sample()
+	if ts.Len() != 10 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	names := ts.Names()
+	if len(names) != 2 || names[0] != "cpu" || names[1] != "net" {
+		t.Errorf("Names = %v, want declaration order", names)
+	}
+}
+
+func TestMean(t *testing.T) {
+	ts := sample()
+	if got := ts.Mean("cpu"); got != 45 {
+		t.Errorf("Mean(cpu) = %v, want 45", got)
+	}
+	if got := ts.Mean("absent"); got != 0 {
+		t.Errorf("Mean(absent) = %v, want 0", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	ts := sample()
+	sub := ts.Slice(3, 7)
+	if sub.Len() != 4 {
+		t.Fatalf("Slice len = %d, want 4", sub.Len())
+	}
+	if sub.Times[0] != 3 || sub.Times[3] != 6 {
+		t.Errorf("Slice times = %v", sub.Times)
+	}
+	if sub.Series["cpu"][0] != 30 {
+		t.Errorf("Slice values = %v", sub.Series["cpu"])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	ts := sample()
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("CSV lines = %d, want header + 10", len(lines))
+	}
+	if lines[0] != "time_s,cpu,net" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.000,0.00,100.00") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	ts := sample()
+	s := ts.Sparkline("cpu", 10)
+	if len([]rune(s)) != 10 {
+		t.Fatalf("sparkline width = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] == runes[9] {
+		t.Errorf("sparkline flat for a rising series: %q", s)
+	}
+	if got := ts.Sparkline("cpu", 0); got != "" {
+		t.Errorf("zero-width sparkline = %q", got)
+	}
+	empty := New("x")
+	if got := empty.Sparkline("x", 5); got != "" {
+		t.Errorf("empty-series sparkline = %q", got)
+	}
+}

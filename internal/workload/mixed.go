@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/eventloop"
+)
+
+// Mixed generates the §5.1.2 workload: 2 graph-analytics jobs (PR on a
+// WebUK-scale graph, CC on a Friendster-scale graph), 4 machine-learning
+// jobs (k-means on mnist8m-scale, LR on webspam-scale data) and 32 randomly
+// chosen TPC-H queries, sized so TPC-H, ML and graph jobs account for
+// roughly 70%, 20% and 10% of total CPU usage.
+func Mixed(seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Name: "mixed"}
+	var subs []Submission
+
+	for i := 0; i < 32; i++ {
+		t := tpchTemplates[rng.Intn(len(tpchTemplates))]
+		spec := buildQuery(rng, t, pickScale(rng))
+		spec.Name = fmt.Sprintf("%s-mix%d", t.name, i)
+		subs = append(subs, Submission{Spec: spec})
+	}
+	// ML: 2 LR + 2 k-means, ~20% of total CPU.
+	for i := 0; i < 2; i++ {
+		lr := LR(20e9, 20)
+		lr.Name = fmt.Sprintf("lr-%d", i)
+		subs = append(subs, Submission{Spec: lr.Spec()})
+		km := KMeans(22e9, 18)
+		km.Name = fmt.Sprintf("kmeans-%d", i)
+		subs = append(subs, Submission{Spec: km.Spec()})
+	}
+	// Graph: PR + CC, ~10% of total CPU.
+	pr := PageRank(55e9, 10)
+	pr.Name = "pagerank-webuk"
+	subs = append(subs, Submission{Spec: pr.Spec()})
+	cc := CC(60e9, 12)
+	cc.Name = "cc-friendster"
+	subs = append(subs, Submission{Spec: cc.Spec()})
+
+	// Interleave in random order, one submission every 5 s (the same
+	// online pattern as the TPC-H experiment).
+	rng.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
+	for i := range subs {
+		subs[i].At = eventloop.Time(eventloop.Duration(i) * 5 * eventloop.Second)
+	}
+	w.Jobs = subs
+	return w
+}

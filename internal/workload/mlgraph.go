@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/resource"
+)
+
+// IterativeSpec parameterizes the iterative ML/graph jobs whose regular
+// CPU/network alternation produces the Figure 1a-1d utilization patterns.
+type IterativeSpec struct {
+	Name string
+	// DataBytes is the cached training data / graph size.
+	DataBytes float64
+	// Iterations is the number of compute+communicate rounds.
+	Iterations int
+	// Intensity is CPU work per input byte in the compute phase.
+	Intensity float64
+	// CommRatio is communication bytes per input byte per iteration
+	// (gradients / messages).
+	CommRatio float64
+	// CommDecay shrinks communication each iteration (frontier shrinking
+	// in connected components); 1 keeps it constant (PageRank, LR).
+	CommDecay float64
+	// PartBytes overrides the default partition size (smaller partitions
+	// give the short, frequent alternation of Figure 1).
+	PartBytes float64
+	// ModelBytes, when nonzero, adds a per-iteration model broadcast: every
+	// partition pulls the full updated model after the aggregation — the
+	// step that dominates BSP machine learning on commodity networks and
+	// produces the deep utilization valleys of Figure 1a/1b.
+	ModelBytes float64
+	// PartSkew makes input partition sizes heterogeneous (max/mean ≈ this
+	// factor), so each iteration has a straggler tail as in real cached
+	// RDDs; 0 or 1 keeps them uniform.
+	PartSkew float64
+	// Seed drives the partition-size draw.
+	Seed int64
+}
+
+// Build constructs the iterative job's operation graph: per iteration a
+// CPU compute op over all data partitions, a sync shuffle of the
+// messages/gradients, and a CPU apply op feeding the next round.
+func (s IterativeSpec) Build() *dag.Graph {
+	g := dag.NewGraph()
+	pb := s.PartBytes
+	if pb <= 0 {
+		pb = partitionBytes
+	}
+	p := int(s.DataBytes / pb)
+	if p < 4 {
+		p = 4
+	}
+	if p > 640 {
+		p = 640
+	}
+	data := g.CreateData(p)
+	if s.PartSkew > 1 {
+		rng := rand.New(rand.NewSource(s.Seed + 1))
+		sizes := make([]float64, p)
+		var sum float64
+		for i := range sizes {
+			sizes[i] = 1 + rng.ExpFloat64()*(s.PartSkew-1)/2
+			sum += sizes[i]
+		}
+		for i := range sizes {
+			sizes[i] *= s.DataBytes / sum
+		}
+		data.SetInput(sizes)
+	} else {
+		data.SetUniformInput(s.DataBytes)
+	}
+
+	comm := s.CommRatio
+	var prev *dag.Op       // the op gating the next iteration
+	var model *dag.Dataset // previous round's broadcast model copies
+	for it := 0; it < s.Iterations; it++ {
+		msg := g.CreateData(p)
+		compute := g.CreateOp(resource.CPU, stageName("compute", it)).Read(data).Create(msg)
+		if model != nil {
+			compute.Read(model)
+		}
+		compute.ComputeIntensity = s.Intensity
+		compute.OutputRatio = comm
+		// The gradients/messages scale with the data, not with the model
+		// copy that is also read; pin the stage output.
+		compute.FixedOutputBytes = s.DataBytes * comm
+		if prev != nil {
+			// Partition-local continuation: the bulk-synchronous barrier is
+			// already enforced by the sync edge into each round's exchange,
+			// and the async CPU→CPU edge lets the ops collapse into one
+			// monotask chain (§4.1.3).
+			prev.To(compute, dag.Async)
+		}
+		exch := g.CreateData(p)
+		shuffle := g.CreateOp(resource.Net, stageName("exchange", it)).Read(msg).Create(exch)
+		compute.To(shuffle, dag.Sync)
+		upd := g.CreateData(p)
+		apply := g.CreateOp(resource.CPU, stageName("apply", it)).Read(exch).Create(upd)
+		apply.ComputeIntensity = s.Intensity * 0.3
+		apply.OutputRatio = 1
+		shuffle.To(apply, dag.Async)
+		prev = apply
+		if s.ModelBytes > 0 {
+			// Model aggregation + broadcast: apply distills the exchange
+			// into the model, which every partition then pulls in full.
+			apply.FixedOutputBytes = s.ModelBytes
+			copies := g.CreateData(p)
+			bcast := g.CreateOp(resource.Net, stageName("bcast", it)).Read(upd).Create(copies)
+			bcast.Broadcast = true
+			bcast.Parallelism = p
+			apply.To(bcast, dag.Sync)
+			prev = bcast
+			model = copies
+		}
+		comm *= s.CommDecay
+	}
+	return g
+}
+
+// Spec wraps the graph into a JobSpec with a conservative user memory
+// estimate (iterative jobs cache their data, so users size containers at a
+// multiple of it).
+func (s IterativeSpec) Spec() core.JobSpec {
+	return core.JobSpec{
+		Name:        s.Name,
+		Graph:       s.Build(),
+		MemEstimate: memEstimate(s.DataBytes, 2.5),
+		M2I:         2,
+	}
+}
+
+// LR is logistic regression on a webspam-scale dataset (§2, §5.1.2):
+// compute bursts alternating with gradient aggregation and a full model
+// broadcast — the broadcast dominates on 10 GbE, which is why executor
+// systems show the very low CPU UE of Table 1.
+func LR(dataBytes float64, iterations int) IterativeSpec {
+	return IterativeSpec{
+		Name:       "lr",
+		DataBytes:  dataBytes,
+		Iterations: iterations,
+		// Sparse features: little compute per input byte, so rounds are
+		// dominated by aggregation + broadcast as in the real system.
+		Intensity:  0.3,
+		CommRatio:  0.05,
+		CommDecay:  1,
+		PartBytes:  64e6,
+		ModelBytes: 220e6,
+		PartSkew:   2.2,
+	}
+}
+
+// KMeans is k-means clustering: similar alternation with a smaller
+// centroid broadcast.
+func KMeans(dataBytes float64, iterations int) IterativeSpec {
+	return IterativeSpec{
+		Name:       "kmeans",
+		DataBytes:  dataBytes,
+		Iterations: iterations,
+		Intensity:  0.8,
+		CommRatio:  0.08,
+		CommDecay:  1,
+		PartBytes:  64e6,
+		ModelBytes: 120e6,
+		PartSkew:   2,
+	}
+}
+
+// PageRank is PR on a web graph: every iteration shuffles rank
+// contributions proportional to the edge set.
+func PageRank(graphBytes float64, iterations int) IterativeSpec {
+	return IterativeSpec{
+		Name:       "pagerank",
+		DataBytes:  graphBytes,
+		Iterations: iterations,
+		Intensity:  1.1,
+		CommRatio:  0.35,
+		CommDecay:  1,
+		PartBytes:  128e6,
+		PartSkew:   2,
+	}
+}
+
+// CC is connected components: message volume decays as components merge,
+// giving the shrinking network phases of Figure 1c/1d.
+func CC(graphBytes float64, iterations int) IterativeSpec {
+	return IterativeSpec{
+		Name:       "cc",
+		DataBytes:  graphBytes,
+		Iterations: iterations,
+		Intensity:  1.0,
+		CommRatio:  0.45,
+		CommDecay:  0.7,
+		PartBytes:  128e6,
+		PartSkew:   2.2,
+	}
+}

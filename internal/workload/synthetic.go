@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// SyntheticConfig builds the §5.3 expectable-performance jobs: 5 stages of
+// homogeneous tasks (generate random numbers, shuffle), with parallelism
+// fixed at cores-per-machine-for-jobs × machines (30 × 20 in the paper) so
+// one stage's CPU monotasks exactly fill the cluster while another job's
+// network monotasks use the links.
+type SyntheticConfig struct {
+	// Stages is the DAG depth (5 in the paper).
+	Stages int
+	// Parallelism is the per-stage task count (600 in the paper).
+	Parallelism int
+	// StageWorkBytes is the CPU work per stage across all tasks.
+	StageWorkBytes float64
+	// ShuffleBytes is the data shuffled between consecutive stages.
+	ShuffleBytes float64
+}
+
+// Type1 is the heavier synthetic job (~40 s solo JCT, ~8 s per stage on the
+// paper's cluster); Type2 handles half the data (~22 s solo). The CPU and
+// network phases are deliberately antiphase-balanced (≈4 s each), which is
+// what lets two jobs overlap perfectly in the §5.3 ideal-case analysis.
+func Type1() SyntheticConfig {
+	return SyntheticConfig{Stages: 5, Parallelism: 600, StageWorkBytes: 9.6e10, ShuffleBytes: 9.5e10}
+}
+
+// Type2 returns the half-size synthetic job.
+func Type2() SyntheticConfig {
+	c := Type1()
+	c.StageWorkBytes /= 2
+	c.ShuffleBytes /= 2
+	return c
+}
+
+// Build constructs the synthetic job graph. Stage CPU work is held constant
+// across stages (the tasks generate data rather than reduce it), so CPU and
+// network phases alternate with fixed periods.
+func (c SyntheticConfig) Build() *dag.Graph {
+	g := dag.NewGraph()
+	p := c.Parallelism
+	input := g.CreateData(p)
+	// The nominal input is sized so intensity 1 yields the target work.
+	input.SetUniformInput(c.StageWorkBytes)
+	cur := input
+	var prev *dag.Op
+	for s := 0; s < c.Stages; s++ {
+		out := g.CreateData(p)
+		cpu := g.CreateOp(resource.CPU, stageName("gen", s)).Read(cur).Create(out)
+		cpu.ComputeIntensity = 1
+		cpu.OutputRatio = c.ShuffleBytes / c.StageWorkBytes
+		if prev != nil {
+			prev.To(cpu, dag.Async)
+		}
+		if s == c.Stages-1 {
+			break
+		}
+		shOut := g.CreateData(p)
+		sh := g.CreateOp(resource.Net, stageName("shuffle", s)).Read(out).Create(shOut)
+		cpu.To(sh, dag.Sync)
+		// Restore the stage work for the next round: the next stage's
+		// compute does StageWorkBytes of work on ShuffleBytes of input.
+		next := g.CreateData(p)
+		boost := g.CreateOp(resource.CPU, stageName("expand", s)).Read(shOut).Create(next)
+		boost.ComputeIntensity = 0 // bookkeeping op: no work, only resizing
+		boost.OutputRatio = c.StageWorkBytes / c.ShuffleBytes
+		sh.To(boost, dag.Async)
+		cur = next
+		prev = boost
+	}
+	return g
+}
+
+// Spec wraps the synthetic job with ample memory so admission never gates
+// the §5.3 settings.
+func (c SyntheticConfig) Spec(name string) core.JobSpec {
+	return core.JobSpec{
+		Name:        name,
+		Graph:       c.Build(),
+		MemEstimate: 40e9,
+		M2I:         1,
+	}
+}
+
+// Setting1 is §5.3's first setting: n Type-1 jobs submitted together.
+func Setting1(n int) *Workload {
+	w := &Workload{Name: "synthetic-setting1"}
+	for i := 0; i < n; i++ {
+		w.Jobs = append(w.Jobs, Submission{
+			Spec: Type1().Spec(fmt.Sprintf("type1-%d", i)),
+			At:   eventloop.Time(i), // 1 µs apart: effectively simultaneous
+		})
+	}
+	return w
+}
+
+// Setting2 is §5.3's second setting: Type-1 and Type-2 jobs alternating.
+func Setting2(nEach int) *Workload {
+	w := &Workload{Name: "synthetic-setting2"}
+	for i := 0; i < 2*nEach; i++ {
+		cfg, name := Type1(), "type1"
+		if i%2 == 1 {
+			cfg, name = Type2(), "type2"
+		}
+		w.Jobs = append(w.Jobs, Submission{
+			Spec: cfg.Spec(fmt.Sprintf("%s-%d", name, i)),
+			At:   eventloop.Time(i),
+		})
+	}
+	return w
+}
+
+// ExpectedJCTs computes the §5.3 ideal-case JCTs for a stream of jobs under
+// EJF, assuming perfect CPU/network overlap of two consecutive jobs: jobs
+// are processed pairwise; while one job computes, the other communicates.
+// soloJCT and stageTime are per job type.
+func ExpectedJCTs(types []int, soloJCT, stageTime map[int]float64) []float64 {
+	out := make([]float64, len(types))
+	var clock float64
+	for i := 0; i < len(types); i += 2 {
+		first := types[i]
+		out[i] = clock + soloJCT[first]
+		if i+1 < len(types) {
+			second := types[i+1]
+			// The second job trails the first by one stage of overlap.
+			fin := clock + soloJCT[first] + stageTime[second]
+			if soloJCT[second] > soloJCT[first] {
+				fin = clock + soloJCT[second] + stageTime[first]
+			}
+			out[i+1] = fin
+			if fin > clock+soloJCT[first] {
+				clock = fin - stageTime[second]
+			} else {
+				clock += soloJCT[first]
+			}
+			continue
+		}
+		clock += soloJCT[first]
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+)
+
+// TPCDS generates the §5.1.1 TPC-DS workload: n jobs at the same scale mix
+// as TPC-H but with much deeper DAGs (depth 5-43, mean ≈ 9) and stage
+// parallelism that oscillates between wide fan-outs and narrow
+// aggregations — the property that hurts executor-based dynamic allocation
+// (idle containers in short narrow stages, §5.1.1).
+func TPCDS(n int, interval eventloop.Duration, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Name: "tpcds"}
+	for i := 0; i < n; i++ {
+		spec := buildDSQuery(rng, i)
+		w.Jobs = append(w.Jobs, Submission{
+			Spec: spec,
+			At:   eventloop.Time(eventloop.Duration(i) * interval),
+		})
+	}
+	return w
+}
+
+// dsDepth draws a DAG depth in [5, 43] with mean about 9 (shifted
+// geometric, clamped).
+func dsDepth(rng *rand.Rand) int {
+	d := 5
+	for d < 43 && rng.Float64() < 0.78 {
+		d++
+	}
+	return d
+}
+
+func buildDSQuery(rng *rand.Rand, i int) core.JobSpec {
+	scale := pickScale(rng)
+	depth := dsDepth(rng)
+	// Deeper queries touch less data per stage; total input scales down
+	// with depth so solo JCTs stay in the published 9-212 s band.
+	touch := 0.10 + 0.50*rng.Float64()
+	input := scale * touch * touchScale
+	var stages []stageSpec
+	expand := false
+	for s := 0; s < depth; s++ {
+		st := stageSpec{
+			intensity: 1.2 + 0.8*rng.Float64(),
+			skew:      1 + rng.Float64(),
+		}
+		switch {
+		case s == 0:
+			st.ratio = 0.35
+		case expand:
+			// A join stage that re-expands the data: parallelism swings
+			// back up in the next stage.
+			st.ratio = 1.2 + 0.8*rng.Float64()
+			st.broadcastJoin = true
+		default:
+			st.ratio = 0.25 + 0.35*rng.Float64()
+		}
+		expand = !expand && rng.Float64() < 0.35
+		stages = append(stages, st)
+	}
+	g := buildChain(rng, chainSpec{input: input, stages: stages, finalWriteRatio: 0.03})
+	return core.JobSpec{
+		Name:        fmt.Sprintf("ds%02d-%d", rng.Intn(99), i),
+		Graph:       g,
+		MemEstimate: memEstimate(input, 1.2),
+		M2I:         1.5,
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+)
+
+// queryTemplate statistically characterizes one TPC-H query: DAG depth,
+// how much of the dataset it touches, its compute intensity, how much data
+// survives into shuffles, and whether its intermediates are skewed. The
+// numbers are derived from the queries' join/aggregation structure, scaled
+// so the workload matches the paper's published statistics (depth 2-10,
+// solo JCT 3-297 s with mean ≈ 38 s).
+type queryTemplate struct {
+	name      string
+	depth     int     // number of CPU stages
+	touch     float64 // fraction of the dataset scanned
+	intensity float64 // CPU work per input byte at the scan stage
+	shuffle   float64 // output ratio of the scan stage
+	decay     float64 // per-stage data reduction after the first shuffle
+	skew      float64 // shard skew factor (1 = uniform)
+	joins     int     // broadcast-join stages
+}
+
+// tpchTemplates models the 22 TPC-H queries.
+var tpchTemplates = []queryTemplate{
+	{"q1", 2, 0.70, 2.2, 0.02, 0.5, 1.0, 0},  // scan-heavy aggregation
+	{"q2", 5, 0.08, 1.4, 0.60, 0.5, 1.2, 2},  // small multi-join
+	{"q3", 4, 0.55, 1.5, 0.30, 0.4, 1.3, 1},  // join + top-k
+	{"q4", 3, 0.40, 1.4, 0.25, 0.3, 1.0, 0},  // semi-join
+	{"q5", 6, 0.60, 1.6, 0.45, 0.5, 1.4, 2},  // 6-way join
+	{"q6", 2, 0.55, 1.8, 0.01, 0.5, 1.0, 0},  // pure filter-aggregate
+	{"q7", 6, 0.50, 1.5, 0.50, 0.5, 1.5, 1},  // volume shipping
+	{"q8", 8, 0.65, 1.5, 0.55, 0.6, 2.5, 2},  // many joins & group-bys (skewed)
+	{"q9", 8, 0.80, 1.6, 0.60, 0.6, 1.8, 2},  // largest multi-join
+	{"q10", 4, 0.50, 1.5, 0.40, 0.4, 1.3, 1}, // returned items
+	{"q11", 4, 0.06, 1.3, 0.50, 0.5, 1.1, 1}, // small partsupp scan
+	{"q12", 3, 0.45, 1.5, 0.20, 0.3, 1.0, 0}, // shipping modes
+	{"q13", 4, 0.30, 1.6, 0.55, 0.5, 1.6, 0}, // customer distribution
+	{"q14", 3, 0.45, 1.7, 0.30, 0.3, 1.2, 1}, // promo effect
+	{"q15", 4, 0.40, 1.5, 0.25, 0.4, 1.0, 0}, // top supplier
+	{"q16", 4, 0.10, 1.4, 0.50, 0.5, 1.2, 1}, // parts/supplier
+	{"q17", 5, 0.45, 1.7, 0.35, 0.4, 1.3, 1}, // small-quantity orders
+	{"q18", 6, 0.70, 1.6, 0.50, 0.5, 1.5, 1}, // large-volume customers
+	{"q19", 3, 0.45, 1.6, 0.15, 0.3, 1.0, 1}, // discounted revenue
+	{"q20", 5, 0.35, 1.4, 0.40, 0.4, 1.2, 1}, // potential promotion
+	{"q21", 8, 0.70, 1.6, 0.55, 0.6, 1.7, 2}, // waiting suppliers
+	{"q22", 4, 0.20, 1.4, 0.30, 0.4, 1.1, 0}, // global sales opportunity
+}
+
+// tpchScales are the dataset sizes and pick probabilities of §5.
+var tpchScales = []struct {
+	bytes float64
+	prob  float64
+}{
+	{200e9, 0.6},
+	{500e9, 0.3},
+	{1000e9, 0.1},
+}
+
+func pickScale(rng *rand.Rand) float64 {
+	x := rng.Float64()
+	acc := 0.0
+	for _, s := range tpchScales {
+		acc += s.prob
+		if x < acc {
+			return s.bytes
+		}
+	}
+	return tpchScales[len(tpchScales)-1].bytes
+}
+
+// touchScale calibrates query inputs so solo JCTs land in the published
+// 3-297 s band with mean ≈ 38 s on the simulated cluster.
+const touchScale = 0.45
+
+// buildQuery instantiates one query template at the given dataset scale.
+func buildQuery(rng *rand.Rand, t queryTemplate, scale float64) core.JobSpec {
+	input := scale * t.touch * touchScale
+	var stages []stageSpec
+	joinsLeft := t.joins
+	for i := 0; i < t.depth; i++ {
+		st := stageSpec{intensity: t.intensity, ratio: t.decay, skew: t.skew}
+		if i == 0 {
+			st.ratio = t.shuffle
+		}
+		if i > 0 {
+			// Later stages are lighter per byte (aggregation) but with
+			// some variance from intermediate-result distribution.
+			st.intensity = t.intensity * (0.7 + 0.6*rng.Float64())
+		}
+		if joinsLeft > 0 && i > 0 && i < t.depth-1 {
+			st.broadcastJoin = true
+			joinsLeft--
+		}
+		stages = append(stages, st)
+	}
+	g := buildChain(rng, chainSpec{
+		input:           input,
+		stages:          stages,
+		finalWriteRatio: 0.05,
+	})
+	return core.JobSpec{
+		Name:        t.name,
+		Graph:       g,
+		MemEstimate: memEstimate(input, 1.2),
+		M2I:         1.5,
+	}
+}
+
+// TPCH generates the §5.1.1 TPC-H workload: n jobs drawn uniformly from the
+// 22 queries, each run at 200 GB / 500 GB / 1 TB scale with probability
+// 60/30/10%, submitted every `interval`.
+func TPCH(n int, interval eventloop.Duration, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Name: "tpch"}
+	for i := 0; i < n; i++ {
+		t := tpchTemplates[rng.Intn(len(tpchTemplates))]
+		spec := buildQuery(rng, t, pickScale(rng))
+		spec.Name = fmt.Sprintf("%s-%d", spec.Name, i)
+		w.Jobs = append(w.Jobs, Submission{
+			Spec: spec,
+			At:   eventloop.Time(eventloop.Duration(i) * interval),
+		})
+	}
+	return w
+}
+
+// TPCH2 generates the §5.2 ablation workload: n jobs (25 in the paper) with
+// deeper DAGs (average depth ≈ 7.2) and more heterogeneous, skewed tasks,
+// submitted every 2 s to keep the cluster contended.
+func TPCH2(n int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	// Deep/irregular queries only.
+	deep := []queryTemplate{}
+	for _, t := range tpchTemplates {
+		if t.depth >= 5 {
+			deep = append(deep, t)
+		}
+	}
+	w := &Workload{Name: "tpch2"}
+	for i := 0; i < n; i++ {
+		t := deep[rng.Intn(len(deep))]
+		t.skew *= 1.5 // more heterogeneous tasks with irregular utilization
+		t.depth += rng.Intn(3)
+		spec := buildQuery(rng, t, 200e9+rng.Float64()*300e9)
+		spec.Name = fmt.Sprintf("%s-h2-%d", t.name, i)
+		w.Jobs = append(w.Jobs, Submission{
+			Spec: spec,
+			At:   eventloop.Time(eventloop.Duration(i) * 2 * eventloop.Second),
+		})
+	}
+	return w
+}
+
+// Query returns a single instance of the named TPC-H query at the given
+// scale (e.g. "q14" at 200 GB), used for the Figure 1 / Table 1 solo runs.
+func Query(name string, scale float64, seed int64) (core.JobSpec, error) {
+	for _, t := range tpchTemplates {
+		if t.name == name {
+			rng := rand.New(rand.NewSource(seed))
+			return buildQuery(rng, t, scale), nil
+		}
+	}
+	return core.JobSpec{}, fmt.Errorf("workload: unknown query %q", name)
+}
