@@ -1,0 +1,39 @@
+# Developer entry points. `make ci` is the gate every change must pass; the
+# other targets are its pieces plus the performance tooling.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench bench-json clean
+
+ci: fmt-check vet build test race
+
+# gofmt -l prints offending files; fail when it prints anything.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package fans simulation runs across goroutines; run its
+# tests (including the parallel==serial determinism regression) under the
+# race detector.
+race:
+	$(GO) test -race ./internal/experiments
+
+# Hot-path microbenchmarks with allocation counts.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/core ./internal/eventloop ./internal/experiments
+
+# Regenerate the checked-in core performance snapshot.
+bench-json:
+	$(GO) run ./cmd/ursa-bench -perf BENCH_core.json
+
+clean:
+	$(GO) clean ./...

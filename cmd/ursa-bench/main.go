@@ -7,6 +7,8 @@
 //	ursa-bench table2
 //	ursa-bench -scale 0.1 -seed 7 table2 table4
 //	ursa-bench -csv out/ fig4 fig9
+//	ursa-bench -workers 4 all
+//	ursa-bench -perf BENCH_core.json
 package main
 
 import (
@@ -18,14 +20,25 @@ import (
 	"text/tabwriter"
 
 	"ursa/internal/experiments"
+	"ursa/internal/perf"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale: 1.0 = paper configuration")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "directory to write figure series as CSV")
+	workers := flag.Int("workers", 0, "concurrent simulation runs per experiment: 0 = GOMAXPROCS, 1 = serial (results are identical for any value)")
+	perfOut := flag.String("perf", "", "measure core hot paths and write the benchmark report JSON to this path, then exit")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
+
+	if *perfOut != "" {
+		if err := writePerf(*perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -52,7 +65,7 @@ func main() {
 		ids = args
 	}
 
-	opt := experiments.Options{Scale: *scale, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 	for _, id := range ids {
 		e, ok := experiments.Lookup(id)
 		if !ok {
@@ -70,6 +83,31 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// writePerf regenerates the core benchmark snapshot (BENCH_core.json).
+func writePerf(path string) error {
+	fmt.Fprintln(os.Stderr, "measuring core hot paths (takes ~10s)...")
+	rep := perf.Collect()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("placement tick: %.0f ns/op, %d allocs/op, %.0f ticks/s\n",
+		rep.PlacementTick.NsPerOp, rep.PlacementTick.AllocsPerOp, rep.PlacementTick.Throughput)
+	fmt.Printf("eventloop timers: %.1f ns/op-batch/%d, %d allocs/op, %.0f timers/s\n",
+		rep.EventLoopTimers.NsPerOp, 1024, rep.EventLoopTimers.AllocsPerOp, rep.EventLoopTimers.Throughput)
+	fmt.Printf("table1 serial: %.2f sim-runs/s; parallel: %.2f sim-runs/s\n",
+		rep.Table1Serial.Throughput, rep.Table1Parallel.Throughput)
+	return nil
 }
 
 func render(rep *experiments.Report) {

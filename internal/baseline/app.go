@@ -30,7 +30,7 @@ type executor struct {
 	slots     int
 	busy      int
 	memUsed   float64
-	idleTimer *eventloop.Timer
+	idleTimer eventloop.Timer
 	released  bool
 }
 
@@ -230,10 +230,8 @@ func (a *app) armIdle(ex *executor) {
 }
 
 func (ex *executor) cancelIdle() {
-	if ex.idleTimer != nil {
-		ex.idleTimer.Cancel()
-		ex.idleTimer = nil
-	}
+	ex.idleTimer.Cancel()
+	ex.idleTimer = eventloop.Timer{}
 }
 
 func (a *app) releaseExecutor(ex *executor) {

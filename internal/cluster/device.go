@@ -33,7 +33,7 @@ type Device struct {
 	perFlowCap float64 // bytes/s; 0 means no cap
 	flows      []*Flow
 	lastSettle eventloop.Time
-	timer      *eventloop.Timer
+	timer      eventloop.Timer
 
 	// bytesMoved integrates completed transfer volume for utilization
 	// sampling.
@@ -131,10 +131,8 @@ func (d *Device) settle() {
 // reschedule recomputes fair-share rates and rearms the completion timer.
 // Callers must settle() first.
 func (d *Device) reschedule() {
-	if d.timer != nil {
-		d.timer.Cancel()
-		d.timer = nil
-	}
+	d.timer.Cancel()
+	d.timer = eventloop.Timer{}
 	n := len(d.flows)
 	if n == 0 {
 		return
@@ -163,7 +161,7 @@ func (d *Device) reschedule() {
 // complete fires when the soonest flow should have drained; it finishes every
 // flow that is (numerically) done and reschedules the rest.
 func (d *Device) complete() {
-	d.timer = nil
+	d.timer = eventloop.Timer{}
 	d.settle()
 	// A flow within half a byte of done is done: FromSeconds rounds to the
 	// microsecond, so exact zero is not guaranteed.

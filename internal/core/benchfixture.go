@@ -1,0 +1,98 @@
+package core
+
+import (
+	"ursa/internal/cluster"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// PlacementBench is a synthetic saturated-pool fixture for benchmarking the
+// placement hot path in isolation: a pool of pending stages over a cluster
+// of idle workers, scored and planned by a Placer exactly as one scheduler
+// tick would. A Tick does not consume the pool (the scheduler removes placed
+// tasks separately), so repeated Ticks measure a uniform workload.
+//
+// It is exported so both the core microbenchmarks and the internal/perf
+// harness (which emits BENCH_core.json) share one scenario definition.
+type PlacementBench struct {
+	Sys     *System
+	Pending []*PendingStage
+
+	ctx    *PlaceContext
+	placer Placer
+}
+
+// NewPlacementBench builds a pool of nStages pending stages with
+// tasksPerStage estimated tasks each, over nWorkers workers. Stage demand
+// profiles rotate through CPU-, network- and disk-dominant mixes so every
+// resource dimension of F(t,w) is exercised.
+func NewPlacementBench(nWorkers, nStages, tasksPerStage int) *PlacementBench {
+	loop := eventloop.New()
+	clus := cluster.New(loop, cluster.Config{
+		Machines:           nWorkers,
+		CoresPerMachine:    8,
+		MemPerMachine:      32 * resource.GB,
+		NetBandwidth:       1.25e9,
+		DiskBandwidth:      2e8,
+		CoreRate:           1e8,
+		NetPerFlowFraction: 0.75,
+	})
+	sys := NewSystem(loop, clus, Config{})
+	pb := &PlacementBench{Sys: sys}
+
+	// A handful of jobs sharing the stages, with distinct priorities so the
+	// job-ordering boost path is exercised too.
+	nJobs := 8
+	if nStages < nJobs {
+		nJobs = nStages
+	}
+	jobs := make([]*Job, nJobs)
+	for i := range jobs {
+		jobs[i] = &Job{ID: i, priority: float64(nJobs - i)}
+		sys.Sched.admitted = append(sys.Sched.admitted, jobs[i])
+	}
+
+	taskID := 0
+	for si := 0; si < nStages; si++ {
+		st := &dag.Stage{ID: si}
+		ps := &PendingStage{Job: jobs[si%nJobs], Stage: st}
+		for ti := 0; ti < tasksPerStage; ti++ {
+			var est resource.Vector
+			// Rotate demand profiles; sizes vary per task to defeat
+			// accidental uniformity.
+			base := 50e6 + float64(taskID%7)*20e6
+			switch si % 3 {
+			case 0: // CPU-dominant
+				est = est.Set(resource.CPU, base).Set(resource.Disk, base/8)
+			case 1: // network-dominant (shuffle-like)
+				est = est.Set(resource.Net, base).Set(resource.CPU, base/4)
+			default: // disk-dominant
+				est = est.Set(resource.Disk, base).Set(resource.CPU, base/6)
+			}
+			est = est.Set(resource.Mem, 256e6+float64(taskID%5)*64e6)
+			t := &dag.Task{ID: taskID, Stage: st, Worker: -1, EstUsage: est,
+				InputBytes: base}
+			taskID++
+			ps.Tasks = append(ps.Tasks, t)
+		}
+		pb.Pending = append(pb.Pending, ps)
+	}
+
+	pb.placer = defaultPlacer
+	pb.ctx = &PlaceContext{
+		Now:        loop.Now(),
+		Cfg:        &sys.Cfg,
+		Workers:    sys.Workers,
+		Pending:    pb.Pending,
+		orderBoost: sys.Sched.orderBoost,
+	}
+	return pb
+}
+
+// Tick runs one full placement pass (snapshot, score, plan) and returns the
+// number of placements the pass produced. Worker and task state are left
+// untouched, so Ticks are repeatable.
+func (pb *PlacementBench) Tick() int {
+	return len(pb.placer.Place(pb.ctx))
+}

@@ -49,6 +49,15 @@ type Job struct {
 	// queues and placement read it.
 	priority float64
 
+	// reservedMem is the cluster-wide memory reservation granted at
+	// admission (§4.2.2), snapshotted so completion releases exactly what
+	// admission took regardless of later capacity changes.
+	reservedMem float64
+
+	// pendingIdx indexes the scheduler's pending pool entries for this job
+	// by stage, so registering newly ready tasks is O(tasks).
+	pendingIdx map[*dag.Stage]*PendingStage
+
 	jm *JobManager
 }
 

@@ -17,18 +17,49 @@ type Placement struct {
 // each scheduling interval. Worker rates and memory levels are snapshotted
 // once per interval: placement is O(stages × tasks × workers) in the worst
 // case, so per-candidate indirection matters.
+//
+// The context owns all scratch state the placement pass needs (headroom
+// vectors, the trial-placement undo journal, candidate ranking and output
+// buffers) and reuses it across scheduling intervals, so a steady-state tick
+// runs without heap allocation. The scheduler keeps one PlaceContext alive
+// for the lifetime of the run; slices returned by Place are valid only until
+// the next Place call on the same context.
 type PlaceContext struct {
 	Now     eventloop.Time
 	Cfg     *Config
 	Workers []*Worker
 	Pending []*PendingStage
 
-	// Per-worker snapshots, indexed like Workers.
+	// Per-worker snapshots, indexed like Workers; resized lazily and reused
+	// across ticks.
 	invRateEPT [][3]float64 // 1/(rate_k · EPT)
 	memFree    []float64
 	memCap     []float64
 
+	// d holds the per-worker headroom vectors for the current interval.
+	d []dVec
+	// undo journals trial mutations of d during StageScore evaluation so a
+	// rejected plan rolls back without copying the whole headroom array.
+	undo []undoEntry
+	// cands ranks viable stages within one interval.
+	cands []stageCand
+	// out accumulates the interval's placements.
+	out []Placement
+
 	orderBoost func(*Job, eventloop.Time) float64
+}
+
+// undoEntry records one worker's headroom vector before a trial placement
+// mutated it.
+type undoEntry struct {
+	wi  int
+	old dVec
+}
+
+// stageCand is one ranked candidate stage of the two-pass batch placement.
+type stageCand struct {
+	ps    *PendingStage
+	score float64
 }
 
 // OrderBoost returns the W·T job-ordering score addend for a stage of job j.
@@ -39,14 +70,24 @@ func (ctx *PlaceContext) OrderBoost(j *Job) float64 {
 	return ctx.orderBoost(j, ctx.Now)
 }
 
-// prepare snapshots worker state for this interval.
+// prepare snapshots worker state for this interval, reusing the snapshot
+// slices from previous intervals.
 func (ctx *PlaceContext) prepare() {
 	ept := ctx.Cfg.EPT.Seconds()
 	n := len(ctx.Workers)
-	ctx.invRateEPT = make([][3]float64, n)
-	ctx.memFree = make([]float64, n)
-	ctx.memCap = make([]float64, n)
+	if cap(ctx.invRateEPT) < n {
+		ctx.invRateEPT = make([][3]float64, n)
+		ctx.memFree = make([]float64, n)
+		ctx.memCap = make([]float64, n)
+		ctx.d = make([]dVec, n)
+	} else {
+		ctx.invRateEPT = ctx.invRateEPT[:n]
+		ctx.memFree = ctx.memFree[:n]
+		ctx.memCap = ctx.memCap[:n]
+		ctx.d = ctx.d[:n]
+	}
 	for i, w := range ctx.Workers {
+		ctx.invRateEPT[i] = [3]float64{}
 		if w.failed {
 			ctx.memFree[i] = -1 // every placement gate rejects the worker
 			ctx.memCap[i] = w.MemCapacity()
@@ -63,7 +104,8 @@ func (ctx *PlaceContext) prepare() {
 }
 
 // Placer is a task placement algorithm. Algorithm 1 is the default;
-// baselines (Tetris, Capacity) implement this interface too (§5.1.2).
+// baselines (Tetris, Capacity) implement this interface too (§5.1.2). The
+// returned slice may be reused by the placer on its next Place call.
 type Placer interface {
 	Place(ctx *PlaceContext) []Placement
 }
@@ -91,8 +133,8 @@ type dVec [4]float64
 
 func (Algorithm1) Place(ctx *PlaceContext) []Placement {
 	ctx.prepare()
-	d := computeD(ctx)
-	var out []Placement
+	d := ctx.computeD()
+	ctx.out = ctx.out[:0]
 	if ctx.Cfg.DisableStageAware {
 		// Ablation (§5.2): repeatedly pick the single best-scoring task
 		// across all stages instead of whole stages.
@@ -102,31 +144,30 @@ func (Algorithm1) Place(ctx *PlaceContext) []Placement {
 				break
 			}
 			commit(ctx, d, pl.Task, pl.Worker)
-			out = append(out, pl)
+			ctx.out = append(ctx.out, pl)
 		}
-		return out
+		return ctx.out
 	}
 	// Two-pass batch variant of Algorithm 1: rank every pending stage by
 	// its StageScore (plus the job-ordering boost) against the interval's
 	// initial headroom, then commit plans in rank order, recomputing each
 	// stage's plan against the updated D just before committing. This
 	// preserves the greedy stage-at-a-time semantics while keeping each
-	// interval O(2 · stages · tasks · workers).
-	type cand struct {
-		ps    *PendingStage
-		score float64
-	}
-	var cands []cand
+	// interval O(2 · stages · tasks · workers). Trial plans mutate D in
+	// place and roll back through the undo journal, so no candidate copies
+	// the headroom array.
+	ctx.cands = ctx.cands[:0]
 	for _, ps := range ctx.Pending {
 		if !stageViable(ctx, ps, d) {
 			continue
 		}
-		score, plan, _ := stageScore(ctx, ps, d)
-		if len(plan) == 0 {
+		score, placed := ctx.stageScore(ps, d, false)
+		if placed == 0 {
 			continue
 		}
-		cands = append(cands, cand{ps, score + ctx.OrderBoost(ps.Job)})
+		ctx.cands = append(ctx.cands, stageCand{ps, score + ctx.OrderBoost(ps.Job)})
 	}
+	cands := ctx.cands
 	for i := 1; i < len(cands); i++ { // insertion sort: pools are small
 		for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
@@ -139,14 +180,9 @@ func (Algorithm1) Place(ctx *PlaceContext) []Placement {
 		if !stageViable(ctx, c.ps, d) {
 			continue
 		}
-		_, plan, nd := stageScore(ctx, c.ps, d)
-		if len(plan) == 0 {
-			continue
-		}
-		d = nd
-		out = append(out, plan...)
+		ctx.stageScore(c.ps, d, true)
 	}
-	return out
+	return ctx.out
 }
 
 // anyHeadroom reports whether any worker retains any capacity at all.
@@ -192,10 +228,11 @@ func stageViable(ctx *PlaceContext, ps *PendingStage, d []dVec) bool {
 	return false
 }
 
-// computeD evaluates the per-worker headroom vectors from live worker state.
-func computeD(ctx *PlaceContext) []dVec {
+// computeD evaluates the per-worker headroom vectors from live worker state
+// into the context's reusable buffer.
+func (ctx *PlaceContext) computeD() []dVec {
 	ept := ctx.Cfg.EPT.Seconds()
-	d := make([]dVec, len(ctx.Workers))
+	d := ctx.d
 	for i, w := range ctx.Workers {
 		for _, k := range resource.MonotaskKinds {
 			v := (ept - w.APT(k)) / ept
@@ -262,21 +299,24 @@ func applyInc(d dVec, inc dVec) dVec {
 	return d
 }
 
-// stageScore implements the StageScore function of Algorithm 1 on a copy of
-// D, returning the normalized score (plus the stage bonus when every task
-// was placed), the placement plan, and the updated D.
-func stageScore(ctx *PlaceContext, ps *PendingStage, d []dVec) (float64, []Placement, []dVec) {
-	nd := make([]dVec, len(d))
-	copy(nd, d)
-	var plan []Placement
+// stageScore implements the StageScore function of Algorithm 1. It plans the
+// stage's tasks greedily against d, mutating d in place and journalling each
+// mutation. When keep is false (the ranking pass) every mutation is rolled
+// back before returning, so d is restored to its pre-call state; when keep
+// is true (the commit pass) the mutations stand and the plan's placements
+// are appended to ctx.out. It returns the normalized score (plus the stage
+// bonus when every task was placed) and the number of tasks placed.
+func (ctx *PlaceContext) stageScore(ps *PendingStage, d []dVec, keep bool) (float64, int) {
+	mark := len(ctx.undo)
 	score := 0.0
+	placed := 0
 	bonus := stageBonus
 	for _, t := range ps.Tasks {
 		bestW := -1
 		bestF := 0.0
 		var bestInc dVec
 		for wi := range ctx.Workers {
-			f, inc, ok := scoreTask(ctx, t, wi, nd[wi])
+			f, inc, ok := scoreTask(ctx, t, wi, d[wi])
 			if !ok {
 				continue
 			}
@@ -288,14 +328,25 @@ func stageScore(ctx *PlaceContext, ps *PendingStage, d []dVec) (float64, []Place
 			bonus = 0
 			continue
 		}
-		plan = append(plan, Placement{Stage: ps, Task: t, Worker: ctx.Workers[bestW]})
-		nd[bestW] = applyInc(nd[bestW], bestInc)
+		ctx.undo = append(ctx.undo, undoEntry{wi: bestW, old: d[bestW]})
+		d[bestW] = applyInc(d[bestW], bestInc)
 		score += bestF
+		placed++
+		if keep {
+			ctx.out = append(ctx.out, Placement{Stage: ps, Task: t, Worker: ctx.Workers[bestW]})
+		}
 	}
-	if len(plan) == 0 {
-		return 0, nil, d
+	if !keep {
+		for i := len(ctx.undo) - 1; i >= mark; i-- {
+			e := ctx.undo[i]
+			d[e.wi] = e.old
+		}
 	}
-	return score/float64(len(plan)) + bonus, plan, nd
+	ctx.undo = ctx.undo[:mark]
+	if placed == 0 {
+		return 0, 0
+	}
+	return score/float64(placed) + bonus, placed
 }
 
 // bestSingleTask is the non-stage-aware ablation: the highest-F (task,

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+// BenchmarkPlacementTick measures one scheduler placement pass over a
+// saturated pool: 64 workers × 32 stages × 16 tasks. This is the hot path
+// that bounds how small the scheduling interval can be (§4.2.2), and the
+// allocs/op number is the headline figure tracked in BENCH_core.json.
+func BenchmarkPlacementTick(b *testing.B) {
+	pb := NewPlacementBench(64, 32, 16)
+	if pb.Tick() == 0 {
+		b.Fatal("placement pass placed nothing; fixture is not exercising the hot path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Tick()
+	}
+}
+
+// BenchmarkPlacementTickSmall is the same pass at the paper's testbed scale
+// (20 workers), closer to what one 100 ms interval really costs.
+func BenchmarkPlacementTickSmall(b *testing.B) {
+	pb := NewPlacementBench(20, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Tick()
+	}
+}

@@ -25,6 +25,11 @@ type Scheduler struct {
 	// tasks.
 	pending []*PendingStage
 
+	// pctx is the placement context reused across ticks: its worker
+	// snapshots and scoring scratch buffers persist, so a steady-state tick
+	// does not allocate.
+	pctx PlaceContext
+
 	ticking  bool
 	stopTick func()
 }
@@ -35,6 +40,28 @@ type PendingStage struct {
 	Job   *Job
 	Stage *dag.Stage
 	Tasks []*dag.Task
+}
+
+// add appends a ready task, maintaining its O(1)-removal index.
+func (ps *PendingStage) add(t *dag.Task) {
+	t.SchedIdx = len(ps.Tasks)
+	ps.Tasks = append(ps.Tasks, t)
+}
+
+// remove deletes a placed task in O(1) by swapping it with the last entry
+// (order within a stage is not semantically meaningful; the placement score
+// decides assignment, not pool position).
+func (ps *PendingStage) remove(t *dag.Task) {
+	i := t.SchedIdx
+	if i < 0 || i >= len(ps.Tasks) || ps.Tasks[i] != t {
+		return // not tracked in this pool entry
+	}
+	last := len(ps.Tasks) - 1
+	ps.Tasks[i] = ps.Tasks[last]
+	ps.Tasks[i].SchedIdx = i
+	ps.Tasks[last] = nil
+	ps.Tasks = ps.Tasks[:last]
+	t.SchedIdx = -1
 }
 
 func newScheduler(sys *System) *Scheduler { return &Scheduler{sys: sys} }
@@ -78,6 +105,11 @@ func (s *Scheduler) tryAdmit() {
 		m := s.memEstimate(j)
 		if s.reservedMem+m <= total {
 			s.reservedMem += m
+			// Snapshot the reserved amount on the job: the release at
+			// finish must return exactly what admission took, even if
+			// cluster capacity (and hence the memEstimate clamp) changed
+			// in between, e.g. after a worker failure.
+			j.reservedMem = m
 			s.admit(j)
 			continue
 		}
@@ -98,22 +130,20 @@ func (s *Scheduler) admit(j *Job) {
 }
 
 // addReadyTasks registers estimated, ready tasks for placement at the next
-// scheduling interval.
+// scheduling interval. The job's stage index makes the common case — all
+// tasks landing in existing pool entries — O(tasks) instead of O(pool).
 func (s *Scheduler) addReadyTasks(j *Job, tasks []*dag.Task) {
-	byStage := make(map[*dag.Stage]*PendingStage)
-	for _, ps := range s.pending {
-		if ps.Job == j {
-			byStage[ps.Stage] = ps
-		}
+	if j.pendingIdx == nil {
+		j.pendingIdx = make(map[*dag.Stage]*PendingStage)
 	}
 	for _, t := range tasks {
-		ps, ok := byStage[t.Stage]
+		ps, ok := j.pendingIdx[t.Stage]
 		if !ok {
 			ps = &PendingStage{Job: j, Stage: t.Stage}
-			byStage[t.Stage] = ps
+			j.pendingIdx[t.Stage] = ps
 			s.pending = append(s.pending, ps)
 		}
-		ps.Tasks = append(ps.Tasks, t)
+		ps.add(t)
 	}
 	s.ensureTicking()
 }
@@ -128,11 +158,15 @@ func (s *Scheduler) taskFinished(j *Job, t *dag.Task, w *Worker) {
 }
 
 // jobFinished finalizes a job, releases its reservation and re-runs
-// admission.
+// admission. The release uses the reservation snapshotted at admission, not
+// a recomputed estimate: recomputing against the current cluster capacity
+// would leak (or over-release) reservation whenever capacity changed between
+// admit and finish, e.g. under worker failures.
 func (s *Scheduler) jobFinished(j *Job) {
 	j.State = JobFinished
 	j.Finished = s.sys.Loop.Now()
-	s.reservedMem -= s.memEstimate(j)
+	s.reservedMem -= j.reservedMem
+	j.reservedMem = 0
 	if s.reservedMem < 0 {
 		s.reservedMem = 0
 	}
@@ -158,8 +192,11 @@ func (s *Scheduler) ensureTicking() {
 // tick is one scheduling interval: refresh priorities, run placement over
 // the pending pool, dispatch the resulting assignments.
 func (s *Scheduler) tick() {
-	if len(s.pending) == 0 && len(s.admissionQueue) == 0 {
-		// Nothing to do; stop ticking until new work arrives.
+	if len(s.pending) == 0 {
+		// Nothing placeable: stop ticking until new ready tasks arrive.
+		// Queued jobs need no tick — admission is retried when a running
+		// job finishes, and every path that produces ready tasks calls
+		// ensureTicking.
 		s.ticking = false
 		s.stopTick()
 		return
@@ -169,35 +206,29 @@ func (s *Scheduler) tick() {
 	if placer == nil {
 		placer = defaultPlacer
 	}
-	ctx := &PlaceContext{
-		Now:        s.sys.Loop.Now(),
-		Cfg:        &s.sys.Cfg,
-		Workers:    s.sys.Workers,
-		Pending:    s.pending,
-		orderBoost: s.orderBoost,
-	}
-	placements := placer.Place(ctx)
+	s.pctx.Now = s.sys.Loop.Now()
+	s.pctx.Cfg = &s.sys.Cfg
+	s.pctx.Workers = s.sys.Workers
+	s.pctx.Pending = s.pending
+	s.pctx.orderBoost = s.orderBoost
+	placements := placer.Place(&s.pctx)
 	for _, pl := range placements {
 		pl.Stage.remove(pl.Task)
 		pl.Stage.Job.jm.taskPlaced(pl.Task, pl.Worker)
 	}
-	// Drop exhausted pool entries.
-	var live []*PendingStage
+	// Drop exhausted pool entries in place, maintaining the per-job index.
+	live := s.pending[:0]
 	for _, ps := range s.pending {
 		if len(ps.Tasks) > 0 {
 			live = append(live, ps)
+		} else {
+			delete(ps.Job.pendingIdx, ps.Stage)
 		}
+	}
+	for i := len(live); i < len(s.pending); i++ {
+		s.pending[i] = nil
 	}
 	s.pending = live
-}
-
-func (ps *PendingStage) remove(t *dag.Task) {
-	for i, x := range ps.Tasks {
-		if x == t {
-			ps.Tasks = append(ps.Tasks[:i], ps.Tasks[i+1:]...)
-			return
-		}
-	}
 }
 
 // refreshPriorities recomputes each job's ordering score (§4.2.2). EJF uses

@@ -220,7 +220,7 @@ func (w *Worker) start(item *queuedMT, counted bool) {
 		w.Machine.Cores.MustAlloc(1)
 		overhead := w.sys.Cfg.DispatchOverhead
 		inCompute := false
-		var dispatch, compute *eventloop.Timer
+		var dispatch, compute eventloop.Timer
 		dispatch = w.sys.Loop.After(overhead, func() {
 			inCompute = true
 			w.Machine.Cores.Use(1)

@@ -140,6 +140,10 @@ type Task struct {
 
 	// Worker is the machine the task was placed on; -1 until assigned.
 	Worker int
+	// SchedIdx is the task's position within its scheduler pending-pool
+	// entry (core.PendingStage bookkeeping enabling O(1) removal); -1 while
+	// the task is not pending.
+	SchedIdx int
 	// EstUsage is the JM's per-resource usage estimate (§4.2.1), filled
 	// when the task becomes ready.
 	EstUsage resource.Vector
@@ -458,7 +462,7 @@ func (p *Plan) buildTasks() {
 		root := find(mt.ID)
 		t, ok := taskOf[root]
 		if !ok {
-			t = &Task{ID: len(p.Tasks), Worker: -1}
+			t = &Task{ID: len(p.Tasks), Worker: -1, SchedIdx: -1}
 			taskOf[root] = t
 			p.Tasks = append(p.Tasks, t)
 		}

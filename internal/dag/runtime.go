@@ -252,6 +252,7 @@ func (p *Plan) ResetForRetry(t *Task) int {
 		}
 	}
 	t.Worker = -1
+	t.SchedIdx = -1
 	return n
 }
 

@@ -2,6 +2,12 @@
 // drives every simulated Ursa and baseline run. All control-plane and
 // data-plane logic executes as callbacks on a single virtual-time loop, so
 // the simulated systems need no locking and runs are fully deterministic.
+//
+// Timer objects are pooled: a fired or drained timer struct is recycled for
+// the next At/After/Post call, so steady-state simulation schedules
+// callbacks without allocating. Handles are generation-checked values, which
+// makes Cancel on an already-fired (and possibly recycled) timer a safe
+// no-op.
 package eventloop
 
 import (
@@ -49,48 +55,102 @@ func FromSeconds(s float64) Duration {
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// Timer is a handle to a scheduled callback. Cancelling a fired or already
-// cancelled timer is a no-op.
-type Timer struct {
+// timer is the pooled scheduled-callback record. Only the loop touches it;
+// user code holds generation-checked Timer handles.
+type timer struct {
 	at        Time
 	seq       uint64
 	index     int // heap index, -1 once removed
 	fn        func()
 	cancelled bool
+	// gen increments every time the struct is recycled, invalidating all
+	// previously issued handles.
+	gen uint64
+}
+
+// Timer is a handle to a scheduled callback. The zero value is an inert
+// handle. Cancelling a fired, already cancelled, or recycled timer is a safe
+// no-op: handles carry the generation of the underlying pooled record and
+// stale handles simply miss.
+type Timer struct {
+	t   *timer
+	gen uint64
 }
 
 // Cancel prevents the timer's callback from running. It reports whether the
 // timer was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.cancelled || t.index < 0 {
+func (h Timer) Cancel() bool {
+	t := h.t
+	if t == nil || t.gen != h.gen || t.cancelled || t.index < 0 {
 		return false
 	}
 	t.cancelled = true
 	return true
 }
 
-// When returns the virtual time the timer is scheduled to fire at.
-func (t *Timer) When() Time { return t.at }
+// Active reports whether the timer is still scheduled to fire.
+func (h Timer) Active() bool {
+	t := h.t
+	return t != nil && t.gen == h.gen && !t.cancelled && t.index >= 0
+}
 
-// Loop is a discrete-event scheduler. The zero value is ready to use.
+// When returns the virtual time the timer is scheduled to fire at, or zero
+// for inert/stale handles.
+func (h Timer) When() Time {
+	if !h.Active() {
+		return 0
+	}
+	return h.t.at
+}
+
+// defaultHeapCap pre-sizes the timer heap: typical simulated runs keep
+// hundreds to a few thousand timers in flight, and growing the backing array
+// during a run causes avoidable copies on the hot path.
+const defaultHeapCap = 1024
+
+// Loop is a discrete-event scheduler. The zero value is ready to use; New
+// additionally pre-sizes the timer heap.
 type Loop struct {
 	now     Time
 	seq     uint64
 	pq      timerHeap
+	free    []*timer // recycled timer records
 	stopped bool
 	// Executed counts callbacks run; useful for tests and run budgets.
 	Executed uint64
 }
 
-// New returns an empty loop positioned at time zero.
-func New() *Loop { return &Loop{} }
+// New returns an empty loop positioned at time zero with a pre-sized heap.
+func New() *Loop {
+	return &Loop{pq: make(timerHeap, 0, defaultHeapCap)}
+}
 
 // Now returns the current virtual time.
 func (l *Loop) Now() Time { return l.now }
 
+// alloc takes a timer record from the free list, or allocates one.
+func (l *Loop) alloc() *timer {
+	if n := len(l.free); n > 0 {
+		t := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return t
+	}
+	return &timer{}
+}
+
+// recycle invalidates outstanding handles for t and returns it to the pool.
+func (l *Loop) recycle(t *timer) {
+	t.gen++
+	t.fn = nil
+	t.cancelled = false
+	t.index = -1
+	l.free = append(l.free, t)
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past is an
 // error in simulation logic, so it panics to surface the bug immediately.
-func (l *Loop) At(at Time, fn func()) *Timer {
+func (l *Loop) At(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("eventloop: nil callback")
 	}
@@ -98,13 +158,14 @@ func (l *Loop) At(at Time, fn func()) *Timer {
 		panic(fmt.Sprintf("eventloop: scheduling at %v before now %v", at, l.now))
 	}
 	l.seq++
-	t := &Timer{at: at, seq: l.seq, fn: fn}
+	t := l.alloc()
+	t.at, t.seq, t.fn = at, l.seq, fn
 	heap.Push(&l.pq, t)
-	return t
+	return Timer{t: t, gen: t.gen}
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (l *Loop) After(d Duration, fn func()) *Timer {
+func (l *Loop) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -113,7 +174,7 @@ func (l *Loop) After(d Duration, fn func()) *Timer {
 
 // Post schedules fn to run at the current time, after all callbacks already
 // queued for this instant.
-func (l *Loop) Post(fn func()) *Timer { return l.At(l.now, fn) }
+func (l *Loop) Post(fn func()) Timer { return l.At(l.now, fn) }
 
 // Stop makes Run return after the current callback finishes.
 func (l *Loop) Stop() { l.stopped = true }
@@ -129,6 +190,7 @@ func (l *Loop) step(limit Time) bool {
 		t := l.pq[0]
 		if t.cancelled {
 			heap.Pop(&l.pq)
+			l.recycle(t)
 			continue
 		}
 		if t.at > limit {
@@ -140,7 +202,12 @@ func (l *Loop) step(limit Time) bool {
 		}
 		l.now = t.at
 		l.Executed++
-		t.fn()
+		fn := t.fn
+		// Recycle before running: the handle is already stale (the timer
+		// fired), and the record becomes immediately reusable by timers
+		// scheduled from within fn.
+		l.recycle(t)
+		fn()
 		return true
 	}
 	return false
@@ -173,7 +240,7 @@ func (l *Loop) Every(period Duration, fn func()) (stop func()) {
 	}
 	stopped := false
 	var tick func()
-	var timer *Timer
+	var timer Timer
 	tick = func() {
 		if stopped {
 			return
@@ -191,7 +258,7 @@ func (l *Loop) Every(period Duration, fn func()) (stop func()) {
 }
 
 // timerHeap orders timers by (at, seq) so equal-time events run FIFO.
-type timerHeap []*Timer
+type timerHeap []*timer
 
 func (h timerHeap) Len() int { return len(h) }
 func (h timerHeap) Less(i, j int) bool {
@@ -206,7 +273,7 @@ func (h timerHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
+	t := x.(*timer)
 	t.index = len(*h)
 	*h = append(*h, t)
 }

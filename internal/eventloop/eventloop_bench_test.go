@@ -1,0 +1,37 @@
+package eventloop
+
+import "testing"
+
+// BenchmarkEventLoopTimers measures the schedule→fire cycle of loop timers,
+// the per-monotask overhead of every simulated run. allocs/op tracks the
+// effectiveness of the timer free-list.
+func BenchmarkEventLoopTimers(b *testing.B) {
+	l := New()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.After(Duration(i&1023), nop)
+		if i&1023 == 1023 {
+			l.Run()
+		}
+	}
+	l.Run()
+}
+
+// BenchmarkEventLoopTimerCancel measures the schedule→cancel→drain cycle,
+// the pattern device flow rescheduling hits constantly.
+func BenchmarkEventLoopTimerCancel(b *testing.B) {
+	l := New()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := l.After(Duration(i&255), nop)
+		t.Cancel()
+		if i&255 == 255 {
+			l.Run()
+		}
+	}
+	l.Run()
+}

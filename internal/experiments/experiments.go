@@ -52,12 +52,9 @@ func paperCluster() cluster.Config { return cluster.Default20x32() }
 
 const sampleEvery = eventloop.Second
 
-// soloSeries runs one job alone on a baseline stack and returns its series
-// and CPU UE.
-func soloSeries(spec core.JobSpec, cfg baseline.Config) (ts *trace.TimeSeries, ueCPU float64) {
-	w := workload.Single(spec)
-	r := RunBaseline(w, cfg, paperCluster(), sampleEvery)
-	return r.Series, r.Eff.UECPU
+// soloRun runs one job alone on a baseline stack.
+func soloRun(spec core.JobSpec, cfg baseline.Config) Result {
+	return RunBaseline(workload.Single(spec), cfg, paperCluster(), sampleEvery)
 }
 
 // dedicatedCfg approximates a domain-specific system (Petuum, Gemini): the
@@ -110,8 +107,16 @@ func Fig1(opt Options) *Report {
 		{"g", "q8", sparkCfg()},
 		{"h", "q8", tezCfg()},
 	}
+	var runs []namedRun
 	for _, p := range panels {
-		ts, _ := soloSeries(jobs[p.job](), p.cfg)
+		p := p
+		runs = append(runs, namedRun{p.panel, func() Result {
+			return soloRun(jobs[p.job](), p.cfg)
+		}})
+	}
+	results := runAll(o, runs)
+	for i, p := range panels {
+		ts := results[i].Series
 		key := fmt.Sprintf("fig1%s-%s-%s", p.panel, p.job, p.cfg.Runtime)
 		rep.Series[key] = ts
 		var peak float64
@@ -137,17 +142,29 @@ func Table1(opt Options) *Report {
 	jobs := fig1Jobs(o)
 	rep := &Report{ID: "table1", Title: "Table 1: CPU utilization efficiency",
 		Header: []string{"stack", "LR", "CC", "TPC-H Q14", "TPC-H Q8"}}
-	for _, cfg := range []baseline.Config{sparkCfg(), tezCfg()} {
-		row := []string{cfg.Runtime.String()}
-		for _, name := range []string{"lr", "cc", "q14", "q8"} {
+	cfgs := []baseline.Config{sparkCfg(), tezCfg()}
+	names := []string{"lr", "cc", "q14", "q8"}
+	type cellID struct{ row, col int }
+	var runs []namedRun
+	var cells []cellID
+	for ri, cfg := range cfgs {
+		for ci, name := range names {
 			if cfg.Runtime == baseline.Tez && (name == "lr" || name == "cc") {
-				row = append(row, "N/A")
 				continue
 			}
-			_, ue := soloSeries(jobs[name](), cfg)
-			row = append(row, fmt.Sprintf("%.2f%%", ue))
+			cfg, name := cfg, name
+			runs = append(runs, namedRun{fmt.Sprintf("%s/%s", cfg.Runtime, name),
+				func() Result { return soloRun(jobs[name](), cfg) }})
+			cells = append(cells, cellID{ri, ci + 1})
 		}
+	}
+	results := runAll(o, runs)
+	for _, cfg := range cfgs {
+		row := []string{cfg.Runtime.String(), "N/A", "N/A", "N/A", "N/A"}
 		rep.Rows = append(rep.Rows, row)
+	}
+	for i, c := range cells {
+		rep.Rows[c.row][c.col] = fmt.Sprintf("%.2f%%", results[i].Eff.UECPU)
 	}
 	return rep
 }
@@ -159,19 +176,15 @@ func Table2(opt Options) *Report {
 	gen := func() *workload.Workload { return workload.TPCH(n, 5*eventloop.Second, o.Seed) }
 	rep := &Report{ID: "table2", Title: "Table 2: performance on TPC-H",
 		Header: effHeader, Series: map[string]*trace.TimeSeries{}}
-	runs := []struct {
-		name string
-		run  func() Result
-	}{
+	runs := []namedRun{
 		{"Ursa-EJF", func() Result { return RunUrsa(gen(), core.Config{Policy: core.EJF}, paperCluster(), sampleEvery) }},
 		{"Ursa-SRJF", func() Result { return RunUrsa(gen(), core.Config{Policy: core.SRJF}, paperCluster(), sampleEvery) }},
 		{"Y+S", func() Result { return RunBaseline(gen(), sparkCfg(), paperCluster(), sampleEvery) }},
 		{"Y+T", func() Result { return RunBaseline(gen(), tezCfg(), paperCluster(), sampleEvery) }},
 	}
-	for _, r := range runs {
-		res := r.run()
-		rep.Rows = append(rep.Rows, effRow(r.name, res))
-		rep.Series[r.name] = res.Series
+	for i, res := range runAll(o, runs) {
+		rep.Rows = append(rep.Rows, effRow(runs[i].name, res))
+		rep.Series[runs[i].name] = res.Series
 	}
 	return rep
 }
@@ -191,10 +204,7 @@ func Table3(opt Options) *Report {
 	gen := func() *workload.Workload { return workload.TPCDS(n, 5*eventloop.Second, o.Seed) }
 	rep := &Report{ID: "table3", Title: "Table 3: performance on TPC-DS",
 		Header: effHeader, Series: map[string]*trace.TimeSeries{}}
-	runs := []struct {
-		name string
-		run  func() Result
-	}{
+	runs := []namedRun{
 		{"Ursa-EJF", func() Result { return RunUrsa(gen(), core.Config{Policy: core.EJF}, paperCluster(), sampleEvery) }},
 		{"Ursa-SRJF", func() Result { return RunUrsa(gen(), core.Config{Policy: core.SRJF}, paperCluster(), sampleEvery) }},
 		{"Y+S", func() Result {
@@ -203,10 +213,9 @@ func Table3(opt Options) *Report {
 			return RunBaseline(gen(), cfg, paperCluster(), sampleEvery)
 		}},
 	}
-	for _, r := range runs {
-		res := r.run()
-		rep.Rows = append(rep.Rows, effRow(r.name, res))
-		rep.Series[r.name] = res.Series
+	for i, res := range runAll(o, runs) {
+		rep.Rows = append(rep.Rows, effRow(runs[i].name, res))
+		rep.Series[runs[i].name] = res.Series
 	}
 	return rep
 }
@@ -230,10 +239,7 @@ func Table4(opt Options) *Report {
 	netPeak := 0.25
 	rep := &Report{ID: "table4", Title: "Table 4: performance on Mixed",
 		Header: []string{"system", "makespan(s)", "avgJCT(s)", "UEcpu(%)", "SEcpu(%)"}}
-	runs := []struct {
-		name string
-		run  func() Result
-	}{
+	runs := []namedRun{
 		{"Ursa-EJF", func() Result { return RunUrsa(gen(), core.Config{Policy: core.EJF}, clusCfg, 0) }},
 		{"Ursa-SRJF", func() Result { return RunUrsa(gen(), core.Config{Policy: core.SRJF}, clusCfg, 0) }},
 		{"Y+U", func() Result { return RunBaseline(gen(), baseline.Config{Runtime: baseline.MonoSpark}, clusCfg, 0) }},
@@ -246,10 +252,9 @@ func Table4(opt Options) *Report {
 			return RunUrsa(gen(), core.Config{Placer: baseline.NewTetris(netPeak, false)}, clusCfg, 0)
 		}},
 	}
-	for _, r := range runs {
-		res := r.run()
+	for i, res := range runAll(o, runs) {
 		rep.Rows = append(rep.Rows, []string{
-			r.name,
+			runs[i].name,
 			fmt.Sprintf("%.2f", res.Makespan),
 			fmt.Sprintf("%.2f", res.AvgJCT),
 			fmt.Sprintf("%.2f", res.Eff.UECPU),
@@ -267,13 +272,25 @@ func Table5(opt Options) *Report {
 	rep := &Report{ID: "table5", Title: "Table 5: CPU over-subscription",
 		Header: []string{"ratio", "makespan Y+U", "avgJCT Y+U", "straggler%JCT Y+U",
 			"makespan Y+S", "avgJCT Y+S", "cpuImbalance Y+S(%)"}}
-	for _, ratio := range []float64{1, 2, 4} {
-		yu := RunBaseline(gen(), baseline.Config{
-			Runtime: baseline.MonoSpark, Oversubscribe: ratio, ExecutorMem: 4e9,
-		}, paperCluster(), sampleEvery)
-		ys := RunBaseline(gen(), baseline.Config{
-			Runtime: baseline.Spark, Oversubscribe: ratio, ExecutorMem: 4e9,
-		}, paperCluster(), sampleEvery)
+	ratios := []float64{1, 2, 4}
+	var runs []namedRun
+	for _, ratio := range ratios {
+		ratio := ratio
+		runs = append(runs,
+			namedRun{fmt.Sprintf("Y+U x%g", ratio), func() Result {
+				return RunBaseline(gen(), baseline.Config{
+					Runtime: baseline.MonoSpark, Oversubscribe: ratio, ExecutorMem: 4e9,
+				}, paperCluster(), sampleEvery)
+			}},
+			namedRun{fmt.Sprintf("Y+S x%g", ratio), func() Result {
+				return RunBaseline(gen(), baseline.Config{
+					Runtime: baseline.Spark, Oversubscribe: ratio, ExecutorMem: 4e9,
+				}, paperCluster(), sampleEvery)
+			}})
+	}
+	results := runAll(o, runs)
+	for i, ratio := range ratios {
+		yu, ys := results[2*i], results[2*i+1]
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%.0f", ratio),
 			fmt.Sprintf("%.2f", yu.Makespan),
@@ -294,13 +311,20 @@ func Sec52Net(opt Options) *Report {
 	gen := func() *workload.Workload { return workload.TPCH2(n, o.Seed) }
 	rep := &Report{ID: "sec52net", Title: "§5.2: the effect of network demands in placement",
 		Header: []string{"config", "makespan(s)", "avgJCT(s)", "netImbalance(%)", "cpuImbalance(%)"}}
-	for _, c := range []struct {
+	configs := []struct {
 		name   string
 		ignore bool
-	}{{"with network demand", false}, {"ignore network demand", true}} {
-		res := RunUrsa(gen(), core.Config{IgnoreNetworkDemand: c.ignore}, paperCluster(), sampleEvery)
+	}{{"with network demand", false}, {"ignore network demand", true}}
+	var runs []namedRun
+	for _, c := range configs {
+		c := c
+		runs = append(runs, namedRun{c.name, func() Result {
+			return RunUrsa(gen(), core.Config{IgnoreNetworkDemand: c.ignore}, paperCluster(), sampleEvery)
+		}})
+	}
+	for i, res := range runAll(o, runs) {
 		rep.Rows = append(rep.Rows, []string{
-			c.name,
+			configs[i].name,
 			fmt.Sprintf("%.0f", res.Makespan),
 			fmt.Sprintf("%.2f", res.AvgJCT),
 			fmt.Sprintf("%.2f", netImbalance(res)),
@@ -325,16 +349,23 @@ func Fig6(opt Options) *Report {
 	rep := &Report{ID: "fig6", Title: "Figure 6: utilization under 1/4 Gbps networks",
 		Header: []string{"bandwidth", "makespan(s)", "meanCPU(%)", "meanNET(%)"},
 		Series: map[string]*trace.TimeSeries{}}
-	for _, bw := range []struct {
+	bands := []struct {
 		label string
 		bps   float64
-	}{{"1Gbps", 1.25e8}, {"4Gbps", 5e8}, {"10Gbps", 1.25e9}} {
-		cfg := paperCluster()
-		cfg.NetBandwidth = resource.BytesPerSec(bw.bps)
-		res := RunUrsa(workload.TPCH2(n, o.Seed), core.Config{}, cfg, sampleEvery)
-		rep.Series[bw.label] = res.Series
+	}{{"1Gbps", 1.25e8}, {"4Gbps", 5e8}, {"10Gbps", 1.25e9}}
+	var runs []namedRun
+	for _, bw := range bands {
+		bw := bw
+		runs = append(runs, namedRun{bw.label, func() Result {
+			cfg := paperCluster()
+			cfg.NetBandwidth = resource.BytesPerSec(bw.bps)
+			return RunUrsa(workload.TPCH2(n, o.Seed), core.Config{}, cfg, sampleEvery)
+		}})
+	}
+	for i, res := range runAll(o, runs) {
+		rep.Series[bands[i].label] = res.Series
 		rep.Rows = append(rep.Rows, []string{
-			bw.label,
+			bands[i].label,
 			fmt.Sprintf("%.0f", res.Makespan),
 			fmt.Sprintf("%.1f", res.Series.Mean(metrics.SeriesCPU)),
 			fmt.Sprintf("%.1f", res.Series.Mean(metrics.SeriesNet)),
@@ -351,22 +382,38 @@ func Fig7(opt Options) *Report {
 	rep := &Report{ID: "fig7", Title: "Figure 7: (non-)stage-aware placement",
 		Header: []string{"config", "policy", "makespan(s)", "avgJCT(s)"},
 		Series: map[string]*trace.TimeSeries{}}
+	type combo struct {
+		name    string
+		policy  core.Policy
+		disable bool
+	}
+	var combos []combo
 	for _, policy := range []core.Policy{core.EJF, core.SRJF} {
 		for _, c := range []struct {
 			name    string
 			disable bool
 		}{{"stage-aware", false}, {"per-task", true}} {
-			res := RunUrsa(gen(), core.Config{Policy: policy, DisableStageAware: c.disable},
-				paperCluster(), sampleEvery)
-			if policy == core.EJF {
-				rep.Series[c.name] = res.Series
-			}
-			rep.Rows = append(rep.Rows, []string{
-				c.name, policy.String(),
-				fmt.Sprintf("%.0f", res.Makespan),
-				fmt.Sprintf("%.2f", res.AvgJCT),
-			})
+			combos = append(combos, combo{c.name, policy, c.disable})
 		}
+	}
+	var runs []namedRun
+	for _, c := range combos {
+		c := c
+		runs = append(runs, namedRun{c.name, func() Result {
+			return RunUrsa(gen(), core.Config{Policy: c.policy, DisableStageAware: c.disable},
+				paperCluster(), sampleEvery)
+		}})
+	}
+	for i, res := range runAll(o, runs) {
+		c := combos[i]
+		if c.policy == core.EJF {
+			rep.Series[c.name] = res.Series
+		}
+		rep.Rows = append(rep.Rows, []string{
+			c.name, c.policy.String(),
+			fmt.Sprintf("%.0f", res.Makespan),
+			fmt.Sprintf("%.2f", res.AvgJCT),
+		})
 	}
 	return rep
 }
@@ -378,7 +425,7 @@ func Table6(opt Options) *Report {
 	gen := func() *workload.Workload { return workload.TPCH2(n, o.Seed) }
 	rep := &Report{ID: "table6", Title: "Table 6: job/task ordering",
 		Header: []string{"config", "makespan EJF", "avgJCT EJF", "makespan SRJF", "avgJCT SRJF"}}
-	for _, c := range []struct {
+	configs := []struct {
 		name    string
 		jobOff  bool
 		monoOff bool
@@ -386,14 +433,26 @@ func Table6(opt Options) *Report {
 		{"JO", false, true},
 		{"MO", true, false},
 		{"JO + MO", false, false},
-	} {
+	}
+	policies := []core.Policy{core.EJF, core.SRJF}
+	var runs []namedRun
+	for _, c := range configs {
+		for _, policy := range policies {
+			c, policy := c, policy
+			runs = append(runs, namedRun{fmt.Sprintf("%s/%s", c.name, policy), func() Result {
+				return RunUrsa(gen(), core.Config{
+					Policy:                  policy,
+					DisableJobOrdering:      c.jobOff,
+					DisableMonotaskOrdering: c.monoOff,
+				}, paperCluster(), 0)
+			}})
+		}
+	}
+	results := runAll(o, runs)
+	for i, c := range configs {
 		row := []string{c.name}
-		for _, policy := range []core.Policy{core.EJF, core.SRJF} {
-			res := RunUrsa(gen(), core.Config{
-				Policy:                  policy,
-				DisableJobOrdering:      c.jobOff,
-				DisableMonotaskOrdering: c.monoOff,
-			}, paperCluster(), 0)
+		for pi := range policies {
+			res := results[i*len(policies)+pi]
 			row = append(row,
 				fmt.Sprintf("%.2f", res.Makespan),
 				fmt.Sprintf("%.2f", res.AvgJCT))
@@ -407,19 +466,25 @@ func Table6(opt Options) *Report {
 // CPU/network utilization.
 func Fig8(opt Options) *Report {
 	o := opt.withDefaults()
-	_ = o
 	rep := &Report{ID: "fig8", Title: "Figure 8: solo synthetic job utilization",
 		Header: []string{"type", "soloJCT(s)", "meanCPU(%)", "meanNET(%)"},
 		Series: map[string]*trace.TimeSeries{}}
-	for _, c := range []struct {
+	configs := []struct {
 		name string
 		cfg  workload.SyntheticConfig
-	}{{"type1", workload.Type1()}, {"type2", workload.Type2()}} {
-		res := RunUrsa(workload.Single(c.cfg.Spec(c.name)), core.Config{}, paperCluster(),
-			500*eventloop.Millisecond)
-		rep.Series[c.name] = res.Series
+	}{{"type1", workload.Type1()}, {"type2", workload.Type2()}}
+	var runs []namedRun
+	for _, c := range configs {
+		c := c
+		runs = append(runs, namedRun{c.name, func() Result {
+			return RunUrsa(workload.Single(c.cfg.Spec(c.name)), core.Config{}, paperCluster(),
+				500*eventloop.Millisecond)
+		}})
+	}
+	for i, res := range runAll(o, runs) {
+		rep.Series[configs[i].name] = res.Series
 		rep.Rows = append(rep.Rows, []string{
-			c.name,
+			configs[i].name,
 			fmt.Sprintf("%.1f", res.JCTs[0]),
 			fmt.Sprintf("%.1f", res.Series.Mean(metrics.SeriesCPU)),
 			fmt.Sprintf("%.1f", res.Series.Mean(metrics.SeriesNet)),
@@ -428,19 +493,26 @@ func Fig8(opt Options) *Report {
 	return rep
 }
 
-// soloSynthetic measures one synthetic type's solo JCT on Ursa.
-func soloSynthetic(cfg workload.SyntheticConfig) float64 {
-	res := RunUrsa(workload.Single(cfg.Spec("solo")), core.Config{}, paperCluster(), 0)
-	return res.JCTs[0]
+// soloSyntheticRun measures one synthetic type's solo run on Ursa.
+func soloSyntheticRun(cfg workload.SyntheticConfig) Result {
+	return RunUrsa(workload.Single(cfg.Spec("solo")), core.Config{}, paperCluster(), 0)
 }
 
 // Fig9 runs Setting 1 (§5.3): Type-1 jobs submitted together under EJF,
-// comparing actual to ideal-overlap expected JCTs.
+// comparing actual to ideal-overlap expected JCTs. The solo-JCT calibration
+// run and the main run are independent simulations and execute in parallel.
 func Fig9(opt Options) *Report {
 	o := opt.withDefaults()
 	n := o.scaled(40)
-	solo1 := soloSynthetic(workload.Type1())
-	res := RunUrsa(workload.Setting1(n), core.Config{Policy: core.EJF}, paperCluster(), sampleEvery)
+	runs := []namedRun{
+		{"solo-type1", func() Result { return soloSyntheticRun(workload.Type1()) }},
+		{"setting1", func() Result {
+			return RunUrsa(workload.Setting1(n), core.Config{Policy: core.EJF}, paperCluster(), sampleEvery)
+		}},
+	}
+	results := runAll(o, runs)
+	solo1 := results[0].JCTs[0]
+	res := results[1]
 	types := make([]int, n)
 	for i := range types {
 		types[i] = 1
@@ -457,12 +529,23 @@ func Fig9(opt Options) *Report {
 }
 
 // Fig10 runs Setting 2 (§5.3): alternating Type-1/Type-2 under EJF and
-// SRJF.
+// SRJF. All four simulations (two solo calibrations, two policies) run in
+// parallel.
 func Fig10(opt Options) *Report {
 	o := opt.withDefaults()
 	nEach := o.scaled(20)
-	solo1 := soloSynthetic(workload.Type1())
-	solo2 := soloSynthetic(workload.Type2())
+	runs := []namedRun{
+		{"solo-type1", func() Result { return soloSyntheticRun(workload.Type1()) }},
+		{"solo-type2", func() Result { return soloSyntheticRun(workload.Type2()) }},
+		{"EJF", func() Result {
+			return RunUrsa(workload.Setting2(nEach), core.Config{Policy: core.EJF}, paperCluster(), 0)
+		}},
+		{"SRJF", func() Result {
+			return RunUrsa(workload.Setting2(nEach), core.Config{Policy: core.SRJF}, paperCluster(), 0)
+		}},
+	}
+	results := runAll(o, runs)
+	solo1, solo2 := results[0].JCTs[0], results[1].JCTs[0]
 	soloJCT := map[int]float64{1: solo1, 2: solo2}
 	stage := map[int]float64{1: solo1 / 5, 2: solo2 / 5}
 
@@ -473,8 +556,8 @@ func Fig10(opt Options) *Report {
 	for i := range types {
 		types[i] = 1 + i%2
 	}
-	for _, policy := range []core.Policy{core.EJF, core.SRJF} {
-		res := RunUrsa(workload.Setting2(nEach), core.Config{Policy: policy}, paperCluster(), 0)
+	for pi, policy := range []core.Policy{core.EJF, core.SRJF} {
+		res := results[2+pi]
 		var expected []float64
 		if policy == core.EJF {
 			expected = workload.ExpectedJCTs(types, soloJCT, stage)
@@ -540,10 +623,17 @@ func AblationNetConcurrency(opt Options) *Report {
 	n := o.scaled(25)
 	rep := &Report{ID: "ablation-netcc", Title: "Ablation: network monotask concurrency",
 		Header: []string{"limit", "makespan(s)", "avgJCT(s)"}}
-	for _, cc := range []int{1, 2, 4, 8} {
-		res := RunUrsa(workload.TPCH2(n, o.Seed), core.Config{NetConcurrency: cc}, paperCluster(), 0)
+	limits := []int{1, 2, 4, 8}
+	var runs []namedRun
+	for _, cc := range limits {
+		cc := cc
+		runs = append(runs, namedRun{fmt.Sprintf("cc=%d", cc), func() Result {
+			return RunUrsa(workload.TPCH2(n, o.Seed), core.Config{NetConcurrency: cc}, paperCluster(), 0)
+		}})
+	}
+	for i, res := range runAll(o, runs) {
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%d", cc),
+			fmt.Sprintf("%d", limits[i]),
 			fmt.Sprintf("%.2f", res.Makespan),
 			fmt.Sprintf("%.2f", res.AvgJCT),
 		})
@@ -560,38 +650,46 @@ func AblationFault(opt Options) *Report {
 	n := o.scaled(25)
 	rep := &Report{ID: "ablation-fault", Title: "Ablation: worker failures (TPC-H2)",
 		Header: []string{"failures", "makespan(s)", "avgJCT(s)", "vs healthy"}}
-	var healthy float64
-	for _, kills := range []int{0, 1, 3} {
+	killCounts := []int{0, 1, 3}
+	var runs []namedRun
+	for _, kills := range killCounts {
 		kills := kills
-		loop := eventloop.New()
-		clus := cluster.New(loop, paperCluster())
-		sys := core.NewSystem(loop, clus, core.Config{})
-		w := workload.TPCH2(n, o.Seed)
-		for _, s := range w.Jobs {
-			sys.MustSubmit(s.Spec, s.At)
-		}
-		for k := 0; k < kills; k++ {
-			id := k
-			loop.At(eventloop.Time(eventloop.Duration(20+10*k)*eventloop.Second),
-				func() { sys.FailWorker(id) })
-		}
-		loop.Run()
-		if !sys.AllDone() {
-			panic("ablation-fault: workload stalled")
-		}
-		var jobs []metrics.JobTimes
-		for _, j := range sys.Jobs() {
-			jobs = append(jobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
-		}
-		mk := metrics.Makespan(jobs)
-		if kills == 0 {
-			healthy = mk
-		}
+		runs = append(runs, namedRun{fmt.Sprintf("kills=%d", kills), func() Result {
+			loop := eventloop.New()
+			clus := cluster.New(loop, paperCluster())
+			sys := core.NewSystem(loop, clus, core.Config{})
+			w := workload.TPCH2(n, o.Seed)
+			for _, s := range w.Jobs {
+				sys.MustSubmit(s.Spec, s.At)
+			}
+			for k := 0; k < kills; k++ {
+				id := k
+				loop.At(eventloop.Time(eventloop.Duration(20+10*k)*eventloop.Second),
+					func() { sys.FailWorker(id) })
+			}
+			loop.Run()
+			if !sys.AllDone() {
+				panic("ablation-fault: workload stalled")
+			}
+			var jobs []metrics.JobTimes
+			for _, j := range sys.Jobs() {
+				jobs = append(jobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
+			}
+			return Result{
+				System:   fmt.Sprintf("ursa-kills%d", kills),
+				Makespan: metrics.Makespan(jobs),
+				AvgJCT:   metrics.AvgJCT(jobs),
+			}
+		}})
+	}
+	results := runAll(o, runs)
+	healthy := results[0].Makespan
+	for i, kills := range killCounts {
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%d", kills),
-			fmt.Sprintf("%.2f", mk),
-			fmt.Sprintf("%.2f", metrics.AvgJCT(jobs)),
-			fmt.Sprintf("%.2fx", mk/healthy),
+			fmt.Sprintf("%.2f", results[i].Makespan),
+			fmt.Sprintf("%.2f", results[i].AvgJCT),
+			fmt.Sprintf("%.2fx", results[i].Makespan/healthy),
 		})
 	}
 	return rep
@@ -603,11 +701,18 @@ func AblationEPT(opt Options) *Report {
 	n := o.scaled(25)
 	rep := &Report{ID: "ablation-ept", Title: "Ablation: EPT vs scheduling interval",
 		Header: []string{"EPT(ms)", "makespan(s)", "avgJCT(s)"}}
-	for _, ept := range []eventloop.Duration{100, 150, 300, 1000} {
-		res := RunUrsa(workload.TPCH2(n, o.Seed),
-			core.Config{EPT: ept * eventloop.Millisecond}, paperCluster(), 0)
+	epts := []eventloop.Duration{100, 150, 300, 1000}
+	var runs []namedRun
+	for _, ept := range epts {
+		ept := ept
+		runs = append(runs, namedRun{fmt.Sprintf("ept=%d", ept), func() Result {
+			return RunUrsa(workload.TPCH2(n, o.Seed),
+				core.Config{EPT: ept * eventloop.Millisecond}, paperCluster(), 0)
+		}})
+	}
+	for i, res := range runAll(o, runs) {
 		rep.Rows = append(rep.Rows, []string{
-			fmt.Sprintf("%d", ept),
+			fmt.Sprintf("%d", epts[i]),
 			fmt.Sprintf("%.2f", res.Makespan),
 			fmt.Sprintf("%.2f", res.AvgJCT),
 		})

@@ -1,0 +1,58 @@
+// Parallel experiment fan-out. Every experiment in this package is a table
+// or figure assembled from N independent (system × workload × seed)
+// simulation runs; each run owns its event loop, cluster, workload and RNG,
+// shares no mutable state with any other run, and is fully deterministic
+// given Options. runAll dispatches those runs across a bounded goroutine
+// pool and aggregates results in input order, so the parallel output is
+// bit-identical to the serial one while the wall clock drops to roughly the
+// longest single run (see the determinism regression test).
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// namedRun couples a row label with one self-contained simulation run.
+type namedRun struct {
+	name string
+	run  func() Result
+}
+
+// workers resolves the experiment's fan-out width: Options.Workers when
+// positive, else GOMAXPROCS.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runAll executes the runs and returns their results in input order.
+// Workers == 1 degenerates to strict serial in-place execution (no
+// goroutines), which the determinism test uses as the reference order.
+func runAll(o Options, runs []namedRun) []Result {
+	out := make([]Result, len(runs))
+	n := o.workers()
+	if n <= 1 || len(runs) <= 1 {
+		for i, r := range runs {
+			out[i] = r.run()
+		}
+		return out
+	}
+	sem := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := range runs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			out[i] = runs[i].run()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"ursa/internal/baseline"
 	"ursa/internal/cluster"
 	"ursa/internal/core"
+	"ursa/internal/dag"
 	"ursa/internal/eventloop"
 	"ursa/internal/metrics"
 	"ursa/internal/trace"
@@ -25,6 +27,11 @@ type Options struct {
 	Seed  int64
 	// SampleInterval for utilization series; 0 disables sampling.
 	SampleInterval eventloop.Duration
+	// Workers bounds how many of an experiment's independent simulation
+	// runs execute concurrently: 0 means GOMAXPROCS, 1 forces strict serial
+	// execution. Results are identical for every value (each run is a
+	// self-contained deterministic event loop; see runAll).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -138,9 +145,17 @@ func RunBaseline(w *workload.Workload, cfg baseline.Config, clusCfg cluster.Conf
 	for _, j := range sys.Jobs() {
 		jobs = append(jobs, metrics.JobTimes{Submitted: j.Submitted, Finished: j.Finished})
 		res.JCTs = append(res.JCTs, j.JCT().Seconds())
+		// Sum stages in a fixed order: float addition is not associative,
+		// and map iteration order would otherwise perturb the low bits from
+		// run to run, breaking the parallel==serial determinism contract.
+		stages := make([]*dag.Stage, 0, len(j.StageTaskDurations))
+		for st := range j.StageTaskDurations {
+			stages = append(stages, st)
+		}
+		sort.Slice(stages, func(a, b int) bool { return stages[a].ID < stages[b].ID })
 		var st float64
-		for _, durs := range j.StageTaskDurations {
-			st += metrics.StageStragglerTime(durs)
+		for _, stage := range stages {
+			st += metrics.StageStragglerTime(j.StageTaskDurations[stage])
 		}
 		if jct := j.JCT().Seconds(); jct > 0 {
 			stragglerSum += 100 * st / jct
@@ -177,9 +192,16 @@ func ursaStragglerRatio(sys *core.System) float64 {
 			}
 			byStage[t.Stage.ID] = append(byStage[t.Stage.ID], (done - placed).Seconds())
 		}
+		// As in RunBaseline: sum stages in sorted-ID order so the float
+		// accumulation is reproducible despite map iteration order.
+		ids := make([]int, 0, len(byStage))
+		for id := range byStage {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
 		var st float64
-		for _, durs := range byStage {
-			st += metrics.StageStragglerTime(durs)
+		for _, id := range ids {
+			st += metrics.StageStragglerTime(byStage[id])
 		}
 		if jct := j.JCT().Seconds(); jct > 0 {
 			sum += 100 * st / jct

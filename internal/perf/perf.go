@@ -1,0 +1,141 @@
+// Package perf measures the simulator's core hot paths and renders the
+// result as BENCH_core.json, the repository's checked-in performance
+// snapshot. The scenarios are shared with the package microbenchmarks
+// (core.NewPlacementBench, the eventloop timer churn loop, experiments
+// Table 1), so `go test -bench` and this harness always measure the same
+// code paths; this harness just packages them behind one command with a
+// machine-readable output:
+//
+//	go run ./cmd/ursa-bench -perf BENCH_core.json
+package perf
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/experiments"
+)
+
+// initTesting makes testing.Benchmark usable outside `go test`: Init
+// registers the -test.* flags whose defaults (notably benchtime=1s) the
+// benchmark driver reads. Calling it twice panics, hence the Once.
+var initTesting sync.Once
+
+// Benchmark is one measured scenario.
+type Benchmark struct {
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap allocation counts/bytes per op.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Throughput is the scenario's natural rate (see Unit): placement
+	// ticks/s, timer events/s, or simulation runs/s.
+	Throughput float64 `json:"throughput"`
+	Unit       string  `json:"unit"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	// Schema names the document layout so downstream tooling can detect
+	// incompatible regenerations.
+	Schema string `json:"schema"`
+	// Command regenerates the file.
+	Command    string `json:"command"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+
+	// PlacementTick is one full placement pass over 64 workers × 32 pending
+	// stages × 16 tasks (the BenchmarkPlacementTick scenario).
+	PlacementTick Benchmark `json:"placement_tick"`
+	// EventLoopTimers is schedule+dispatch of pooled timers in 1024-event
+	// batches (the BenchmarkEventLoopTimers scenario).
+	EventLoopTimers Benchmark `json:"eventloop_timers"`
+	// Table1Serial and Table1Parallel run the full Table 1 experiment (six
+	// independent simulation runs) with Workers=1 and Workers=GOMAXPROCS.
+	Table1Serial   Benchmark `json:"experiment_table1_serial"`
+	Table1Parallel Benchmark `json:"experiment_table1_parallel"`
+}
+
+// measure converts a testing.BenchmarkResult into a Benchmark, deriving the
+// throughput from opsPerIter operations happening inside each benchmark op.
+func measure(fn func(b *testing.B), opsPerIter float64, unit string) Benchmark {
+	r := testing.Benchmark(fn)
+	ns := float64(r.NsPerOp())
+	var tput float64
+	if ns > 0 {
+		tput = opsPerIter * 1e9 / ns
+	}
+	return Benchmark{
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Throughput:  tput,
+		Unit:        unit,
+	}
+}
+
+// Collect runs every scenario and assembles the report. It takes on the
+// order of ten seconds: the experiment scenarios dominate.
+func Collect() *Report {
+	initTesting.Do(testing.Init)
+	rep := &Report{
+		Schema:     "ursa-bench-core/v1",
+		Command:    "go run ./cmd/ursa-bench -perf BENCH_core.json",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	rep.PlacementTick = measure(func(b *testing.B) {
+		pb := core.NewPlacementBench(64, 32, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pb.Tick() == 0 {
+				b.Fatal("no placements")
+			}
+		}
+	}, 1, "ticks/s")
+
+	const timerBatch = 1024
+	rep.EventLoopTimers = measure(func(b *testing.B) {
+		loop := eventloop.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < timerBatch; k++ {
+				loop.After(eventloop.Duration(k%97)*eventloop.Millisecond, func() {})
+			}
+			loop.Run()
+		}
+	}, timerBatch, "timers/s")
+
+	table1 := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := experiments.Table1(experiments.Options{Scale: 1, Seed: 7, Workers: workers})
+				if len(rep.Rows) != 2 {
+					b.Fatal("unexpected table shape")
+				}
+			}
+		}
+	}
+	// Table 1 is six independent simulation runs per op.
+	rep.Table1Serial = measure(table1(1), 6, "sim-runs/s")
+	rep.Table1Parallel = measure(table1(0), 6, "sim-runs/s")
+	return rep
+}
+
+// WriteJSON renders the report with stable indentation and a trailing
+// newline, suitable for checking in.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

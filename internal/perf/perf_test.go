@@ -1,0 +1,39 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestMeasureAndWriteJSON(t *testing.T) {
+	// Cheap scenario: measure a trivial op so the test stays fast; the real
+	// scenarios are exercised by the package benchmarks and ursa-bench -perf.
+	b := measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = i * i
+		}
+	}, 4, "ops/s")
+	if b.NsPerOp < 0 || b.Unit != "ops/s" {
+		t.Fatalf("bad benchmark record: %+v", b)
+	}
+	if b.NsPerOp > 0 && b.Throughput <= 0 {
+		t.Fatalf("throughput not derived: %+v", b)
+	}
+
+	rep := &Report{Schema: "ursa-bench-core/v1", PlacementTick: b}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["schema"] != "ursa-bench-core/v1" {
+		t.Fatalf("schema missing: %v", decoded)
+	}
+	if _, ok := decoded["placement_tick"].(map[string]any); !ok {
+		t.Fatalf("placement_tick missing: %v", decoded)
+	}
+}
