@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-json clean
+.PHONY: ci fmt-check vet build test race bench bench-json bench-guard clean
 
 ci: fmt-check vet build test race
 
@@ -21,11 +21,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiments package fans simulation runs across goroutines; run its
-# tests (including the parallel==serial determinism regression) under the
-# race detector.
+# The experiments package fans simulation runs across goroutines, and the
+# parallel placement-ranking pass spawns goroutines inside the core
+# scheduler; run the whole tree (including both equivalence suites) under
+# the race detector.
 race:
-	$(GO) test -race ./internal/experiments
+	$(GO) test -race ./...
 
 # Hot-path microbenchmarks with allocation counts.
 bench:
@@ -34,6 +35,11 @@ bench:
 # Regenerate the checked-in core performance snapshot.
 bench-json:
 	$(GO) run ./cmd/ursa-bench -perf BENCH_core.json
+
+# Fail if the placement hot path regressed >20% against the checked-in
+# snapshot (or started allocating). Re-baseline with `make bench-json`.
+bench-guard:
+	$(GO) run ./cmd/ursa-bench -guard BENCH_core.json
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 //	ursa-bench -csv out/ fig4 fig9
 //	ursa-bench -workers 4 all
 //	ursa-bench -perf BENCH_core.json
+//	ursa-bench -guard BENCH_core.json
 package main
 
 import (
@@ -29,11 +30,20 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write figure series as CSV")
 	workers := flag.Int("workers", 0, "concurrent simulation runs per experiment: 0 = GOMAXPROCS, 1 = serial (results are identical for any value)")
 	perfOut := flag.String("perf", "", "measure core hot paths and write the benchmark report JSON to this path, then exit")
+	guard := flag.String("guard", "", "re-measure the placement tick and fail if it regressed >20% vs the checked-in report at this path")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
 	if *perfOut != "" {
 		if err := writePerf(*perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *guard != "" {
+		if err := guardPerf(*guard); err != nil {
 			fmt.Fprintf(os.Stderr, "ursa-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -107,6 +117,46 @@ func writePerf(path string) error {
 		rep.EventLoopTimers.NsPerOp, 1024, rep.EventLoopTimers.AllocsPerOp, rep.EventLoopTimers.Throughput)
 	fmt.Printf("table1 serial: %.2f sim-runs/s; parallel: %.2f sim-runs/s\n",
 		rep.Table1Serial.Throughput, rep.Table1Parallel.Throughput)
+	return nil
+}
+
+// guardRegression is the tolerated placement_tick slowdown vs the
+// checked-in snapshot before the guard fails: benchmarks on shared CI
+// hardware jitter, but a >20% ns/op regression on the scheduler's hot path
+// is a real change that must either be fixed or deliberately re-baselined
+// with -perf.
+const guardRegression = 0.20
+
+// guardPerf compares a fresh placement_tick measurement against the
+// checked-in benchmark report and fails on a >20% ns/op regression.
+func guardPerf(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	base, err := perf.Load(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if base.PlacementTick.NsPerOp <= 0 {
+		return fmt.Errorf("%s: no placement_tick baseline recorded", path)
+	}
+	fmt.Fprintln(os.Stderr, "measuring placement tick for regression guard...")
+	cur := perf.MeasurePlacementTick()
+	ratio := cur.NsPerOp / base.PlacementTick.NsPerOp
+	fmt.Printf("placement tick: %.0f ns/op now vs %.0f ns/op baseline (%.2fx)\n",
+		cur.NsPerOp, base.PlacementTick.NsPerOp, ratio)
+	if cur.AllocsPerOp > base.PlacementTick.AllocsPerOp {
+		return fmt.Errorf("placement tick allocates: %d allocs/op vs %d baseline",
+			cur.AllocsPerOp, base.PlacementTick.AllocsPerOp)
+	}
+	if ratio > 1+guardRegression {
+		return fmt.Errorf("placement tick regressed %.0f%% (> %.0f%% budget); "+
+			"fix the regression or re-baseline with -perf %s",
+			100*(ratio-1), 100*guardRegression, path)
+	}
+	fmt.Println("bench guard: ok")
 	return nil
 }
 

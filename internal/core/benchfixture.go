@@ -52,6 +52,10 @@ func NewPlacementBench(nWorkers, nStages, tasksPerStage int) *PlacementBench {
 		jobs[i] = &Job{ID: i, priority: float64(nJobs - i)}
 		sys.Sched.admitted = append(sys.Sched.admitted, jobs[i])
 	}
+	// The fixture seeds priorities directly (bypassing refreshPriorities,
+	// which would overwrite them), so cache the ordering ranks explicitly —
+	// orderBoost is an O(1) lookup of the precomputed rank.
+	sys.Sched.computeRanks()
 
 	taskID := 0
 	for si := 0; si < nStages; si++ {
@@ -90,9 +94,30 @@ func NewPlacementBench(nWorkers, nStages, tasksPerStage int) *PlacementBench {
 	return pb
 }
 
+// EnableScalable turns on the sub-linear placement path for this fixture:
+// incremental dirty-worker snapshots, top-K candidate selection and the
+// parallel ranking pass (Config.ScalablePlacement). The context reads the
+// system config through a pointer, so the flags take effect on the next
+// Tick.
+func (pb *PlacementBench) EnableScalable() {
+	pb.Sys.Cfg = pb.Sys.Cfg.ScalablePlacement()
+}
+
+// Configure applies an arbitrary config mutation to the fixture (e.g. a
+// single placement flag for an equivalence test).
+func (pb *PlacementBench) Configure(f func(*Config)) {
+	f(&pb.Sys.Cfg)
+}
+
 // Tick runs one full placement pass (snapshot, score, plan) and returns the
 // number of placements the pass produced. Worker and task state are left
 // untouched, so Ticks are repeatable.
 func (pb *PlacementBench) Tick() int {
-	return len(pb.placer.Place(pb.ctx))
+	return len(pb.TickPlacements())
+}
+
+// TickPlacements runs one full placement pass and returns the placements
+// it produced. The slice is reused by the next Tick/TickPlacements call.
+func (pb *PlacementBench) TickPlacements() []Placement {
+	return pb.placer.Place(pb.ctx)
 }

@@ -48,6 +48,11 @@ type Job struct {
 	// priority is the current ordering score: larger runs first. Worker
 	// queues and placement read it.
 	priority float64
+	// rank caches the number of admitted jobs with strictly higher
+	// priority, recomputed by Scheduler.computeRanks whenever priorities
+	// refresh, so the placement-order boost is O(1) per lookup instead of
+	// an O(admitted) scan per pending stage per tick.
+	rank int
 
 	// reservedMem is the cluster-wide memory reservation granted at
 	// admission (§4.2.2), snapshotted so completion releases exactly what

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sort"
+	"sync"
+
 	"ursa/internal/dag"
 	"ursa/internal/eventloop"
 	"ursa/internal/resource"
@@ -16,13 +19,15 @@ type Placement struct {
 // PlaceContext is the scheduler state handed to a placement algorithm at
 // each scheduling interval. Worker rates and memory levels are snapshotted
 // once per interval: placement is O(stages × tasks × workers) in the worst
-// case, so per-candidate indirection matters.
+// case (O(stages × tasks × K) with Config.CandidateWorkers), so
+// per-candidate indirection matters.
 //
 // The context owns all scratch state the placement pass needs (headroom
 // vectors, the trial-placement undo journal, candidate ranking and output
-// buffers) and reuses it across scheduling intervals, so a steady-state tick
-// runs without heap allocation. The scheduler keeps one PlaceContext alive
-// for the lifetime of the run; slices returned by Place are valid only until
+// buffers, the top-K worker index and per-goroutine ranking shards) and
+// reuses it across scheduling intervals, so a steady-state tick runs
+// without heap allocation. The scheduler keeps one PlaceContext alive for
+// the lifetime of the run; slices returned by Place are valid only until
 // the next Place call on the same context.
 type PlaceContext struct {
 	Now     eventloop.Time
@@ -46,6 +51,31 @@ type PlaceContext struct {
 	// out accumulates the interval's placements.
 	out []Placement
 
+	// Incremental snapshot state (Config.IncrementalSnapshots). A worker's
+	// snapshot is refreshed only when its epoch moved since the last
+	// refresh (markDirty), its time-driven staleness deadline passed (a
+	// rate-window boundary with pending samples), or the previous commit
+	// pass mutated its headroom vector (touched).
+	snapEpoch []uint64
+	staleAt   []eventloop.Time
+	refreshed []bool // workers whose snapshot was refreshed this tick
+	touched   []bool // d mutated by the last commit pass → force refresh
+	snapValid bool
+
+	// headroom counts workers with any positive d entry, maintained by the
+	// commit path so anyHeadroom is O(1) instead of O(W) per query.
+	headroom int
+
+	// idx ranks workers by per-kind interval-initial headroom for top-K
+	// candidate selection; valid only while useIdx.
+	idx      headroomIndex
+	idxValid bool
+	useIdx   bool
+	candK    int
+
+	// shards hold the per-goroutine scratch of the parallel ranking pass.
+	shards []rankShard
+
 	orderBoost func(*Job, eventloop.Time) float64
 }
 
@@ -62,6 +92,16 @@ type stageCand struct {
 	score float64
 }
 
+// rankShard is one goroutine's private scratch for the parallel ranking
+// pass: its own copy of the interval-initial headroom vectors, its own
+// trial-undo journal, and its slice of the candidate list. Shards are
+// reused across ticks.
+type rankShard struct {
+	d     []dVec
+	undo  []undoEntry
+	cands []stageCand
+}
+
 // OrderBoost returns the W·T job-ordering score addend for a stage of job j.
 func (ctx *PlaceContext) OrderBoost(j *Job) float64 {
 	if ctx.orderBoost == nil {
@@ -71,26 +111,47 @@ func (ctx *PlaceContext) OrderBoost(j *Job) float64 {
 }
 
 // prepare snapshots worker state for this interval, reusing the snapshot
-// slices from previous intervals.
+// slices from previous intervals. With Config.IncrementalSnapshots it
+// refreshes only workers that are dirty (epoch moved), time-stale (a
+// rate-window boundary with pending samples passed) or were mutated by the
+// previous commit pass; placements are bit-identical to the full rebuild.
 func (ctx *PlaceContext) prepare() {
 	ept := ctx.Cfg.EPT.Seconds()
 	n := len(ctx.Workers)
+	full := !ctx.Cfg.IncrementalSnapshots || !ctx.snapValid || len(ctx.d) != n
 	if cap(ctx.invRateEPT) < n {
 		ctx.invRateEPT = make([][3]float64, n)
 		ctx.memFree = make([]float64, n)
 		ctx.memCap = make([]float64, n)
 		ctx.d = make([]dVec, n)
+		ctx.snapEpoch = make([]uint64, n)
+		ctx.staleAt = make([]eventloop.Time, n)
+		ctx.refreshed = make([]bool, n)
+		ctx.touched = make([]bool, n)
+		full = true
 	} else {
 		ctx.invRateEPT = ctx.invRateEPT[:n]
 		ctx.memFree = ctx.memFree[:n]
 		ctx.memCap = ctx.memCap[:n]
 		ctx.d = ctx.d[:n]
+		ctx.snapEpoch = ctx.snapEpoch[:n]
+		ctx.staleAt = ctx.staleAt[:n]
+		ctx.refreshed = ctx.refreshed[:n]
+		ctx.touched = ctx.touched[:n]
 	}
 	for i, w := range ctx.Workers {
+		refresh := full || ctx.touched[i] || w.epoch != ctx.snapEpoch[i] || ctx.Now >= ctx.staleAt[i]
+		ctx.refreshed[i] = refresh
+		ctx.touched[i] = false
+		if !refresh {
+			continue
+		}
+		ctx.snapEpoch[i] = w.epoch
 		ctx.invRateEPT[i] = [3]float64{}
 		if w.failed {
 			ctx.memFree[i] = -1 // every placement gate rejects the worker
 			ctx.memCap[i] = w.MemCapacity()
+			ctx.staleAt[i] = staleNever
 			continue
 		}
 		for _, k := range resource.MonotaskKinds {
@@ -100,7 +161,11 @@ func (ctx *PlaceContext) prepare() {
 		}
 		ctx.memFree[i] = w.MemFree()
 		ctx.memCap[i] = w.MemCapacity()
+		// Reading the rates above rolled the monitors to Now, so the
+		// staleness deadline is the next window boundary still pending.
+		ctx.staleAt[i] = w.snapshotStaleAt()
 	}
+	ctx.snapValid = ctx.Cfg.IncrementalSnapshots
 }
 
 // Placer is a task placement algorithm. Algorithm 1 is the default;
@@ -131,14 +196,27 @@ type Algorithm1 struct{}
 // dVec is D = {D_cpu, D_net, D_disk, D_mem} for one worker.
 type dVec [4]float64
 
+// anyVec reports whether any component of v is positive.
+func anyVec(v *dVec) bool {
+	return v[0] > 0 || v[1] > 0 || v[2] > 0 || v[3] > 0
+}
+
+// smallSortThreshold is the candidate-pool size above which ranking switches
+// from insertion sort to sort.SliceStable. Insertion sort wins on the small
+// pools of steady-state ticks (no indirect calls, no reflection) but is
+// O(n²); deep pending pools take the O(n log n) path. Both orders are
+// stable descending, so the tie-break order is identical.
+const smallSortThreshold = 32
+
 func (Algorithm1) Place(ctx *PlaceContext) []Placement {
 	ctx.prepare()
 	d := ctx.computeD()
+	ctx.prepareIndex(d)
 	ctx.out = ctx.out[:0]
 	if ctx.Cfg.DisableStageAware {
 		// Ablation (§5.2): repeatedly pick the single best-scoring task
 		// across all stages instead of whole stages.
-		for anyHeadroom(d) {
+		for ctx.headroom > 0 {
 			pl, ok := bestSingleTask(ctx, d)
 			if !ok {
 				break
@@ -153,53 +231,138 @@ func (Algorithm1) Place(ctx *PlaceContext) []Placement {
 	// initial headroom, then commit plans in rank order, recomputing each
 	// stage's plan against the updated D just before committing. This
 	// preserves the greedy stage-at-a-time semantics while keeping each
-	// interval O(2 · stages · tasks · workers). Trial plans mutate D in
-	// place and roll back through the undo journal, so no candidate copies
-	// the headroom array.
-	ctx.cands = ctx.cands[:0]
-	for _, ps := range ctx.Pending {
-		if !stageViable(ctx, ps, d) {
-			continue
-		}
-		score, placed := ctx.stageScore(ps, d, false)
-		if placed == 0 {
-			continue
-		}
-		ctx.cands = append(ctx.cands, stageCand{ps, score + ctx.OrderBoost(ps.Job)})
-	}
+	// interval O(2 · stages · tasks · workers) — O(K) per task with
+	// CandidateWorkers. Trial plans mutate D in place and roll back
+	// through the undo journal, so no candidate copies the headroom array.
+	// The ranking pass scores every stage against the same initial D, so
+	// it shards across goroutines when RankParallelism > 1 (see rankPass).
+	ctx.rankPass(d)
 	cands := ctx.cands
-	for i := 1; i < len(cands); i++ { // insertion sort: pools are small
-		for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
+	if len(cands) > smallSortThreshold {
+		sort.SliceStable(cands, func(i, j int) bool {
+			return cands[i].score > cands[j].score
+		})
+	} else {
+		for i := 1; i < len(cands); i++ { // insertion sort: pools are small
+			for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
 		}
 	}
 	for _, c := range cands {
-		if !anyHeadroom(d) {
+		if ctx.headroom == 0 {
 			break
 		}
 		if !stageViable(ctx, c.ps, d) {
 			continue
 		}
-		ctx.stageScore(c.ps, d, true)
+		ctx.stageScoreOn(c.ps, d, &ctx.undo, true)
 	}
 	return ctx.out
 }
 
-// anyHeadroom reports whether any worker retains any capacity at all.
-func anyHeadroom(d []dVec) bool {
-	for i := range d {
-		for _, v := range d[i] {
-			if v > 0 {
-				return true
+// rankPass runs the keep=false ranking pass of the two-pass placement,
+// filling ctx.cands with the viable stages and their scores against the
+// interval's initial headroom. With Config.RankParallelism > 1 the pending
+// pool is sharded into contiguous blocks across a bounded goroutine pool;
+// every goroutine works on its own copy of the initial headroom vectors
+// and its own undo journal (reads of the snapshot arrays, the candidate
+// index and job ranks are shared but immutable during the pass), and the
+// per-shard candidate lists are concatenated in shard order afterwards.
+// Because the serial pass also scores every stage against the restored
+// initial headroom, the merged candidate list — order and float scores —
+// is bit-identical to the serial one.
+func (ctx *PlaceContext) rankPass(d []dVec) {
+	ctx.cands = ctx.cands[:0]
+	par := ctx.Cfg.RankParallelism
+	if par > len(ctx.Pending) {
+		par = len(ctx.Pending)
+	}
+	if par <= 1 {
+		for _, ps := range ctx.Pending {
+			if !stageViable(ctx, ps, d) {
+				continue
 			}
+			score, placed := ctx.stageScoreOn(ps, d, &ctx.undo, false)
+			if placed == 0 {
+				continue
+			}
+			ctx.cands = append(ctx.cands, stageCand{ps, score + ctx.OrderBoost(ps.Job)})
+		}
+		return
+	}
+	for len(ctx.shards) < par {
+		ctx.shards = append(ctx.shards, rankShard{})
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < par; s++ {
+		sh := &ctx.shards[s]
+		sh.d = append(sh.d[:0], d...)
+		sh.cands = sh.cands[:0]
+		lo := s * len(ctx.Pending) / par
+		hi := (s + 1) * len(ctx.Pending) / par
+		wg.Add(1)
+		go func(sh *rankShard, block []*PendingStage) {
+			defer wg.Done()
+			for _, ps := range block {
+				if !stageViable(ctx, ps, sh.d) {
+					continue
+				}
+				score, placed := ctx.stageScoreOn(ps, sh.d, &sh.undo, false)
+				if placed == 0 {
+					continue
+				}
+				sh.cands = append(sh.cands, stageCand{ps, score + ctx.OrderBoost(ps.Job)})
+			}
+		}(sh, ctx.Pending[lo:hi])
+	}
+	wg.Wait()
+	for s := 0; s < par; s++ {
+		ctx.cands = append(ctx.cands, ctx.shards[s].cands...)
+	}
+}
+
+// prepareIndex decides whether top-K candidate selection applies this tick
+// and brings the headroom index in sync with d. With incremental snapshots
+// only refreshed workers are re-bucketed; otherwise the index is rebuilt.
+func (ctx *PlaceContext) prepareIndex(d []dVec) {
+	k := ctx.Cfg.CandidateWorkers
+	ctx.useIdx = k > 0 && k < len(ctx.Workers)
+	ctx.candK = k
+	if !ctx.useIdx {
+		ctx.idxValid = false
+		return
+	}
+	if !ctx.idxValid || !ctx.Cfg.IncrementalSnapshots || ctx.idx.n != len(d) {
+		ctx.idx.rebuild(d)
+		ctx.idxValid = true
+		return
+	}
+	for i := range d {
+		if ctx.refreshed[i] {
+			ctx.idx.update(i, &d[i])
 		}
 	}
-	return false
+}
+
+// domKind returns the task's dominant monotask resource kind, the dimension
+// whose headroom index orders its candidate workers.
+func (ctx *PlaceContext) domKind(t *dag.Task) int {
+	dom, dv := int(resource.CPU), t.EstUsage[resource.CPU]
+	if !ctx.Cfg.IgnoreNetworkDemand && t.EstUsage[resource.Net] > dv {
+		dom, dv = int(resource.Net), t.EstUsage[resource.Net]
+	}
+	if t.EstUsage[resource.Disk] > dv {
+		dom = int(resource.Disk)
+	}
+	return dom
 }
 
 // stageViable cheaply rejects stages no worker can currently host: every
 // task of a stage has the same resource-kind profile, so one representative
-// task suffices. This keeps saturated scheduling intervals cheap.
+// task suffices. This keeps saturated scheduling intervals cheap. With the
+// candidate index only the top-K memory-viable workers on the stage's
+// dominant kind are examined, mirroring the scoring restriction.
 func stageViable(ctx *PlaceContext, ps *PendingStage, d []dVec) bool {
 	if len(ps.Tasks) == 0 {
 		return false
@@ -214,26 +377,54 @@ func stageViable(ctx *PlaceContext, ps *PendingStage, d []dVec) bool {
 		needs[k] = t.EstUsage[k] > 0
 	}
 	minMem = t.EstUsage[resource.Mem]
-	for wi := range ctx.Workers {
+	hosts := func(wi int) bool {
 		ok := ctx.memFree[wi] >= minMem
 		for k := 0; ok && k < 3; k++ {
 			if needs[k] && d[wi][k] <= 0 {
 				ok = false
 			}
 		}
-		if ok {
-			return true
+		return ok
+	}
+	if !ctx.useIdx {
+		for wi := range ctx.Workers {
+			if hosts(wi) {
+				return true
+			}
+		}
+		return false
+	}
+	buckets := ctx.idx.buckets[ctx.domKind(t)]
+	examined := 0
+	for bi := idxBuckets - 1; bi >= 0; bi-- {
+		for _, wj := range buckets[bi] {
+			wi := int(wj)
+			if ctx.memFree[wi] < minMem {
+				continue // memory gate: not a candidate
+			}
+			if hosts(wi) {
+				return true
+			}
+			examined++
+			if examined >= ctx.candK {
+				return false
+			}
 		}
 	}
 	return false
 }
 
 // computeD evaluates the per-worker headroom vectors from live worker state
-// into the context's reusable buffer.
+// into the context's reusable buffer — only for refreshed workers when
+// snapshots are incremental (a clean worker's APT inputs are unchanged by
+// construction) — and recounts the workers that retain any headroom.
 func (ctx *PlaceContext) computeD() []dVec {
 	ept := ctx.Cfg.EPT.Seconds()
 	d := ctx.d
 	for i, w := range ctx.Workers {
+		if !ctx.refreshed[i] {
+			continue
+		}
 		for _, k := range resource.MonotaskKinds {
 			v := (ept - w.APT(k)) / ept
 			if v < 0 {
@@ -242,6 +433,12 @@ func (ctx *PlaceContext) computeD() []dVec {
 			d[i][k] = v
 		}
 		d[i][resource.Mem] = ctx.memFree[i] / ctx.memCap[i]
+	}
+	ctx.headroom = 0
+	for i := range d {
+		if anyVec(&d[i]) {
+			ctx.headroom++
+		}
 	}
 	return d
 }
@@ -288,6 +485,46 @@ func scoreTask(ctx *PlaceContext, t *dag.Task, wi int, d dVec) (f float64, inc d
 	return f, inc, true
 }
 
+// bestWorkerFor finds the highest-F viable worker for t against d. The
+// exact path scans every worker; with the candidate index only the top
+// Config.CandidateWorkers memory-viable workers on the task's dominant
+// resource kind are scored. Ties keep the earliest candidate, matching the
+// exact scan's lowest-worker-ID tie-break when the full scan is in effect.
+func (ctx *PlaceContext) bestWorkerFor(t *dag.Task, d []dVec) (bestW int, bestF float64, bestInc dVec) {
+	bestW = -1
+	if !ctx.useIdx {
+		for wi := range ctx.Workers {
+			f, inc, ok := scoreTask(ctx, t, wi, d[wi])
+			if !ok {
+				continue
+			}
+			if bestW < 0 || f > bestF {
+				bestW, bestF, bestInc = wi, f, inc
+			}
+		}
+		return
+	}
+	buckets := ctx.idx.buckets[ctx.domKind(t)]
+	examined := 0
+	for bi := idxBuckets - 1; bi >= 0; bi-- {
+		for _, wj := range buckets[bi] {
+			wi := int(wj)
+			if ctx.memFree[wi] < t.EstUsage[resource.Mem] {
+				continue // memory gate: not a candidate
+			}
+			f, inc, ok := scoreTask(ctx, t, wi, d[wi])
+			if ok && (bestW < 0 || f > bestF) {
+				bestW, bestF, bestInc = wi, f, inc
+			}
+			examined++
+			if examined >= ctx.candK {
+				return
+			}
+		}
+	}
+	return
+}
+
 // applyInc commits a placement's load increase to the D copy.
 func applyInc(d dVec, inc dVec) dVec {
 	for k := range d {
@@ -299,50 +536,50 @@ func applyInc(d dVec, inc dVec) dVec {
 	return d
 }
 
-// stageScore implements the StageScore function of Algorithm 1. It plans the
-// stage's tasks greedily against d, mutating d in place and journalling each
-// mutation. When keep is false (the ranking pass) every mutation is rolled
-// back before returning, so d is restored to its pre-call state; when keep
-// is true (the commit pass) the mutations stand and the plan's placements
-// are appended to ctx.out. It returns the normalized score (plus the stage
-// bonus when every task was placed) and the number of tasks placed.
-func (ctx *PlaceContext) stageScore(ps *PendingStage, d []dVec, keep bool) (float64, int) {
-	mark := len(ctx.undo)
+// stageScoreOn implements the StageScore function of Algorithm 1. It plans
+// the stage's tasks greedily against d, mutating d in place and journalling
+// each mutation in undo. When keep is false (the ranking pass) every
+// mutation is rolled back before returning, so d is restored to its
+// pre-call state and no context-level state is touched — which is what
+// makes the ranking pass shardable across goroutines with per-shard d and
+// undo. When keep is true (the commit pass, always on ctx.d/ctx.undo) the
+// mutations stand, the plan's placements are appended to ctx.out, mutated
+// workers are marked for snapshot refresh, and the O(1) headroom count is
+// maintained. It returns the normalized score (plus the stage bonus when
+// every task was placed) and the number of tasks placed.
+func (ctx *PlaceContext) stageScoreOn(ps *PendingStage, d []dVec, undo *[]undoEntry, keep bool) (float64, int) {
+	mark := len(*undo)
 	score := 0.0
 	placed := 0
 	bonus := stageBonus
 	for _, t := range ps.Tasks {
-		bestW := -1
-		bestF := 0.0
-		var bestInc dVec
-		for wi := range ctx.Workers {
-			f, inc, ok := scoreTask(ctx, t, wi, d[wi])
-			if !ok {
-				continue
-			}
-			if bestW < 0 || f > bestF {
-				bestW, bestF, bestInc = wi, f, inc
-			}
-		}
+		bestW, bestF, bestInc := ctx.bestWorkerFor(t, d)
 		if bestW < 0 {
 			bonus = 0
 			continue
 		}
-		ctx.undo = append(ctx.undo, undoEntry{wi: bestW, old: d[bestW]})
-		d[bestW] = applyInc(d[bestW], bestInc)
+		*undo = append(*undo, undoEntry{wi: bestW, old: d[bestW]})
+		if keep {
+			had := anyVec(&d[bestW])
+			d[bestW] = applyInc(d[bestW], bestInc)
+			if had && !anyVec(&d[bestW]) {
+				ctx.headroom--
+			}
+			ctx.touched[bestW] = true
+			ctx.out = append(ctx.out, Placement{Stage: ps, Task: t, Worker: ctx.Workers[bestW]})
+		} else {
+			d[bestW] = applyInc(d[bestW], bestInc)
+		}
 		score += bestF
 		placed++
-		if keep {
-			ctx.out = append(ctx.out, Placement{Stage: ps, Task: t, Worker: ctx.Workers[bestW]})
-		}
 	}
 	if !keep {
-		for i := len(ctx.undo) - 1; i >= mark; i-- {
-			e := ctx.undo[i]
+		for i := len(*undo) - 1; i >= mark; i-- {
+			e := (*undo)[i]
 			d[e.wi] = e.old
 		}
 	}
-	ctx.undo = ctx.undo[:mark]
+	*undo = (*undo)[:mark]
 	if placed == 0 {
 		return 0, 0
 	}
@@ -365,25 +602,29 @@ func bestSingleTask(ctx *PlaceContext, d []dVec) (Placement, bool) {
 			if t.Worker >= 0 {
 				continue
 			}
-			for wi := range ctx.Workers {
-				f, _, ok := scoreTask(ctx, t, wi, d[wi])
-				if !ok {
-					continue
-				}
-				if s := f + boost; !found || s > bestScore {
-					found, bestScore = true, s
-					best = Placement{Stage: ps, Task: t, Worker: ctx.Workers[wi]}
-				}
+			w, f, _ := ctx.bestWorkerFor(t, d)
+			if w < 0 {
+				continue
+			}
+			if s := f + boost; !found || s > bestScore {
+				found, bestScore = true, s
+				best = Placement{Stage: ps, Task: t, Worker: ctx.Workers[w]}
 			}
 		}
 	}
 	return best, found
 }
 
-// commit applies a single placement to D (non-stage-aware path).
+// commit applies a single placement to D (non-stage-aware path), keeping
+// the headroom count and snapshot-refresh marks consistent.
 func commit(ctx *PlaceContext, d []dVec, t *dag.Task, w *Worker) {
 	_, inc, _ := scoreTask(ctx, t, w.ID, d[w.ID])
+	had := anyVec(&d[w.ID])
 	d[w.ID] = applyInc(d[w.ID], inc)
+	if had && !anyVec(&d[w.ID]) {
+		ctx.headroom--
+	}
+	ctx.touched[w.ID] = true
 	// Mark as planned so bestSingleTask skips it within this interval.
 	t.Worker = w.ID
 }

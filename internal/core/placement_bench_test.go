@@ -28,3 +28,36 @@ func BenchmarkPlacementTickSmall(b *testing.B) {
 		pb.Tick()
 	}
 }
+
+// benchTickAt runs the placement tick benchmark at a given cluster scale,
+// optionally with the scalable (sub-linear) placement path enabled. The
+// exact/scalable pairs at each scale feed the EXPERIMENTS.md cluster-scale
+// table and the ≥5× acceptance bar at 1024 workers.
+func benchTickAt(b *testing.B, workers, stages, tasks int, scalable bool) {
+	b.Helper()
+	pb := NewPlacementBench(workers, stages, tasks)
+	if scalable {
+		pb.EnableScalable()
+	}
+	if pb.Tick() == 0 {
+		b.Fatal("placement pass placed nothing; fixture is not exercising the hot path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Tick()
+	}
+}
+
+// BenchmarkPlacementTickMediumExact / ...Medium measure a 256-worker pool.
+func BenchmarkPlacementTickMediumExact(b *testing.B) { benchTickAt(b, 256, 64, 16, false) }
+func BenchmarkPlacementTickMedium(b *testing.B)      { benchTickAt(b, 256, 64, 16, true) }
+
+// BenchmarkPlacementTickLargeExact is the exact serial scan at cluster scale:
+// 1024 workers × 256 stages × 16 tasks. Its ratio to
+// BenchmarkPlacementTickLarge is the headline speedup of ISSUE 2.
+func BenchmarkPlacementTickLargeExact(b *testing.B) { benchTickAt(b, 1024, 256, 16, false) }
+
+// BenchmarkPlacementTickLarge is the same pool under Config.ScalablePlacement
+// (incremental snapshots + top-K candidate index + parallel ranking).
+func BenchmarkPlacementTickLarge(b *testing.B) { benchTickAt(b, 1024, 256, 16, true) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"ursa/internal/dag"
@@ -29,6 +30,9 @@ type Scheduler struct {
 	// snapshots and scoring scratch buffers persist, so a steady-state tick
 	// does not allocate.
 	pctx PlaceContext
+
+	// rankBuf is the reusable priority scratch of computeRanks.
+	rankBuf []float64
 
 	ticking  bool
 	stopTick func()
@@ -271,6 +275,28 @@ func (s *Scheduler) refreshPriorities() {
 			j.priority = score(j)
 		}
 	}
+	s.computeRanks()
+}
+
+// computeRanks caches every admitted job's ordering rank — the number of
+// admitted jobs with strictly higher priority — in one O(n log n) pass, so
+// orderBoost is an O(1) lookup instead of an O(admitted) scan per pending
+// stage per tick. Ranks are valid until the next refreshPriorities; the
+// placement pass never runs between the two.
+func (s *Scheduler) computeRanks() {
+	buf := s.rankBuf[:0]
+	for _, j := range s.admitted {
+		buf = append(buf, j.priority)
+	}
+	slices.Sort(buf)
+	s.rankBuf = buf
+	n := len(buf)
+	for _, j := range s.admitted {
+		p := j.priority
+		// rank = #(priorities strictly greater than p)
+		//      = n − upper_bound(p) over the ascending-sorted priorities.
+		j.rank = n - sort.Search(n, func(i int) bool { return buf[i] > p })
+	}
 }
 
 // jobRankStep is the per-rank additive placement boost. It exceeds the
@@ -282,18 +308,14 @@ const jobRankStep = 5.0
 
 // orderBoost converts a job's ordering state into the additive placement
 // score of §4.2.2: a rank term that enforces the policy order (EJF or SRJF)
-// plus the paper's W·T aging term.
+// plus the paper's W·T aging term. The rank was cached by computeRanks at
+// the last priority refresh, so each lookup is O(1); the parallel ranking
+// pass also relies on this being a pure read.
 func (s *Scheduler) orderBoost(j *Job, now eventloop.Time) float64 {
 	if s.sys.Cfg.DisableJobOrdering {
 		return 0
 	}
-	rank := 0
-	for _, o := range s.admitted {
-		if o.priority > j.priority {
-			rank++
-		}
-	}
-	boost := jobRankStep * float64(len(s.admitted)-rank)
+	boost := jobRankStep * float64(len(s.admitted)-j.rank)
 	if s.sys.Cfg.Policy == EJF {
 		boost += s.sys.Cfg.OrderingWeight * (now - j.Submitted).Seconds()
 	}

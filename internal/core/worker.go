@@ -37,6 +37,36 @@ type Worker struct {
 	failed bool
 
 	enqSeq uint64
+
+	// epoch counts state changes that can alter the scheduler's per-worker
+	// snapshot (queue contents, load, rates, idle cores, memory
+	// reservations, failure). PlaceContext compares it against the epoch
+	// captured at the last snapshot refresh to skip clean workers when
+	// Config.IncrementalSnapshots is enabled; see placement.go.
+	epoch uint64
+}
+
+// markDirty records that the worker's schedulable state changed, so the
+// next placement tick must refresh its snapshot.
+func (w *Worker) markDirty() { w.epoch++ }
+
+// staleNever is the "no time-driven refresh needed" sentinel for snapshot
+// staleness deadlines.
+const staleNever = eventloop.Time(1<<63 - 1)
+
+// snapshotStaleAt returns the earliest virtual time at which this worker's
+// scheduler snapshot could change without any intervening markDirty event:
+// the next rate-window boundary of a monitor holding unrolled samples
+// (rates only blend at window-grid boundaries; see rateMonitor.roll).
+// Callers must have read the rates at the current time first.
+func (w *Worker) snapshotStaleAt() eventloop.Time {
+	at := staleNever
+	for _, r := range w.rates {
+		if t := r.nextChange(); t < at {
+			at = t
+		}
+	}
+	return at
 }
 
 type taskMem struct {
@@ -66,6 +96,10 @@ func newWorker(sys *System, m *cluster.Machine) *Worker {
 	for k := range w.queues {
 		w.queues[k].cfg = &sys.Cfg
 	}
+	// Device activity moves the measured rates feeding APT_r(w); surface it
+	// as snapshot dirtiness for incremental placement ticks.
+	m.Net.OnActivity = w.markDirty
+	m.Disk.OnActivity = w.markDirty
 	return w
 }
 
@@ -124,6 +158,7 @@ func (w *Worker) reserveTask(j *Job, t *dag.Task) {
 	for _, k := range resource.MonotaskKinds {
 		w.load[k] += taskKindEst(t, k)
 	}
+	w.markDirty()
 }
 
 // releaseTask frees the task's memory reservation when it completes.
@@ -135,6 +170,7 @@ func (w *Worker) releaseTask(t *dag.Task) {
 	delete(w.taskMem, t)
 	w.Machine.Mem.Unuse(tm.used)
 	w.Machine.Mem.FreeAlloc(tm.reserved)
+	w.markDirty()
 }
 
 // taskKindEst sums the estimated inputs of a task's monotasks of kind k.
@@ -150,6 +186,7 @@ func (w *Worker) Enqueue(j *Job, mt *dag.Monotask) {
 	if !mt.Kind.Valid() || mt.Kind == resource.Mem {
 		panic(fmt.Sprintf("core: enqueue of non-monotask kind %v", mt.Kind))
 	}
+	w.markDirty()
 	w.enqSeq++
 	item := &queuedMT{
 		job:  j,
@@ -198,10 +235,12 @@ func (w *Worker) start(item *queuedMT, counted bool) {
 	mt := item.mt
 	mt.State = dag.MTRunning
 	startAt := w.sys.Loop.Now()
+	w.markDirty() // core allocation / running counts change below
 	if counted {
 		w.running[mt.Kind]++
 	}
 	finish := func() {
+		w.markDirty() // load, rates and concurrency slots change below
 		delete(w.active, mt)
 		elapsed := (w.sys.Loop.Now() - startAt).Seconds()
 		w.rates[mt.Kind].sample(mt.InputBytes, elapsed)
@@ -254,6 +293,7 @@ func (w *Worker) start(item *queuedMT, counted bool) {
 // tasks (with their owning jobs) for the scheduler to retry elsewhere.
 func (w *Worker) fail() map[*dag.Task]*Job {
 	w.failed = true
+	w.markDirty()
 	for _, abort := range w.active {
 		abort()
 	}
@@ -351,9 +391,18 @@ func (r *rateMonitor) rate() float64 {
 
 // roll commits the window if it has elapsed, blending with the previous
 // estimate to damp noise from sparse samples.
+//
+// The window grid is anchored at the monitor's creation time: windowStart
+// advances in whole multiples of the window rather than snapping to the
+// read time, so *when* the rate changes is a function of virtual time and
+// the sample history alone, never of how often the scheduler happens to
+// read it. Incremental snapshot refreshes (Config.IncrementalSnapshots)
+// rely on this: a clean worker's rate() is provably unchanged until the
+// boundary reported by nextChange, so skipping the read is exact.
 func (r *rateMonitor) roll() {
 	now := r.loop.Now()
-	if now-r.windowStart < eventloop.Time(r.window) {
+	elapsed := now - r.windowStart
+	if elapsed < eventloop.Time(r.window) {
 		return
 	}
 	if r.seconds > 1e-9 {
@@ -361,5 +410,16 @@ func (r *rateMonitor) roll() {
 		r.current = 0.5*r.current + 0.5*observed
 	}
 	r.bytes, r.seconds = 0, 0
-	r.windowStart = now
+	r.windowStart += elapsed / eventloop.Time(r.window) * eventloop.Time(r.window)
+}
+
+// nextChange returns the earliest virtual time at which the monitor's rate
+// can change without a further sample being recorded: the end of the
+// current window when unrolled samples are pending, or never. Callers must
+// have read rate() (i.e. rolled) at the current time first.
+func (r *rateMonitor) nextChange() eventloop.Time {
+	if r.seconds <= 1e-9 {
+		return staleNever
+	}
+	return r.windowStart + eventloop.Time(r.window)
 }

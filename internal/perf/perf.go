@@ -37,6 +37,9 @@ type Benchmark struct {
 	// ticks/s, timer events/s, or simulation runs/s.
 	Throughput float64 `json:"throughput"`
 	Unit       string  `json:"unit"`
+	// Workers records the concurrency the scenario actually ran with, for
+	// scenarios whose result depends on it (omitted when not meaningful).
+	Workers int `json:"workers,omitempty"`
 }
 
 // Report is the BENCH_core.json document.
@@ -45,18 +48,30 @@ type Report struct {
 	// incompatible regenerations.
 	Schema string `json:"schema"`
 	// Command regenerates the file.
-	Command    string `json:"command"`
-	GoVersion  string `json:"go_version"`
-	GoMaxProcs int    `json:"go_maxprocs"`
+	Command   string `json:"command"`
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs is the process's GOMAXPROCS while the serial scenarios ran;
+	// NumCPU is the machine's logical CPU count. The parallel scenarios run
+	// at NumCPU (raising GOMAXPROCS for their duration if needed), so the
+	// pair documents exactly what "parallel" meant on this machine.
+	GoMaxProcs int `json:"go_maxprocs"`
+	NumCPU     int `json:"num_cpu"`
 
 	// PlacementTick is one full placement pass over 64 workers × 32 pending
 	// stages × 16 tasks (the BenchmarkPlacementTick scenario).
 	PlacementTick Benchmark `json:"placement_tick"`
+	// PlacementTickLarge is the cluster-scale pass — 1024 workers × 256
+	// stages × 16 tasks — under Config.ScalablePlacement (incremental
+	// snapshots, top-K candidate index, parallel ranking); ...LargeExact is
+	// the same pool on the exact serial scan. Their ratio is the ISSUE 2
+	// speedup (acceptance bar: ≥5×).
+	PlacementTickLarge      Benchmark `json:"placement_tick_large"`
+	PlacementTickLargeExact Benchmark `json:"placement_tick_large_exact"`
 	// EventLoopTimers is schedule+dispatch of pooled timers in 1024-event
 	// batches (the BenchmarkEventLoopTimers scenario).
 	EventLoopTimers Benchmark `json:"eventloop_timers"`
 	// Table1Serial and Table1Parallel run the full Table 1 experiment (six
-	// independent simulation runs) with Workers=1 and Workers=GOMAXPROCS.
+	// independent simulation runs) with Workers=1 and Workers=NumCPU.
 	Table1Serial   Benchmark `json:"experiment_table1_serial"`
 	Table1Parallel Benchmark `json:"experiment_table1_parallel"`
 }
@@ -79,19 +94,15 @@ func measure(fn func(b *testing.B), opsPerIter float64, unit string) Benchmark {
 	}
 }
 
-// Collect runs every scenario and assembles the report. It takes on the
-// order of ten seconds: the experiment scenarios dominate.
-func Collect() *Report {
-	initTesting.Do(testing.Init)
-	rep := &Report{
-		Schema:     "ursa-bench-core/v1",
-		Command:    "go run ./cmd/ursa-bench -perf BENCH_core.json",
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-	}
-
-	rep.PlacementTick = measure(func(b *testing.B) {
-		pb := core.NewPlacementBench(64, 32, 16)
+// placementTickBench is the shared scenario body for the placement_tick
+// family: a saturated pool at the given scale, optionally on the scalable
+// (sub-linear) path. Exported via MeasurePlacementTick for the bench guard.
+func placementTickBench(workers, stages, tasks int, scalable bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		pb := core.NewPlacementBench(workers, stages, tasks)
+		if scalable {
+			pb.EnableScalable()
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -99,7 +110,61 @@ func Collect() *Report {
 				b.Fatal("no placements")
 			}
 		}
-	}, 1, "ticks/s")
+	}
+}
+
+// MeasurePlacementTick re-measures only the headline placement_tick scenario
+// (64 workers × 32 stages × 16 tasks, exact path). The bench guard uses it
+// to compare the current tree against the checked-in BENCH_core.json without
+// paying for the full Collect run.
+func MeasurePlacementTick() Benchmark {
+	initTesting.Do(testing.Init)
+	return measure(placementTickBench(64, 32, 16, false), 1, "ticks/s")
+}
+
+// Load parses a BENCH_core.json document.
+func Load(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	if err := json.NewDecoder(r).Decode(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// atFullProcs runs fn with GOMAXPROCS raised to the machine's CPU count,
+// restoring the previous setting afterwards. Earlier snapshots recorded the
+// "parallel" Table 1 scenario while GOMAXPROCS was pinned low, silently
+// measuring a serial run; forcing NumCPU (and recording it) makes the
+// parallel numbers mean what they say.
+func atFullProcs(fn func()) {
+	n := runtime.NumCPU()
+	prev := runtime.GOMAXPROCS(0)
+	if n > prev {
+		runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	fn()
+}
+
+// Collect runs every scenario and assembles the report. It takes on the
+// order of ten seconds: the experiment scenarios dominate.
+func Collect() *Report {
+	initTesting.Do(testing.Init)
+	rep := &Report{
+		Schema:     "ursa-bench-core/v2",
+		Command:    "go run ./cmd/ursa-bench -perf BENCH_core.json",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	rep.PlacementTick = measure(placementTickBench(64, 32, 16, false), 1, "ticks/s")
+	rep.PlacementTickLargeExact = measure(placementTickBench(1024, 256, 16, false), 1, "ticks/s")
+	atFullProcs(func() {
+		lg := measure(placementTickBench(1024, 256, 16, true), 1, "ticks/s")
+		lg.Workers = runtime.GOMAXPROCS(0)
+		rep.PlacementTickLarge = lg
+	})
 
 	const timerBatch = 1024
 	rep.EventLoopTimers = measure(func(b *testing.B) {
@@ -126,9 +191,17 @@ func Collect() *Report {
 			}
 		}
 	}
-	// Table 1 is six independent simulation runs per op.
+	// Table 1 is six independent simulation runs per op. The parallel
+	// scenario requests Workers=NumCPU explicitly (not 0 = GOMAXPROCS) and
+	// runs with GOMAXPROCS raised to match, so the recorded concurrency is
+	// the machine's, not whatever the process happened to be pinned to.
 	rep.Table1Serial = measure(table1(1), 6, "sim-runs/s")
-	rep.Table1Parallel = measure(table1(0), 6, "sim-runs/s")
+	rep.Table1Serial.Workers = 1
+	atFullProcs(func() {
+		par := measure(table1(runtime.NumCPU()), 6, "sim-runs/s")
+		par.Workers = runtime.NumCPU()
+		rep.Table1Parallel = par
+	})
 	return rep
 }
 
