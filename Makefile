@@ -21,10 +21,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiments package fans simulation runs across goroutines, and the
+# The experiments package fans simulation runs across goroutines, the
 # parallel placement-ranking pass spawns goroutines inside the core
-# scheduler; run the whole tree (including both equivalence suites) under
-# the race detector.
+# scheduler, and the live runtime (internal/live, eventloop.LiveDriver)
+# crosses real goroutine boundaries at the driver inbox; run the whole
+# tree (both equivalence suites, the live smoke tests) under the race
+# detector.
 race:
 	$(GO) test -race ./...
 

@@ -5,15 +5,29 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sort"
 	"strings"
 
 	"ursa/internal/dataset"
+	"ursa/internal/live"
 )
 
 func main() {
+	liveMode := flag.Bool("live", false,
+		"execute through the full Ursa scheduler (live runtime) instead of the direct local pool")
+	workers := flag.Int("workers", 2, "logical scheduler workers in -live mode")
+	flag.Parse()
+
 	s := dataset.NewSession()
+	if *liveMode {
+		// Same graph, same UDFs — but the plan now goes through admission,
+		// placement and the per-resource worker queues, with measured
+		// monotask durations feeding the workers' rate monitors.
+		s.SetRunner(&live.Runner{Config: live.Config{Workers: *workers}, Name: "quickstart"})
+		fmt.Printf("mode: live scheduler (%d workers)\n\n", *workers)
+	}
 
 	lines := dataset.Parallelize(s, []string{
 		"monotask is a unit of work that uses a single resource",

@@ -5,15 +5,29 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"strings"
 
+	"ursa/internal/live"
 	"ursa/internal/sqlmini"
 )
 
 func main() {
+	liveMode := flag.Bool("live", false,
+		"execute each query through the full Ursa scheduler (live runtime)")
+	workers := flag.Int("workers", 2, "logical scheduler workers in -live mode")
+	flag.Parse()
+
 	db := sqlmini.NewDB()
+	if *liveMode {
+		// Each query's compiled plan is submitted to a live Ursa system:
+		// admission, placement and worker queues run for real, on measured
+		// monotask durations.
+		db.Runner = &live.Runner{Config: live.Config{Workers: *workers}, Name: "sql"}
+		fmt.Printf("mode: live scheduler (%d workers)\n\n", *workers)
+	}
 	db.Add(salesTable(2000))
 	db.Add(productsTable())
 

@@ -22,18 +22,33 @@ type System struct {
 	jobs []*Job
 	done int
 
+	// exec runs monotasks; the default simExecutor charges modeled
+	// durations on the virtual clock. SetExecutor swaps in a live back-end.
+	exec MonotaskExecutor
+
 	// OnJobFinished, if set, is invoked as each job completes.
 	OnJobFinished func(*Job)
 }
 
-// NewSystem builds an Ursa system over the given cluster.
+// NewSystem builds an Ursa system over the given cluster, using the
+// simulated (modeled-duration) monotask executor.
 func NewSystem(loop *eventloop.Loop, clus *cluster.Cluster, cfg Config) *System {
-	sys := &System{Loop: loop, Cluster: clus, Cfg: cfg.withDefaults()}
+	sys := &System{Loop: loop, Cluster: clus, Cfg: cfg.withDefaults(), exec: simExecutor{}}
 	sys.Sched = newScheduler(sys)
 	for _, m := range clus.Machines {
 		sys.Workers = append(sys.Workers, newWorker(sys, m))
 	}
 	return sys
+}
+
+// SetExecutor replaces the monotask execution back-end — the live
+// construction path (internal/live) installs an executor that runs real
+// work on goroutines. Must be called before any monotask starts.
+func (s *System) SetExecutor(e MonotaskExecutor) {
+	if e == nil {
+		panic("core: nil executor")
+	}
+	s.exec = e
 }
 
 // Submit schedules a job submission at the given virtual time and returns
@@ -44,11 +59,19 @@ func (s *System) Submit(spec JobSpec, at eventloop.Time) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: job %q: %w", spec.Name, err)
 	}
+	return s.SubmitPlan(spec, plan, at), nil
+}
+
+// SubmitPlan schedules a job whose plan was already built — the live path
+// uses it so input datasets can be materialized (sizes recorded) between
+// plan construction and submission, which makes the SRJF remaining-work
+// hint see real input sizes.
+func (s *System) SubmitPlan(spec JobSpec, plan *dag.Plan, at eventloop.Time) *Job {
 	j := &Job{ID: len(s.jobs), Spec: spec, Plan: plan}
 	j.remaining = planWorkHint(plan)
 	s.jobs = append(s.jobs, j)
 	s.Loop.At(at, func() { s.Sched.submit(j) })
-	return j, nil
+	return j
 }
 
 // MustSubmit is Submit for statically known-good specs.

@@ -227,23 +227,24 @@ func (w *Worker) pump(k resource.Kind) {
 	}
 }
 
-// start executes one monotask: CPU occupies a core for the dispatch
-// overhead plus work/rate; network and disk drive a flow on the machine's
-// shared device. counted=false marks bypassed small monotasks that do not
-// consume a concurrency slot.
+// start executes one monotask through the system's executor: the simulated
+// executor charges modeled durations on the virtual clock; a live executor
+// runs the real work on goroutines and reports measured cost through the
+// driver inbox. Either way the completion (done) runs on the control loop
+// and feeds the measured bytes/seconds into the worker's rate monitor.
+// counted=false marks bypassed small monotasks that do not consume a
+// concurrency slot.
 func (w *Worker) start(item *queuedMT, counted bool) {
 	mt := item.mt
 	mt.State = dag.MTRunning
-	startAt := w.sys.Loop.Now()
 	w.markDirty() // core allocation / running counts change below
 	if counted {
 		w.running[mt.Kind]++
 	}
-	finish := func() {
+	done := func(bytes, seconds float64) {
 		w.markDirty() // load, rates and concurrency slots change below
 		delete(w.active, mt)
-		elapsed := (w.sys.Loop.Now() - startAt).Seconds()
-		w.rates[mt.Kind].sample(mt.InputBytes, elapsed)
+		w.rates[mt.Kind].sample(bytes, seconds)
 		if counted {
 			w.running[mt.Kind]--
 		}
@@ -254,38 +255,7 @@ func (w *Worker) start(item *queuedMT, counted bool) {
 		item.job.jm.monotaskDone(w, mt)
 		w.pump(mt.Kind)
 	}
-	switch mt.Kind {
-	case resource.CPU:
-		w.Machine.Cores.MustAlloc(1)
-		overhead := w.sys.Cfg.DispatchOverhead
-		inCompute := false
-		var dispatch, compute eventloop.Timer
-		dispatch = w.sys.Loop.After(overhead, func() {
-			inCompute = true
-			w.Machine.Cores.Use(1)
-			dur := eventloop.FromSeconds(mt.CPUWork / w.Machine.CoreRate())
-			compute = w.sys.Loop.After(dur, func() {
-				w.Machine.Cores.Unuse(1)
-				w.Machine.Cores.FreeAlloc(1)
-				finish()
-			})
-		})
-		w.active[mt] = func() {
-			if inCompute {
-				compute.Cancel()
-				w.Machine.Cores.Unuse(1)
-			} else {
-				dispatch.Cancel()
-			}
-			w.Machine.Cores.FreeAlloc(1)
-		}
-	case resource.Net:
-		flow := w.Machine.Net.Start(mt.InputBytes, finish)
-		w.active[mt] = func() { w.Machine.Net.Abort(flow) }
-	case resource.Disk:
-		flow := w.Machine.Disk.Start(mt.InputBytes, finish)
-		w.active[mt] = func() { w.Machine.Disk.Abort(flow) }
-	}
+	w.active[mt] = w.sys.exec.Start(w, item.job, mt, done)
 }
 
 // fail implements worker failure (§4.3): abort everything in flight,

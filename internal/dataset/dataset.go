@@ -21,7 +21,8 @@ import (
 type Session struct {
 	g        *dag.Graph
 	inputs   []inputBinding
-	rt       *localrt.Runtime
+	runner   localrt.Runner
+	rows     localrt.RowsFn
 	executed bool
 }
 
@@ -32,6 +33,12 @@ type inputBinding struct {
 
 // NewSession returns an empty session.
 func NewSession() *Session { return &Session{g: dag.NewGraph()} }
+
+// SetRunner selects the execution back-end for Collect: by default plans run
+// directly on a local goroutine pool (localrt.LocalRunner); installing the
+// live runner (internal/live) instead routes the same plan through the full
+// Ursa scheduler. Must be called before the first Collect.
+func (s *Session) SetRunner(r localrt.Runner) { s.runner = r }
 
 // Graph exposes the underlying operation graph, e.g. to submit the job to
 // the simulated cluster instead of executing locally.
@@ -352,17 +359,22 @@ func Collect[T any](ds *Dataset[T]) ([]T, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: %w", err)
 		}
-		rt := localrt.New(plan)
-		for _, in := range s.inputs {
-			rt.SetInput(in.d, in.rows)
+		inputs := make([]localrt.PlanInput, len(s.inputs))
+		for i, in := range s.inputs {
+			inputs[i] = localrt.PlanInput{Dataset: in.d, Rows: in.rows}
 		}
-		if err := rt.Run(); err != nil {
+		runner := s.runner
+		if runner == nil {
+			runner = localrt.LocalRunner{}
+		}
+		rows, err := runner.RunPlan(plan, inputs)
+		if err != nil {
 			return nil, err
 		}
-		s.rt = rt
+		s.rows = rows
 		s.executed = true
 	}
-	return typed[T](s.rt.Rows(ds.d)), nil
+	return typed[T](s.rows(ds.d)), nil
 }
 
 // MustCollect is Collect that panics on error.

@@ -183,6 +183,23 @@ func (l *Loop) Stop() { l.stopped = true }
 // yet drained.
 func (l *Loop) Pending() int { return l.pq.Len() }
 
+// NextAt reports the firing time of the earliest pending (non-cancelled)
+// timer. ok is false when no live timer is queued. Cancelled records at the
+// heap front are drained and recycled as a side effect, which is invisible to
+// callers (their handles were already stale).
+func (l *Loop) NextAt() (at Time, ok bool) {
+	for l.pq.Len() > 0 {
+		t := l.pq[0]
+		if t.cancelled {
+			heap.Pop(&l.pq)
+			l.recycle(t)
+			continue
+		}
+		return t.at, true
+	}
+	return 0, false
+}
+
 // step runs the earliest pending timer. It reports false when the queue is
 // exhausted.
 func (l *Loop) step(limit Time) bool {

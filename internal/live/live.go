@@ -1,0 +1,242 @@
+// Package live is the wall-clock deployment of the Ursa scheduling core: the
+// same Scheduler / Worker / JobManager control plane that powers the
+// simulation, driven by an eventloop.LiveDriver instead of virtual time, with
+// monotasks executed for real (CPU UDF invocation, hash-bucketed shuffle
+// transfer, disk spill — internal/localrt) by goroutines that report
+// *measured* durations back into the workers' processing-rate monitors. This
+// closes the paper's rate-feedback loop (§4.2.1–4.2.2) with real
+// measurements: APT_r(w), SRJF remaining work and placement scores are all
+// computed from observed rates, not modeled ones.
+//
+// The control plane is byte-for-byte the code the simulator runs; only the
+// Driver (clock) and the MonotaskExecutor (work) differ. See DESIGN.md §8
+// for the layering and the determinism boundary.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ursa/internal/cluster"
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/eventloop"
+	"ursa/internal/localrt"
+	"ursa/internal/metrics"
+	"ursa/internal/resource"
+)
+
+// Config shapes a live deployment on the local machine.
+type Config struct {
+	// Workers is the number of logical scheduler workers ("machines") the
+	// control plane places tasks onto. Data lives in one shared in-memory
+	// store regardless; workers are scheduling domains with their own
+	// per-resource queues, rate monitors and memory accounting. Default 1.
+	Workers int
+	// CoresPerWorker is each logical worker's CPU concurrency limit in the
+	// scheduler's accounting. Default: Parallelism/Workers, at least 1.
+	CoresPerWorker int
+	// Parallelism bounds how many CPU monotasks actually execute
+	// concurrently across the whole process. Default: GOMAXPROCS.
+	Parallelism int
+	// MemPerWorker is each worker's memory capacity in the scheduler's
+	// units (dataset sizes, i.e. rows for the local runtime). It only
+	// gates admission and reservation; the default is effectively
+	// unbounded for local datasets.
+	MemPerWorker float64
+	// Core configures the scheduler. Zero fields default like the
+	// simulation, except SchedInterval (10ms — a wall-clock tick),
+	// RateWindow (1s) and SmallMonotaskBytes (1, so every monotask goes
+	// through the worker queues and the full §4.2.3 path is exercised).
+	Core core.Config
+	// SampleInterval enables cluster-utilization sampling at this period
+	// for metrics/trace emission; 0 disables.
+	SampleInterval eventloop.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.CoresPerWorker <= 0 {
+		c.CoresPerWorker = c.Parallelism / c.Workers
+		if c.CoresPerWorker < 1 {
+			c.CoresPerWorker = 1
+		}
+	}
+	if c.MemPerWorker <= 0 {
+		c.MemPerWorker = float64(resource.TB)
+	}
+	if c.Core.SchedInterval <= 0 {
+		c.Core.SchedInterval = 10 * eventloop.Millisecond
+	}
+	if c.Core.RateWindow <= 0 {
+		c.Core.RateWindow = eventloop.Second
+	}
+	if c.Core.SmallMonotaskBytes <= 0 {
+		c.Core.SmallMonotaskBytes = 1
+	}
+	return c
+}
+
+// clusterConfig maps the live deployment onto the cluster substrate the
+// control plane accounts against. Bandwidth/rate figures are only the
+// *initial* guesses of the workers' rate monitors — measured rates replace
+// them within one rate window — in rows/s, the local runtime's size unit.
+func (c Config) clusterConfig() cluster.Config {
+	return cluster.Config{
+		Machines:        c.Workers,
+		CoresPerMachine: c.CoresPerWorker,
+		MemPerMachine:   resource.Bytes(c.MemPerWorker),
+		NetBandwidth:    5e7,
+		DiskBandwidth:   5e7,
+		CoreRate:        1e6,
+	}
+}
+
+// Job is one live job: the scheduler-side handle plus the runtime holding
+// its materialized datasets.
+type Job struct {
+	Core *core.Job
+	rt   *localrt.Runtime
+}
+
+// Rows returns the materialized rows of a dataset after the job ran.
+func (j *Job) Rows(d *dag.Dataset) []localrt.Row { return j.rt.Rows(d) }
+
+// System is a live Ursa deployment on the local machine: LiveDriver +
+// scheduling core + real-execution back-end.
+type System struct {
+	Drv     *eventloop.LiveDriver
+	Core    *core.System
+	Cluster *cluster.Cluster
+	Sampler *metrics.Sampler
+
+	// OnJobFinished, if set, runs on the control loop as each job
+	// completes.
+	OnJobFinished func(*core.Job)
+
+	cfg  Config
+	exec *executor
+
+	mu      sync.Mutex
+	started bool
+	jobs    []*Job
+	runErr  error
+}
+
+// NewSystem assembles a live system. Submit jobs, then Run.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	drv := eventloop.NewLiveDriver()
+	clus := cluster.New(drv.Loop(), cfg.clusterConfig())
+	sys := core.NewSystem(drv.Loop(), clus, cfg.Core)
+	s := &System{Drv: drv, Core: sys, Cluster: clus, cfg: cfg}
+	s.exec = newExecutor(s, cfg.Parallelism)
+	sys.SetExecutor(s.exec)
+	return s
+}
+
+// Submit builds the spec's graph and registers the job with its inputs.
+func (s *System) Submit(spec core.JobSpec, inputs []localrt.PlanInput) (*Job, error) {
+	plan, err := spec.Graph.Build()
+	if err != nil {
+		return nil, fmt.Errorf("live: job %q: %w", spec.Name, err)
+	}
+	return s.SubmitPlan(spec, plan, inputs)
+}
+
+// SubmitPlan registers a pre-built plan. Inputs are materialized first so
+// the scheduler's admission and SRJF hints see real input sizes. Safe to
+// call before Run from the submitting goroutine, and after Run has started
+// from any goroutine (the submission is relayed through the driver inbox).
+func (s *System) SubmitPlan(spec core.JobSpec, plan *dag.Plan, inputs []localrt.PlanInput) (*Job, error) {
+	rt := localrt.New(plan)
+	for _, in := range inputs {
+		rt.SetInput(in.Dataset, in.Rows)
+	}
+	j := &Job{rt: rt}
+	submit := func() {
+		j.Core = s.Core.SubmitPlan(spec, plan, s.Drv.Loop().Now())
+		s.exec.register(j.Core, rt)
+	}
+	s.mu.Lock()
+	if !s.started {
+		submit()
+		s.jobs = append(s.jobs, j)
+		s.mu.Unlock()
+		return j, nil
+	}
+	s.jobs = append(s.jobs, j)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	s.Drv.Send(func() {
+		submit()
+		close(done)
+	})
+	<-done
+	return j, nil
+}
+
+// Jobs returns the submitted live jobs in submission order.
+func (s *System) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.jobs...)
+}
+
+// fail records the first executor error and shuts the driver down. Runs on
+// the control loop.
+func (s *System) fail(err error) {
+	if s.runErr == nil {
+		s.runErr = err
+	}
+	s.Drv.Stop()
+}
+
+// Run drives the control loop against the wall clock until every submitted
+// job finishes, an executor fails, or ctx is cancelled. The scheduler path
+// is exactly the simulation's: admission under the memory reservation,
+// batched placement ticks, per-resource worker queues — only the clock and
+// the execution back-end differ.
+func (s *System) Run(ctx context.Context) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("live: Run called twice")
+	}
+	s.started = true
+	s.mu.Unlock()
+	if s.cfg.SampleInterval > 0 {
+		s.Sampler = metrics.NewSampler(s.Drv.Loop(), metrics.ClusterSource(s.Cluster), s.cfg.SampleInterval)
+	}
+	s.Core.OnJobFinished = func(j *core.Job) {
+		if cb := s.OnJobFinished; cb != nil {
+			cb(j)
+		}
+		if s.Core.AllDone() {
+			if s.Sampler != nil {
+				s.Sampler.Stop()
+			}
+			s.Drv.Stop()
+		}
+	}
+	err := s.Drv.Run(ctx)
+	s.exec.close()
+	if s.runErr != nil {
+		return s.runErr
+	}
+	if err != nil {
+		return err
+	}
+	if !s.Core.AllDone() {
+		return errors.New("live: driver stopped before all jobs finished")
+	}
+	return nil
+}

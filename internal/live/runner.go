@@ -1,0 +1,55 @@
+package live
+
+import (
+	"context"
+
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/localrt"
+)
+
+// Runner adapts the live system to localrt.Runner, the seam the dataset API
+// (and through it the mini-SQL engine) executes plans through. Each RunPlan
+// call boots a fresh live System, pushes the plan through the full Ursa
+// scheduler — admission under the memory reservation, Algorithm-1 placement,
+// per-resource worker queues with measured-rate feedback — and blocks until
+// the job finishes. Swapping a Session from localrt.LocalRunner to this type
+// is the one-line difference between "run my query on a goroutine pool" and
+// "run my query through the scheduler".
+type Runner struct {
+	// Config shapes each per-plan System. Zero value = defaults.
+	Config Config
+	// Context, when non-nil, bounds each run.
+	Context context.Context
+	// Name labels submitted jobs for traces/metrics. Default "live".
+	Name string
+	// OnSystem, if set, observes each freshly built System before Run —
+	// hook for tests and metrics taps.
+	OnSystem func(*System)
+}
+
+var _ localrt.Runner = (*Runner)(nil)
+
+// RunPlan implements localrt.Runner.
+func (r *Runner) RunPlan(plan *dag.Plan, inputs []localrt.PlanInput) (localrt.RowsFn, error) {
+	sys := NewSystem(r.Config)
+	name := r.Name
+	if name == "" {
+		name = "live"
+	}
+	j, err := sys.SubmitPlan(core.JobSpec{Name: name, Graph: plan.Graph}, plan, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if r.OnSystem != nil {
+		r.OnSystem(sys)
+	}
+	ctx := r.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := sys.Run(ctx); err != nil {
+		return nil, err
+	}
+	return j.rt.Rows, nil
+}

@@ -7,6 +7,7 @@
 package localrt
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -25,27 +26,81 @@ type Row = any
 type UDF func(inputs [][]Row) []Row
 
 // Keyed lets a row steer itself through a shuffle; rows that do not
-// implement it are routed round-robin.
+// implement it are routed deterministically by their source partition and
+// ordinal, so runs are reproducible and comparable across execution modes.
 type Keyed interface {
 	ShuffleKey() any
+}
+
+// PlanInput binds materialized rows to a job-input dataset of a plan.
+type PlanInput struct {
+	Dataset *dag.Dataset
+	Rows    []Row
+}
+
+// RowsFn resolves the materialized rows of a dataset after execution.
+type RowsFn func(*dag.Dataset) []Row
+
+// Runner executes a built plan over materialized inputs and returns a row
+// resolver for its datasets. Two implementations exist: LocalRunner (this
+// package) runs the plan directly with a goroutine pool and no scheduling;
+// live.Runner (internal/live) pushes the same plan through the full Ursa
+// scheduler — admission, placement, per-resource worker queues — with this
+// package executing the individual monotasks. The dataset API accepts either
+// (Session.SetRunner), which is the sim-vs-live seam of the examples.
+type Runner interface {
+	RunPlan(plan *dag.Plan, inputs []PlanInput) (RowsFn, error)
+}
+
+// LocalRunner is the default Runner: direct execution on a bounded local
+// goroutine pool, bypassing the scheduler.
+type LocalRunner struct {
+	// Workers bounds concurrent CPU monotasks; 0 means GOMAXPROCS.
+	Workers int
+	// Context, when non-nil, cancels in-flight runs.
+	Context context.Context
+}
+
+// RunPlan implements Runner.
+func (lr LocalRunner) RunPlan(plan *dag.Plan, inputs []PlanInput) (RowsFn, error) {
+	rt := New(plan)
+	if lr.Workers > 0 {
+		rt.SetWorkers(lr.Workers)
+	}
+	for _, in := range inputs {
+		rt.SetInput(in.Dataset, in.Rows)
+	}
+	ctx := lr.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := rt.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return rt.Rows, nil
 }
 
 // Runtime executes one plan over materialized inputs. A Runtime (like the
 // plan it drives) is single-use.
 type Runtime struct {
-	plan    *dag.Plan
-	mu      sync.Mutex
-	store   map[*dag.Dataset][][]Row
-	workers int
+	plan  *dag.Plan
+	mu    sync.Mutex
+	store map[*dag.Dataset][][]Row
+	// committed records monotasks whose outputs were written, making Exec
+	// at-most-once: a monotask re-executed after an abort (worker failure
+	// retry, §4.3) cannot double-append its rows.
+	committed map[*dag.Monotask]bool
+	workers   int
 }
 
 // New builds a runtime for the plan. Input datasets must be provided via
 // SetInput before Run.
 func New(plan *dag.Plan) *Runtime {
 	return &Runtime{
-		plan:    plan,
-		store:   make(map[*dag.Dataset][][]Row),
-		workers: runtime.NumCPU(),
+		plan:      plan,
+		store:     make(map[*dag.Dataset][][]Row),
+		committed: make(map[*dag.Monotask]bool),
+		workers:   runtime.NumCPU(),
 	}
 }
 
@@ -103,10 +158,15 @@ func (r *Runtime) Partitions(d *dag.Dataset) [][]Row {
 	return r.store[d]
 }
 
-// Run executes the plan to completion. CPU monotasks run on a bounded
-// worker pool; network and disk monotasks are in-memory moves. The
-// coordinator (this goroutine) owns all plan state.
-func (r *Runtime) Run() error {
+// Run executes the plan to completion. See RunContext.
+func (r *Runtime) Run() error { return r.RunContext(context.Background()) }
+
+// RunContext executes the plan to completion or until ctx is cancelled. CPU
+// monotasks run on a bounded worker pool; network and disk monotasks are
+// in-memory moves. The coordinator (this goroutine) owns all plan state.
+// On error or cancellation every launched goroutine is drained before
+// returning, so an aborted run leaks nothing.
+func (r *Runtime) RunContext(ctx context.Context) error {
 	type completion struct {
 		mt  *dag.Monotask
 		err error
@@ -120,8 +180,13 @@ func (r *Runtime) Run() error {
 		inflight++
 		if mt.Kind == resource.CPU {
 			go func() {
-				sem <- struct{}{}
-				err := r.execute(mt)
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					results <- completion{mt, ctx.Err()}
+					return
+				}
+				err := r.Exec(mt)
 				<-sem
 				results <- completion{mt, err}
 			}()
@@ -130,7 +195,7 @@ func (r *Runtime) Run() error {
 		// Network/disk data movement is memory-speed locally; execute
 		// inline but report through the same channel for uniform flow.
 		go func() {
-			results <- completion{mt, r.execute(mt)}
+			results <- completion{mt, r.Exec(mt)}
 		}()
 	}
 
@@ -139,6 +204,14 @@ func (r *Runtime) Run() error {
 		runnable = append(runnable, t.ReadyMonotasks()...)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			// Cancelled: stop launching, drain in-flight work.
+			for inflight > 0 {
+				<-results
+				inflight--
+			}
+			return err
+		}
 		for _, mt := range runnable {
 			launch(mt)
 		}
@@ -168,8 +241,15 @@ func (r *Runtime) Run() error {
 	return nil
 }
 
-// execute materializes one monotask's outputs.
-func (r *Runtime) execute(mt *dag.Monotask) (err error) {
+// Exec materializes one monotask's outputs: it gathers the monotask's input
+// rows from the store, runs its execution steps (CPU UDF invocation,
+// hash-bucketed shuffle transfer, broadcast replication, disk spill) and
+// writes the produced rows back. It is safe to call from multiple
+// goroutines; dependency ordering (never executing a monotask before its
+// producers' rows are written) is the caller's responsibility — Prepare and
+// Complete bookkeeping stays with the coordinating control plane. This is
+// the per-monotask entry point the live scheduler's executor drives.
+func (r *Runtime) Exec(mt *dag.Monotask) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("localrt: %v panicked: %v", mt, p)
@@ -177,6 +257,7 @@ func (r *Runtime) execute(mt *dag.Monotask) (err error) {
 	}()
 	steps := r.plan.ExecSteps(mt)
 	outputs := make([][]Row, len(steps))
+	var writes []pendingWrite
 	for si, step := range steps {
 		inputs := make([][]Row, len(step.Reads))
 		for ri, ref := range step.Reads {
@@ -201,10 +282,29 @@ func (r *Runtime) execute(mt *dag.Monotask) (err error) {
 		}
 		outputs[si] = rows
 		for _, d := range step.Creates {
-			r.write(d, mt, rows)
+			writes = append(writes, pendingWrite{d: d, rows: rows})
 		}
 	}
+	// Commit all outputs atomically and at most once: internal steps read
+	// only the in-memory outputs slice, so deferring store writes to the
+	// end changes nothing for a healthy run, and a monotask re-executed
+	// after an abort cannot leave partial or duplicate rows behind.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.committed[mt] {
+		return nil
+	}
+	r.committed[mt] = true
+	for _, pw := range writes {
+		r.write(pw.d, mt, pw.rows)
+	}
 	return nil
+}
+
+// pendingWrite is one buffered dataset write of an executing monotask.
+type pendingWrite struct {
+	d    *dag.Dataset
+	rows []Row
 }
 
 // gather collects a monotask's input rows from a dataset under its mapping.
@@ -224,9 +324,9 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 	case dag.MapShard:
 		// Pull-based shuffle: take this index's bucket of every partition.
 		var out []Row
-		for _, p := range parts {
-			for _, row := range p {
-				if bucketOf(row, paral) == mt.Index {
+		for pi, p := range parts {
+			for k, row := range p {
+				if bucketOf(row, pi, k, paral) == mt.Index {
 					out = append(out, row)
 				}
 			}
@@ -258,10 +358,9 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 	}
 }
 
-// write stores a monotask's produced rows into the created dataset.
+// write stores a monotask's produced rows into the created dataset. Callers
+// must hold r.mu — writes are only issued from Exec's commit section.
 func (r *Runtime) write(d *dag.Dataset, mt *dag.Monotask, rows []Row) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	parts, ok := r.store[d]
 	if !ok {
 		parts = make([][]Row, d.Partitions)
@@ -294,17 +393,22 @@ func parallelismOf(mt *dag.Monotask) int {
 	return mt.Parallelism()
 }
 
-// bucketOf routes a row to a shuffle bucket: keyed rows hash on their key,
-// others round-robin by value hash.
-func bucketOf(row Row, buckets int) int {
+// bucketOf routes a row to a shuffle bucket. Keyed rows hash on their key —
+// grouping semantics require all rows of a key to meet in one bucket. Rows
+// that are not Keyed carry no grouping requirement, so they are dealt
+// round-robin by (source partition, ordinal): a pure function of the row's
+// position, never of its formatted value. Value-hashing non-keyed rows (the
+// previous scheme) was non-deterministic for rows containing pointers, maps
+// or other address-dependent formatting, which made live runs
+// non-reproducible and incomparable across execution modes.
+func bucketOf(row Row, part, ordinal, buckets int) int {
 	if buckets <= 1 {
 		return 0
 	}
-	var key any = row
 	if k, ok := row.(Keyed); ok {
-		key = k.ShuffleKey()
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", k.ShuffleKey())
+		return int(h.Sum64() % uint64(buckets))
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%v", key)
-	return int(h.Sum64() % uint64(buckets))
+	return (part + ordinal) % buckets
 }

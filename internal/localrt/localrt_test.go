@@ -1,11 +1,13 @@
 package localrt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ursa/internal/dag"
 	"ursa/internal/resource"
@@ -235,8 +237,9 @@ func TestPropertyShuffleRouting(t *testing.T) {
 	f := func(keys []string, buckets uint8) bool {
 		b := int(buckets%16) + 1
 		byKey := map[string]int{}
-		for _, k := range keys {
-			got := bucketOf(kv{k, 1}, b)
+		for i, k := range keys {
+			// Keyed routing must ignore position: vary part/ordinal.
+			got := bucketOf(kv{k, 1}, i%3, i, b)
 			if got < 0 || got >= b {
 				return false
 			}
@@ -249,6 +252,109 @@ func TestPropertyShuffleRouting(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRunContextCancel: a cancelled run returns the context error and drains
+// every launched goroutine before returning (no leaks on abort).
+func TestRunContextCancel(t *testing.T) {
+	g := dag.NewGraph()
+	in := g.CreateData(4)
+	out := g.CreateData(4)
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	op := g.CreateOp(resource.CPU, "slow").Read(in).Create(out)
+	op.SetUDF(UDF(func(ins [][]Row) []Row {
+		started <- struct{}{}
+		<-release
+		return ins[0]
+	}))
+	rt := New(g.MustBuild())
+	rt.SetWorkers(2)
+	rt.SetInput(in, []Row{1, 2, 3, 4, 5, 6, 7, 8})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- rt.RunContext(ctx) }()
+	<-started // at least one monotask is executing
+	cancel()
+	close(release) // let in-flight UDFs finish so the drain completes
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancel")
+	}
+}
+
+// TestNonKeyedShuffleDeterministic: rows without ShuffleKey must land in the
+// same output partitions on every run — positional routing, never value
+// identity (pointers would otherwise scatter nondeterministically).
+func TestNonKeyedShuffleDeterministic(t *testing.T) {
+	type blob struct{ p *int } // pointer field: %v formatting is per-run
+	run := func() [][]Row {
+		g := dag.NewGraph()
+		in := g.CreateData(4)
+		mid := g.CreateData(4)
+		out := g.CreateData(3)
+		pre := g.CreateOp(resource.CPU, "pre").Read(in).Create(mid)
+		shuffle := g.CreateOp(resource.Net, "shuffle").Read(mid).Create(out)
+		pre.To(shuffle, dag.Sync)
+		rt := New(g.MustBuild())
+		var rows []Row
+		for i := 0; i < 24; i++ {
+			v := i
+			rows = append(rows, blob{&v})
+		}
+		rt.SetInput(in, rows)
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Partitions(out)
+	}
+	a, b := run(), run()
+	for pi := range a {
+		if len(a[pi]) != len(b[pi]) {
+			t.Fatalf("partition %d: %d rows vs %d rows across runs",
+				pi, len(a[pi]), len(b[pi]))
+		}
+		for k := range a[pi] {
+			if *a[pi][k].(blob).p != *b[pi][k].(blob).p {
+				t.Fatalf("partition %d row %d differs across runs", pi, k)
+			}
+		}
+	}
+}
+
+// TestExecAtMostOnce: re-executing a monotask (the abort/retry path of §4.3)
+// must not duplicate its output rows.
+func TestExecAtMostOnce(t *testing.T) {
+	g := dag.NewGraph()
+	in := g.CreateData(2)
+	out := g.CreateData(2)
+	g.CreateOp(resource.CPU, "copy").Read(in).Create(out)
+	plan := g.MustBuild()
+	rt := New(plan)
+	rt.SetInput(in, []Row{1, 2, 3, 4})
+
+	var mts []*dag.Monotask
+	for _, task := range plan.InitialReady() {
+		mts = append(mts, task.ReadyMonotasks()...)
+	}
+	for _, mt := range mts {
+		plan.Prepare(mt)
+		if err := rt.Exec(mt); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Exec(mt); err != nil { // retry after a presumed abort
+			t.Fatal(err)
+		}
+		plan.Complete(mt)
+	}
+	if got := len(rt.Rows(out)); got != 4 {
+		t.Fatalf("rows after double-exec = %d, want 4", got)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"ursa/internal/dataset"
+	"ursa/internal/localrt"
 )
 
 // Value is a cell: float64 or string.
@@ -24,6 +25,12 @@ type Table struct {
 // DB is a set of named tables.
 type DB struct {
 	tables map[string]*Table
+
+	// Runner, when non-nil, selects the execution back-end for queries:
+	// the default is direct local execution (localrt.LocalRunner); the live
+	// runner (internal/live) pushes each query's plan through the full Ursa
+	// scheduler instead.
+	Runner localrt.Runner
 }
 
 // NewDB returns an empty database.
@@ -276,6 +283,9 @@ func Exec(db *DB, q *Query) (*Result, error) {
 		return nil, fmt.Errorf("sql: unknown table %q", q.From)
 	}
 	sess := dataset.NewSession()
+	if db.Runner != nil {
+		sess.SetRunner(db.Runner)
+	}
 	sc := newSchema(base.Name, base.Cols)
 	cur := dataset.Parallelize(sess, base.Rows, queryParts)
 
