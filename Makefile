@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-json bench-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist fuzz-wire bench bench-json bench-guard clean
 
-ci: fmt-check vet build test race
+ci: fmt-check vet build test race smoke-dist
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -29,6 +29,18 @@ test:
 # detector.
 race:
 	$(GO) test -race ./...
+
+# Distributed loopback smoke: master + worker agents over real TCP sockets
+# in one process — wordcount/SQL row equivalence against direct execution,
+# measured-rate feedback, and the kill-an-agent chaos recovery test — under
+# the race detector. (Also covered by `race`; kept as an explicit gate so
+# the data plane cannot silently drop out of CI.)
+smoke-dist:
+	$(GO) test -race -count=1 -run 'TestLoopback|TestMeasuredRates|TestAgentFailureRecovery' ./internal/remote
+
+# One-shot fuzz pass over the wire codec's seed corpus (no new inputs).
+fuzz-wire:
+	$(GO) test -run '^FuzzDecodeFrame$$' ./internal/wire
 
 # Hot-path microbenchmarks with allocation counts.
 bench:

@@ -13,10 +13,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ursa/internal/core"
@@ -91,6 +94,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the run context: the driver stops, the executor
+	// seam aborts in-flight work on Close, and we exit 0 after printing the
+	// final metrics — a drain, not a crash. Installed before submission so
+	// an early interrupt is also graceful.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := live.Config{
 		Workers:        *workers,
 		Parallelism:    *parallel,
@@ -104,7 +114,7 @@ func main() {
 
 	fmt.Printf("submitting %d word-count jobs (%d lines × %d partitions each) to %d workers\n",
 		*jobs, *lines, *parts, *workers)
-	for i := 0; i < *jobs; i++ {
+	for i := 0; i < *jobs && ctx.Err() == nil; i++ {
 		g, in, _ := wordCountGraph(*parts, *parts)
 		input := make([]localrt.Row, *lines)
 		for l := 0; l < *lines; l++ {
@@ -120,18 +130,24 @@ func main() {
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
 	wallStart := time.Now()
-	if err := sys.Run(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "ursa-live: %v\n", err)
+	runErr := sys.Run(ctx)
+	wall := time.Since(wallStart)
+	interrupted := runErr != nil && errors.Is(runErr, context.Canceled)
+	if runErr != nil && !interrupted {
+		fmt.Fprintf(os.Stderr, "ursa-live: %v\n", runErr)
 		os.Exit(1)
 	}
-	wall := time.Since(wallStart)
 
-	fmt.Printf("\n%-14s %10s\n", "job", "JCT")
-	for _, j := range sys.Jobs() {
-		fmt.Printf("%-14s %9.1fms\n", j.Core.Spec.Name, j.Core.JCT().Seconds()*1e3)
+	if interrupted {
+		fmt.Printf("\nursa-live: interrupted, drained after %.1fs\n", wall.Seconds())
+	} else {
+		fmt.Printf("\n%-14s %10s\n", "job", "JCT")
+		for _, j := range sys.Jobs() {
+			fmt.Printf("%-14s %9.1fms\n", j.Core.Spec.Name, j.Core.JCT().Seconds()*1e3)
+		}
 	}
 	fmt.Printf("\nwall makespan  %9.1fms\n", wall.Seconds()*1e3)
 

@@ -1,0 +1,160 @@
+// Command ursa-master runs the distributed Ursa master: the scheduling core
+// (admission, Algorithm-1 placement, per-resource worker queues) driving a
+// cluster of ursa-worker agents over TCP. Jobs travel as (workload, params)
+// pairs from the shared registry; monotask completions carry measured
+// durations that feed the per-worker rate monitors (§4.2.2), and worker
+// failures recover through the §4.3 checkpoint path.
+//
+// Usage:
+//
+//	ursa-master -listen 127.0.0.1:7400 -workers 2 -workload wordcount
+//	ursa-master -workers 3 -workload sql_analytics -query 1
+//
+// SIGINT/SIGTERM drain the run: in-flight work aborts through the executor
+// seam, a final transport line is printed, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/remote"
+	"ursa/internal/remote/workload"
+	"ursa/internal/resource"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7400", "control-plane listen address")
+		shuffle  = flag.String("shuffle-listen", "127.0.0.1:0", "canonical-store shuffle listen address")
+		workers  = flag.Int("workers", 2, "worker agents to wait for")
+		cores    = flag.Int("cores-per-worker", 2, "scheduler CPU concurrency per worker")
+		wl       = flag.String("workload", "wordcount", "registered workload to run (see -list)")
+		list     = flag.Bool("list", false, "list registered workloads and exit")
+		jobs     = flag.Int("jobs", 1, "copies of the workload to submit")
+		lines    = flag.Int("lines", 20000, "wordcount: input lines")
+		parts    = flag.Int("parts", 8, "wordcount: input partitions")
+		query    = flag.Int("query", 0, "sql_analytics: canned query index")
+		sales    = flag.Int("sales-rows", 4000, "sql_analytics: generated sales rows")
+		policy   = flag.String("policy", "ejf", "ejf | srjf")
+		hb       = flag.Duration("heartbeat", 100*time.Millisecond, "worker heartbeat interval")
+		stats    = flag.Duration("stats", time.Second, "transport stats line period (0 disables)")
+		showRows = flag.Int("show-rows", 10, "result rows to print per job")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "abort if the run exceeds this")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := remote.Config{
+		Addr:              *listen,
+		ShuffleAddr:       *shuffle,
+		Workers:           *workers,
+		CoresPerWorker:    *cores,
+		HeartbeatInterval: *hb,
+		StatsInterval:     *stats,
+		SampleInterval:    eventloop.Duration(50 * time.Millisecond / time.Microsecond),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *policy == "srjf" {
+		cfg.Core.Policy = core.SRJF
+	}
+	m, err := remote.NewMaster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer m.Close()
+	fmt.Printf("ursa-master: control %s shuffle %s — waiting for %d workers\n",
+		m.Addr(), m.ShuffleAddr(), *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	for i := 0; i < *jobs && ctx.Err() == nil; i++ {
+		name, params := jobSpec(*wl, *lines, *parts, *query, *sales)
+		if _, err := m.Submit(name, params); err != nil {
+			fatal(err)
+		}
+	}
+
+	wallStart := time.Now()
+	runErr := m.Run(ctx)
+	wall := time.Since(wallStart)
+	interrupted := runErr != nil && errors.Is(runErr, context.Canceled)
+	if runErr != nil && !interrupted {
+		fatal(runErr)
+	}
+
+	if interrupted {
+		fmt.Printf("\nursa-master: interrupted, drained after %.1fs\n", wall.Seconds())
+	} else {
+		fmt.Printf("\n%-28s %10s\n", "job", "JCT")
+		for _, j := range m.Jobs() {
+			fmt.Printf("%-28s %9.1fms\n", j.Built.Spec.Name, j.Live.Core.JCT().Seconds()*1e3)
+		}
+		fmt.Printf("\nwall makespan  %9.1fms\n", wall.Seconds()*1e3)
+		printResults(m, *showRows)
+		fmt.Println("\nmeasured processing rates (rows/s, fed back into APT_r(w)):")
+		for i, w := range m.Sys.Core.Workers {
+			fmt.Printf("  worker %d:  cpu %11.0f   net %11.0f   disk %11.0f\n",
+				i, w.Rate(resource.CPU), w.Rate(resource.Net), w.Rate(resource.Disk))
+		}
+	}
+	// Final transport line: the run's data-plane summary, printed on both
+	// the clean and the interrupted path.
+	fmt.Printf("\nfinal %s\n", m.Transport.StatsLine(time.Now()))
+}
+
+func jobSpec(wl string, lines, parts, query, sales int) (string, []byte) {
+	switch wl {
+	case "wordcount":
+		return workload.WordCount(workload.WordCountParams{Lines: lines, InParts: parts, OutParts: parts / 2})
+	case "sql_analytics":
+		return workload.SQLAnalytics(workload.SQLParams{QueryIndex: query, SalesRows: sales})
+	default:
+		return wl, nil // custom registered workload, default params
+	}
+}
+
+func printResults(m *remote.Master, limit int) {
+	for _, j := range m.Jobs() {
+		rows, err := j.ResultRows()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-master: %s results: %v\n", j.Name, err)
+			continue
+		}
+		fmt.Printf("\n%s: %d result rows", j.Built.Spec.Name, len(rows))
+		if cols := j.Built.Cols; cols != nil {
+			fmt.Printf(" %v", cols)
+		}
+		fmt.Println()
+		for i, r := range rows {
+			if i >= limit {
+				fmt.Printf("  … %d more\n", len(rows)-limit)
+				break
+			}
+			fmt.Printf("  %v\n", r)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ursa-master: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command ursa-worker runs one Ursa worker agent: it joins a master's
+// cluster, rebuilds job plans from the workload registry, executes
+// dispatched monotasks, serves its shuffle partitions to peers, and reports
+// measured completions. Start one per machine (or several on one machine
+// for a local cluster).
+//
+// Usage:
+//
+//	ursa-worker -master 127.0.0.1:7400
+//	ursa-worker -master 10.0.0.1:7400 -shuffle-listen 10.0.0.2:0 -cores 4
+//
+// SIGINT/SIGTERM drain in-flight executions and exit 0; the master fails
+// this worker over (§4.3) and re-places its unfinished work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ursa/internal/remote/agent"
+)
+
+func main() {
+	var (
+		master  = flag.String("master", "127.0.0.1:7400", "master control-plane address")
+		shuffle = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
+		cores   = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "suppress agent logs")
+	)
+	flag.Parse()
+
+	cfg := agent.Config{MasterAddr: *master, ShuffleAddr: *shuffle, Cores: *cores}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	a, err := agent.Dial(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ursa-worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ursa-worker: worker %d joined %s (shuffle %s)\n", a.ID(), *master, a.ShuffleAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- a.Wait() }()
+	select {
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "ursa-worker: signal received, draining")
+		a.Stop()
+		<-done
+		fmt.Printf("ursa-worker: worker %d drained, exiting\n", a.ID())
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-worker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ursa-worker: worker %d shut down cleanly\n", a.ID())
+	}
+}

@@ -44,6 +44,18 @@ func (s *Session) SetRunner(r localrt.Runner) { s.runner = r }
 // the simulated cluster instead of executing locally.
 func (s *Session) Graph() *dag.Graph { return s.g }
 
+// InputBindings returns the session's parallelized inputs as plan inputs —
+// what a caller needs to run the session's graph through a scheduler
+// directly (live.System.SubmitPlan, the remote workload builders) instead
+// of via Collect.
+func (s *Session) InputBindings() []localrt.PlanInput {
+	out := make([]localrt.PlanInput, len(s.inputs))
+	for i, in := range s.inputs {
+		out[i] = localrt.PlanInput{Dataset: in.d, Rows: in.rows}
+	}
+	return out
+}
+
 // Dataset is a typed distributed dataset.
 type Dataset[T any] struct {
 	s  *Session
@@ -53,6 +65,10 @@ type Dataset[T any] struct {
 
 // Parts returns the dataset's partition count.
 func (ds *Dataset[T]) Parts() int { return ds.d.Partitions }
+
+// Dag exposes the underlying plan dataset — the identity a scheduler or
+// runtime needs to address this dataset's materialized rows.
+func (ds *Dataset[T]) Dag() *dag.Dataset { return ds.d }
 
 // SetSelectivity records an optimizer estimate s (output rows per input
 // row) on the producing op: it drives both the cost model's output sizing
@@ -176,6 +192,44 @@ func (p Pair[K, V]) ShuffleKey() any { return p.Key }
 // shuffleTo inserts the paper's reduceByKey wiring (§4.1.2): a CPU ser op
 // (pre-aggregation via seed, or identity), a sync network shuffle, and
 // returns the shuffled dataset plus the shuffle op for chaining.
+// orderedAgg folds values per key while remembering first-seen key order,
+// so aggregation UDFs emit rows deterministically. Map iteration order must
+// never reach a dataset: the distributed mode requires a re-executed
+// monotask to reproduce byte-identical output (its contribution may be
+// re-fetched by peers or served from the master's checkpoint), and
+// order-sensitive float folds downstream would otherwise drift.
+type orderedAgg[K comparable, V any] struct {
+	vals map[K]V
+	keys []K
+}
+
+func newOrderedAgg[K comparable, V any]() *orderedAgg[K, V] {
+	return &orderedAgg[K, V]{vals: make(map[K]V)}
+}
+
+func (a *orderedAgg[K, V]) fold(k K, v V, combine func(V, V) V) {
+	if cur, ok := a.vals[k]; ok {
+		a.vals[k] = combine(cur, v)
+		return
+	}
+	a.vals[k] = v
+	a.keys = append(a.keys, k)
+}
+
+// rows emits Pair[K,V] rows in first-seen key order.
+func (a *orderedAgg[K, V]) rows() []localrt.Row {
+	return a.rows2(func(k K, v V) localrt.Row { return Pair[K, V]{k, v} })
+}
+
+// rows2 emits rows in first-seen key order through an arbitrary constructor.
+func (a *orderedAgg[K, V]) rows2(mk func(K, V) localrt.Row) []localrt.Row {
+	out := make([]localrt.Row, 0, len(a.keys))
+	for _, k := range a.keys {
+		out = append(out, mk(k, a.vals[k]))
+	}
+	return out
+}
+
 func shuffleTo[K comparable, V any](in *Dataset[Pair[K, V]], name string, parts int,
 	preCombine func(V, V) V) (*dag.Dataset, *dag.Op) {
 	s := in.s
@@ -183,20 +237,12 @@ func shuffleTo[K comparable, V any](in *Dataset[Pair[K, V]], name string, parts 
 		if preCombine == nil {
 			return ins[0]
 		}
-		agg := map[K]V{}
+		agg := newOrderedAgg[K, V]()
 		for _, r := range ins[0] {
 			p := r.(Pair[K, V])
-			if cur, ok := agg[p.Key]; ok {
-				agg[p.Key] = preCombine(cur, p.Val)
-			} else {
-				agg[p.Key] = p.Val
-			}
+			agg.fold(p.Key, p.Val, preCombine)
 		}
-		out := make([]localrt.Row, 0, len(agg))
-		for k, v := range agg {
-			out = append(out, Pair[K, V]{k, v})
-		}
-		return out
+		return agg.rows()
 	})
 	if preCombine != nil {
 		ser.OutputRatio = 0.6 // map-side combining shrinks the shuffle
@@ -214,20 +260,12 @@ func ReduceByKey[K comparable, V any](in *Dataset[Pair[K, V]], name string, part
 	combine func(V, V) V) *Dataset[Pair[K, V]] {
 	shuffled, sh := shuffleTo(in, name, parts, combine)
 	deser, out := cpuOp(in.s, name+"-reduce", parts, func(ins [][]localrt.Row) []localrt.Row {
-		agg := map[K]V{}
+		agg := newOrderedAgg[K, V]()
 		for _, r := range ins[0] {
 			p := r.(Pair[K, V])
-			if cur, ok := agg[p.Key]; ok {
-				agg[p.Key] = combine(cur, p.Val)
-			} else {
-				agg[p.Key] = p.Val
-			}
+			agg.fold(p.Key, p.Val, combine)
 		}
-		res := make([]localrt.Row, 0, len(agg))
-		for k, v := range agg {
-			res = append(res, Pair[K, V]{k, v})
-		}
-		return res
+		return agg.rows()
 	})
 	deser.Read(shuffled)
 	sh.To(deser, dag.Async)
@@ -238,16 +276,13 @@ func ReduceByKey[K comparable, V any](in *Dataset[Pair[K, V]], name string, part
 func GroupByKey[K comparable, V any](in *Dataset[Pair[K, V]], name string, parts int) *Dataset[Pair[K, []V]] {
 	shuffled, sh := shuffleTo(in, name, parts, nil)
 	deser, out := cpuOp(in.s, name+"-group", parts, func(ins [][]localrt.Row) []localrt.Row {
-		agg := map[K][]V{}
+		agg := newOrderedAgg[K, []V]()
+		appendV := func(cur, more []V) []V { return append(cur, more...) }
 		for _, r := range ins[0] {
 			p := r.(Pair[K, V])
-			agg[p.Key] = append(agg[p.Key], p.Val)
+			agg.fold(p.Key, []V{p.Val}, appendV)
 		}
-		res := make([]localrt.Row, 0, len(agg))
-		for k, vs := range agg {
-			res = append(res, Pair[K, []V]{k, vs})
-		}
-		return res
+		return agg.rows2(func(k K, vs []V) localrt.Row { return Pair[K, []V]{k, vs} })
 	})
 	deser.Read(shuffled)
 	sh.To(deser, dag.Async)
@@ -274,21 +309,32 @@ func CoGroup[K comparable, A, B any](left *Dataset[Pair[K, A]], right *Dataset[P
 	merge, out := cpuOp(s, name+"-cogroup", parts, func(ins [][]localrt.Row) []localrt.Row {
 		la := map[K][]A{}
 		rb := map[K][]B{}
+		var lKeys, rKeys []K
 		for _, r := range ins[0] {
 			p := r.(Pair[K, A])
+			if _, seen := la[p.Key]; !seen {
+				lKeys = append(lKeys, p.Key)
+			}
 			la[p.Key] = append(la[p.Key], p.Val)
 		}
 		for _, r := range ins[1] {
 			p := r.(Pair[K, B])
+			if _, seen := rb[p.Key]; !seen {
+				rKeys = append(rKeys, p.Key)
+			}
 			rb[p.Key] = append(rb[p.Key], p.Val)
 		}
+		// Emit in first-seen order (left side first, then right-only keys)
+		// so re-executions reproduce byte-identical output.
 		var res []localrt.Row
-		for k, as := range la {
-			res = append(res, CoGrouped[K, A, B]{k, as, rb[k]})
+		for _, k := range lKeys {
+			res = append(res, CoGrouped[K, A, B]{k, la[k], rb[k]})
 			delete(rb, k)
 		}
-		for k, bs := range rb {
-			res = append(res, CoGrouped[K, A, B]{Key: k, Right: bs})
+		for _, k := range rKeys {
+			if bs, ok := rb[k]; ok {
+				res = append(res, CoGrouped[K, A, B]{Key: k, Right: bs})
+			}
 		}
 		return res
 	})

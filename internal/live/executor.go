@@ -46,8 +46,8 @@ func newExecutor(sys *System, parallelism int) *executor {
 	}
 }
 
-// register binds a job to the runtime holding its materialized datasets.
-func (e *executor) register(j *core.Job, rt *localrt.Runtime) {
+// RegisterJob binds a job to the runtime holding its materialized datasets.
+func (e *executor) RegisterJob(j *core.Job, rt *localrt.Runtime) {
 	e.mu.Lock()
 	e.rts[j] = rt
 	e.mu.Unlock()
@@ -59,9 +59,9 @@ func (e *executor) runtime(j *core.Job) *localrt.Runtime {
 	return e.rts[j]
 }
 
-// close aborts pending executions and waits for in-flight goroutines — the
+// Close aborts pending executions and waits for in-flight goroutines — the
 // Runtime.RunContext cancellation satellite exists so this cannot leak.
-func (e *executor) close() {
+func (e *executor) Close() {
 	e.cancel()
 	e.wg.Wait()
 }
@@ -134,7 +134,7 @@ func (e *executor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, done fun
 				release()
 			}
 			if err != nil {
-				e.sys.fail(fmt.Errorf("live: %v failed: %w", mt, err))
+				e.sys.Fail(fmt.Errorf("live: %v failed: %w", mt, err))
 				return
 			}
 			done(mt.InputBytes, elapsed)

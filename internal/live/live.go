@@ -55,6 +55,25 @@ type Config struct {
 	// SampleInterval enables cluster-utilization sampling at this period
 	// for metrics/trace emission; 0 disables.
 	SampleInterval eventloop.Duration
+	// NewBackend, when set, replaces the in-process execution back-end.
+	// This is the remote-mode seam: internal/remote installs a backend that
+	// dispatches monotasks to worker agent processes over TCP while the
+	// control plane above stays byte-for-byte identical.
+	NewBackend func(*System) Backend
+}
+
+// Backend is a live System's execution back-end: the MonotaskExecutor the
+// scheduling core drives, plus the job-registration and shutdown hooks the
+// System calls around it. The in-process executor (this package) and the
+// distributed RemoteExecutor (internal/remote) both implement it.
+type Backend interface {
+	core.MonotaskExecutor
+	// RegisterJob binds a submitted job to the runtime holding its
+	// materialized datasets. Called on the control loop (or before Run).
+	RegisterJob(j *core.Job, rt *localrt.Runtime)
+	// Close stops the backend after the driver exits, draining any
+	// in-flight work.
+	Close()
 }
 
 func (c Config) withDefaults() Config {
@@ -123,7 +142,7 @@ type System struct {
 	OnJobFinished func(*core.Job)
 
 	cfg  Config
-	exec *executor
+	exec Backend
 
 	mu      sync.Mutex
 	started bool
@@ -138,7 +157,11 @@ func NewSystem(cfg Config) *System {
 	clus := cluster.New(drv.Loop(), cfg.clusterConfig())
 	sys := core.NewSystem(drv.Loop(), clus, cfg.Core)
 	s := &System{Drv: drv, Core: sys, Cluster: clus, cfg: cfg}
-	s.exec = newExecutor(s, cfg.Parallelism)
+	if cfg.NewBackend != nil {
+		s.exec = cfg.NewBackend(s)
+	} else {
+		s.exec = newExecutor(s, cfg.Parallelism)
+	}
 	sys.SetExecutor(s.exec)
 	return s
 }
@@ -164,7 +187,7 @@ func (s *System) SubmitPlan(spec core.JobSpec, plan *dag.Plan, inputs []localrt.
 	j := &Job{rt: rt}
 	submit := func() {
 		j.Core = s.Core.SubmitPlan(spec, plan, s.Drv.Loop().Now())
-		s.exec.register(j.Core, rt)
+		s.exec.RegisterJob(j.Core, rt)
 	}
 	s.mu.Lock()
 	if !s.started {
@@ -191,9 +214,10 @@ func (s *System) Jobs() []*Job {
 	return append([]*Job(nil), s.jobs...)
 }
 
-// fail records the first executor error and shuts the driver down. Runs on
-// the control loop.
-func (s *System) fail(err error) {
+// Fail records the first fatal back-end error and shuts the driver down.
+// It must run on the control loop (relay through Drv.Send from elsewhere);
+// backends call it when an execution or transport failure is unrecoverable.
+func (s *System) Fail(err error) {
 	if s.runErr == nil {
 		s.runErr = err
 	}
@@ -228,7 +252,7 @@ func (s *System) Run(ctx context.Context) error {
 		}
 	}
 	err := s.Drv.Run(ctx)
-	s.exec.close()
+	s.exec.Close()
 	if s.runErr != nil {
 		return s.runErr
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
 
 	"ursa/internal/dag"
@@ -80,12 +81,45 @@ func (lr LocalRunner) RunPlan(plan *dag.Plan, inputs []PlanInput) (RowsFn, error
 	return rt.Rows, nil
 }
 
+// InputMTID is the producer ID of job-input contributions: inputs sort
+// before every real monotask's output in a partition's canonical order.
+const InputMTID = -1
+
+// Contrib is one producer monotask's contribution to a partition. Keying
+// partition contents by producer makes the store position-independent: every
+// process (master, any agent) assembles a partition as the concatenation of
+// its contributions sorted by MTID, so ordinal-sensitive reads (non-keyed
+// shuffle bucketing, split-partition round-robin) see the same row order no
+// matter which order contributions arrived in or over which transport.
+type Contrib struct {
+	// MTID is the producing monotask's plan ID, or InputMTID for rows
+	// materialized via SetInput.
+	MTID int
+	Rows []Row
+}
+
+// partition is an ordered contribution list, kept sorted by MTID.
+type partition []Contrib
+
+// rowCount is the partition's total row count.
+func (p partition) rowCount() int {
+	n := 0
+	for _, c := range p {
+		n += len(c.Rows)
+	}
+	return n
+}
+
 // Runtime executes one plan over materialized inputs. A Runtime (like the
-// plan it drives) is single-use.
+// plan it drives) is single-use. It is also the contribution store of the
+// distributed data plane: agents insert fetched contributions before
+// executing and serve their own produced contributions to peers, and the
+// master checkpoints every completed monotask's contributions here (§4.3).
 type Runtime struct {
 	plan  *dag.Plan
 	mu    sync.Mutex
-	store map[*dag.Dataset][][]Row
+	store map[*dag.Dataset][]partition
+	byID  map[int]*dag.Dataset
 	// committed records monotasks whose outputs were written, making Exec
 	// at-most-once: a monotask re-executed after an abort (worker failure
 	// retry, §4.3) cannot double-append its rows.
@@ -96,13 +130,26 @@ type Runtime struct {
 // New builds a runtime for the plan. Input datasets must be provided via
 // SetInput before Run.
 func New(plan *dag.Plan) *Runtime {
+	byID := make(map[int]*dag.Dataset)
+	for _, d := range plan.Graph.Datasets() {
+		byID[d.ID] = d
+	}
 	return &Runtime{
 		plan:      plan,
-		store:     make(map[*dag.Dataset][][]Row),
+		store:     make(map[*dag.Dataset][]partition),
+		byID:      byID,
 		committed: make(map[*dag.Monotask]bool),
 		workers:   runtime.NumCPU(),
 	}
 }
+
+// Plan returns the plan this runtime executes.
+func (r *Runtime) Plan() *dag.Plan { return r.plan }
+
+// DatasetByID resolves a plan dataset by its graph ID — the cross-process
+// dataset identity of the wire protocol (both sides build the plan from the
+// same registered workload, so IDs agree by construction).
+func (r *Runtime) DatasetByID(id int) *dag.Dataset { return r.byID[id] }
 
 // SetWorkers overrides the CPU worker pool size (minimum 1).
 func (r *Runtime) SetWorkers(n int) {
@@ -136,26 +183,86 @@ func (r *Runtime) SetInputPartitions(d *dag.Dataset, parts [][]Row) {
 		sizes[i] = float64(len(p))
 	}
 	d.SetInput(sizes)
-	r.store[d] = parts
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, p := range parts {
+		r.insertLocked(d, i, InputMTID, p)
+	}
 }
 
 // Rows returns the materialized rows of a dataset after Run, concatenated
-// over partitions.
+// over partitions in canonical contribution order.
 func (r *Runtime) Rows(d *dag.Dataset) []Row {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Row
 	for _, p := range r.store[d] {
-		out = append(out, p...)
+		for _, c := range p {
+			out = append(out, c.Rows...)
+		}
 	}
 	return out
 }
 
-// Partitions returns the materialized partitions of a dataset after Run.
+// Partitions returns the assembled partitions of a dataset after Run.
 func (r *Runtime) Partitions(d *dag.Dataset) [][]Row {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.store[d]
+	parts := r.store[d]
+	out := make([][]Row, len(parts))
+	for i, p := range parts {
+		for _, c := range p {
+			out[i] = append(out[i], c.Rows...)
+		}
+	}
+	return out
+}
+
+// PartContribs returns a dataset partition's contributions in canonical
+// (producer-sorted) order. The returned slice is a copy; the row slices
+// alias the store and must not be mutated. This is what a shuffle-fetch
+// server hands to remote readers.
+func (r *Runtime) PartContribs(d *dag.Dataset, part int) []Contrib {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parts := r.store[d]
+	if part < 0 || part >= len(parts) {
+		return nil
+	}
+	out := make([]Contrib, len(parts[part]))
+	copy(out, parts[part])
+	return out
+}
+
+// InsertContribution records one producer's contribution to a dataset
+// partition. Inserts are idempotent per (dataset, part, producer): fetching
+// the same contribution from two holders (a peer and the master's
+// checkpoint) cannot duplicate rows. Safe for concurrent use.
+func (r *Runtime) InsertContribution(d *dag.Dataset, part, mtID int, rows []Row) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.insertLocked(d, part, mtID, rows)
+}
+
+// insertLocked performs the sorted, deduplicated insert. Callers hold r.mu.
+func (r *Runtime) insertLocked(d *dag.Dataset, part, mtID int, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	parts, ok := r.store[d]
+	if !ok {
+		parts = make([]partition, d.Partitions)
+		r.store[d] = parts
+	}
+	p := parts[part]
+	i := sort.Search(len(p), func(i int) bool { return p[i].MTID >= mtID })
+	if i < len(p) && p[i].MTID == mtID {
+		return // duplicate delivery of the same producer's output
+	}
+	p = append(p, Contrib{})
+	copy(p[i+1:], p[i:])
+	p[i] = Contrib{MTID: mtID, Rows: rows}
+	parts[part] = p
 }
 
 // Run executes the plan to completion. See RunContext.
@@ -249,15 +356,33 @@ func (r *Runtime) RunContext(ctx context.Context) error {
 // producers' rows are written) is the caller's responsibility — Prepare and
 // Complete bookkeeping stays with the coordinating control plane. This is
 // the per-monotask entry point the live scheduler's executor drives.
-func (r *Runtime) Exec(mt *dag.Monotask) (err error) {
+func (r *Runtime) Exec(mt *dag.Monotask) error {
+	_, err := r.ExecRecord(mt)
+	return err
+}
+
+// RecordedWrite is one partition contribution produced by an execution —
+// what a worker agent ships back to the master inside a completion so the
+// master can checkpoint it (§4.3) and redirect future readers.
+type RecordedWrite struct {
+	Dataset *dag.Dataset
+	Part    int
+	Rows    []Row
+}
+
+// ExecRecord is Exec, additionally returning the per-partition
+// contributions the monotask produced. The local commit is at-most-once
+// (idempotent per producer), but the writes are returned on every
+// successful call so a re-executed monotask can still report its outputs
+// upstream.
+func (r *Runtime) ExecRecord(mt *dag.Monotask) (writes []RecordedWrite, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("localrt: %v panicked: %v", mt, p)
+			writes, err = nil, fmt.Errorf("localrt: %v panicked: %v", mt, p)
 		}
 	}()
 	steps := r.plan.ExecSteps(mt)
 	outputs := make([][]Row, len(steps))
-	var writes []pendingWrite
 	for si, step := range steps {
 		inputs := make([][]Row, len(step.Reads))
 		for ri, ref := range step.Reads {
@@ -278,11 +403,11 @@ func (r *Runtime) Exec(mt *dag.Monotask) (err error) {
 		case func(inputs [][]Row) []Row:
 			rows = udf(inputs)
 		default:
-			return fmt.Errorf("localrt: %v has unsupported UDF type %T", mt, step.UDF)
+			return nil, fmt.Errorf("localrt: %v has unsupported UDF type %T", mt, step.UDF)
 		}
 		outputs[si] = rows
 		for _, d := range step.Creates {
-			writes = append(writes, pendingWrite{d: d, rows: rows})
+			writes = append(writes, splitWrite(d, mt, rows)...)
 		}
 	}
 	// Commit all outputs atomically and at most once: internal steps read
@@ -291,23 +416,18 @@ func (r *Runtime) Exec(mt *dag.Monotask) (err error) {
 	// after an abort cannot leave partial or duplicate rows behind.
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.committed[mt] {
-		return nil
+	if !r.committed[mt] {
+		r.committed[mt] = true
+		for _, w := range writes {
+			r.insertLocked(w.Dataset, w.Part, mt.ID, w.Rows)
+		}
 	}
-	r.committed[mt] = true
-	for _, pw := range writes {
-		r.write(pw.d, mt, pw.rows)
-	}
-	return nil
-}
-
-// pendingWrite is one buffered dataset write of an executing monotask.
-type pendingWrite struct {
-	d    *dag.Dataset
-	rows []Row
+	return writes, nil
 }
 
 // gather collects a monotask's input rows from a dataset under its mapping.
+// Partitions are read in canonical contribution order, so ordinals are
+// identical on every process holding the same contributions.
 func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -318,16 +438,22 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 	case dag.MapBroadcast:
 		var all []Row
 		for _, p := range parts {
-			all = append(all, p...)
+			for _, c := range p {
+				all = append(all, c.Rows...)
+			}
 		}
 		return all
 	case dag.MapShard:
 		// Pull-based shuffle: take this index's bucket of every partition.
 		var out []Row
 		for pi, p := range parts {
-			for k, row := range p {
-				if bucketOf(row, pi, k, paral) == mt.Index {
-					out = append(out, row)
+			k := 0
+			for _, c := range p {
+				for _, row := range c.Rows {
+					if bucketOf(row, pi, k, paral) == mt.Index {
+						out = append(out, row)
+					}
+					k++
 				}
 			}
 		}
@@ -342,9 +468,16 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 			consumers := next - first
 			pos := mt.Index - first
 			var out []Row
-			for k, row := range parts[i] {
-				if k%consumers == pos {
-					out = append(out, row)
+			if i >= len(parts) {
+				return nil
+			}
+			k := 0
+			for _, c := range parts[i] {
+				for _, row := range c.Rows {
+					if k%consumers == pos {
+						out = append(out, row)
+					}
+					k++
 				}
 			}
 			return out
@@ -352,35 +485,96 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 		lo, hi := dag.PartRange(d, paral, mt.Index)
 		var out []Row
 		for i := lo; i < hi && i < len(parts); i++ {
-			out = append(out, parts[i]...)
+			for _, c := range parts[i] {
+				out = append(out, c.Rows...)
+			}
 		}
 		return out
 	}
 }
 
-// write stores a monotask's produced rows into the created dataset. Callers
-// must hold r.mu — writes are only issued from Exec's commit section.
-func (r *Runtime) write(d *dag.Dataset, mt *dag.Monotask, rows []Row) {
-	parts, ok := r.store[d]
-	if !ok {
-		parts = make([][]Row, d.Partitions)
-		r.store[d] = parts
-	}
+// splitWrite splits a monotask's produced rows into per-partition
+// contributions of the created dataset. Empty contributions are dropped —
+// they carry no rows and would only widen completions on the wire.
+func splitWrite(d *dag.Dataset, mt *dag.Monotask, rows []Row) []RecordedWrite {
 	paral := parallelismOf(mt)
 	switch {
 	case d.Partitions == paral:
-		parts[mt.Index] = append(parts[mt.Index], rows...)
+		if len(rows) == 0 {
+			return nil
+		}
+		return []RecordedWrite{{Dataset: d, Part: mt.Index, Rows: rows}}
 	case d.Partitions < paral:
+		if len(rows) == 0 {
+			return nil
+		}
 		idx := mt.Index * d.Partitions / paral
-		parts[idx] = append(parts[idx], rows...)
+		return []RecordedWrite{{Dataset: d, Part: idx, Rows: rows}}
 	default:
 		// Spread rows over this monotask's partition range round-robin.
 		lo, hi := dag.PartRange(d, paral, mt.Index)
 		n := hi - lo
+		buckets := make([][]Row, n)
 		for i, row := range rows {
-			parts[lo+i%n] = append(parts[lo+i%n], row)
+			buckets[i%n] = append(buckets[i%n], row)
+		}
+		var out []RecordedWrite
+		for i, b := range buckets {
+			if len(b) > 0 {
+				out = append(out, RecordedWrite{Dataset: d, Part: lo + i, Rows: b})
+			}
+		}
+		return out
+	}
+}
+
+// DatasetPart addresses one partition of a plan dataset.
+type DatasetPart struct {
+	Dataset *dag.Dataset
+	Part    int
+}
+
+// InputParts lists the dataset partitions a monotask reads, mirroring
+// gather's mapping semantics exactly: broadcast and shuffle reads touch
+// every partition, partition-aligned reads their index range (or the single
+// shared partition when several monotasks split one). The master uses this
+// to build fetch specs for remote dispatches; internal step reads resolve
+// in-memory and are excluded.
+func InputParts(plan *dag.Plan, mt *dag.Monotask) []DatasetPart {
+	paral := parallelismOf(mt)
+	var out []DatasetPart
+	seen := make(map[DatasetPart]bool)
+	add := func(d *dag.Dataset, part int) {
+		dp := DatasetPart{Dataset: d, Part: part}
+		if !seen[dp] {
+			seen[dp] = true
+			out = append(out, dp)
 		}
 	}
+	for _, step := range plan.ExecSteps(mt) {
+		for _, ref := range step.Reads {
+			d := ref.Dataset
+			if d == nil {
+				continue
+			}
+			switch ref.Mapping {
+			case dag.MapBroadcast, dag.MapShard:
+				for p := 0; p < d.Partitions; p++ {
+					add(d, p)
+				}
+			default:
+				if d.Partitions < paral {
+					add(d, mt.Index*d.Partitions/paral)
+					continue
+				}
+				lo, hi := dag.PartRange(d, paral, mt.Index)
+				for p := lo; p < hi && p < d.Partitions; p++ {
+					add(d, p)
+				}
+			}
+		}
+	}
+	return out
 }
 
 // parallelismOf infers the monotask's op parallelism from its task's stage

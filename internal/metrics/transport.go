@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ursa/internal/trace"
+)
+
+// Transport series names for the trace feed.
+const (
+	SeriesHBAge   = "[NET]HeartbeatAgeMax_s"
+	SeriesRTT     = "[NET]DispatchRTT_ms"
+	SeriesWireMB  = "[NET]ShuffleWire_MB"
+	SeriesInFlite = "[NET]InFlight"
+)
+
+// Transport aggregates data-plane observability for the distributed mode:
+// per-worker heartbeat age, dispatch→completion RTT, shuffle bytes moved
+// over the wire, and connection failure counters. It is safe for concurrent
+// use — the master's fetch server records served bytes off the control
+// loop while everything else arrives on it.
+type Transport struct {
+	mu      sync.Mutex
+	workers map[int]*WorkerTransport
+
+	registers   int
+	failures    int
+	dispatches  int
+	completions int
+	wireBytes   float64
+	servedBytes float64
+	rttEWMA     float64
+
+	series *trace.TimeSeries
+}
+
+// WorkerTransport is one worker's transport counters.
+type WorkerTransport struct {
+	LastHeartbeat time.Time
+	Heartbeats    int
+	Dispatches    int
+	Completions   int
+	// RTTEWMA is the exponentially weighted dispatch→completion round trip
+	// in seconds (α = 0.2).
+	RTTEWMA float64
+	// WireBytes counts shuffle payload bytes this worker reported fetching
+	// over the wire.
+	WireBytes float64
+	// Failed marks the worker as declared dead.
+	Failed bool
+}
+
+// NewTransport returns an empty transport monitor.
+func NewTransport() *Transport {
+	return &Transport{
+		workers: make(map[int]*WorkerTransport),
+		series:  trace.New(SeriesHBAge, SeriesRTT, SeriesWireMB, SeriesInFlite),
+	}
+}
+
+func (t *Transport) worker(id int) *WorkerTransport {
+	w := t.workers[id]
+	if w == nil {
+		w = &WorkerTransport{}
+		t.workers[id] = w
+	}
+	return w
+}
+
+// ObserveRegister records a worker joining (or rejoining) the cluster.
+func (t *Transport) ObserveRegister(id int, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.registers++
+	w := t.worker(id)
+	w.LastHeartbeat = now
+}
+
+// ObserveHeartbeat records a liveness beacon from a worker.
+func (t *Transport) ObserveHeartbeat(id int, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.worker(id)
+	w.Heartbeats++
+	w.LastHeartbeat = now
+}
+
+// ObserveDispatch records a monotask dispatch to a worker.
+func (t *Transport) ObserveDispatch(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dispatches++
+	t.worker(id).Dispatches++
+}
+
+// ObserveCompletion records a completion: rtt is the dispatch→completion
+// round trip in seconds, wireBytes the shuffle payload bytes the worker
+// pulled over the wire to feed the monotask.
+func (t *Transport) ObserveCompletion(id int, rtt, wireBytes float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.completions++
+	t.wireBytes += wireBytes
+	w := t.worker(id)
+	w.Completions++
+	w.WireBytes += wireBytes
+	const alpha = 0.2
+	if w.RTTEWMA == 0 {
+		w.RTTEWMA = rtt
+	} else {
+		w.RTTEWMA = alpha*rtt + (1-alpha)*w.RTTEWMA
+	}
+	if t.rttEWMA == 0 {
+		t.rttEWMA = rtt
+	} else {
+		t.rttEWMA = alpha*rtt + (1-alpha)*t.rttEWMA
+	}
+}
+
+// ObserveFailure records a worker declared dead (heartbeat timeout or
+// connection error).
+func (t *Transport) ObserveFailure(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failures++
+	t.worker(id).Failed = true
+}
+
+// ObserveServedBytes records shuffle payload bytes the master's own fetch
+// server handed to workers.
+func (t *Transport) ObserveServedBytes(n float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.servedBytes += n
+}
+
+// HeartbeatAges returns the age of each live worker's last heartbeat.
+func (t *Transport) HeartbeatAges(now time.Time) map[int]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]time.Duration, len(t.workers))
+	for id, w := range t.workers {
+		if !w.Failed {
+			out[id] = now.Sub(w.LastHeartbeat)
+		}
+	}
+	return out
+}
+
+// Worker returns a copy of one worker's counters (zero value if unknown).
+func (t *Transport) Worker(id int) WorkerTransport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w := t.workers[id]; w != nil {
+		return *w
+	}
+	return WorkerTransport{}
+}
+
+// WireBytes returns the total shuffle payload bytes workers reported
+// fetching over the wire.
+func (t *Transport) WireBytes() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wireBytes
+}
+
+// Failures returns the worker-failure count.
+func (t *Transport) Failures() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failures
+}
+
+// Sample appends the current aggregates to the transport trace at time ts
+// (seconds).
+func (t *Transport) Sample(ts float64, now time.Time) {
+	t.mu.Lock()
+	var maxAge float64
+	for _, w := range t.workers {
+		if w.Failed {
+			continue
+		}
+		if age := now.Sub(w.LastHeartbeat).Seconds(); age > maxAge {
+			maxAge = age
+		}
+	}
+	t.series.Add(ts, map[string]float64{
+		SeriesHBAge:   maxAge,
+		SeriesRTT:     t.rttEWMA * 1e3,
+		SeriesWireMB:  t.wireBytes / 1e6,
+		SeriesInFlite: float64(t.dispatches - t.completions),
+	})
+	t.mu.Unlock()
+}
+
+// Trace returns the transport time series fed by Sample.
+func (t *Transport) Trace() *trace.TimeSeries { return t.series }
+
+// StatsLine renders a one-line transport summary for periodic master logs.
+func (t *Transport) StatsLine(now time.Time) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, 0, len(t.workers))
+	alive := 0
+	for id, w := range t.workers {
+		ids = append(ids, id)
+		if !w.Failed {
+			alive++
+		}
+	}
+	sort.Ints(ids)
+	var hb strings.Builder
+	for i, id := range ids {
+		w := t.workers[id]
+		if i > 0 {
+			hb.WriteByte(' ')
+		}
+		if w.Failed {
+			fmt.Fprintf(&hb, "w%d=dead", id)
+		} else {
+			fmt.Fprintf(&hb, "w%d=%.1fs", id, now.Sub(w.LastHeartbeat).Seconds())
+		}
+	}
+	return fmt.Sprintf(
+		"transport: workers=%d/%d hb_age[%s] rtt=%.1fms wire=%.2fMB served=%.2fMB disp=%d comp=%d fail=%d",
+		alive, len(t.workers), hb.String(), t.rttEWMA*1e3,
+		t.wireBytes/1e6, t.servedBytes/1e6, t.dispatches, t.completions, t.failures)
+}

@@ -1,0 +1,472 @@
+// Package agent is the worker side of the distributed data plane: a process
+// that joins a master's cluster, rebuilds job plans from the workload
+// registry, executes dispatched monotasks with the local runtime, serves its
+// partition contributions to peers over the shuffle protocol, and reports
+// *measured* completions — the (bytes, seconds) samples the master feeds
+// into its per-worker processing-rate monitors (§4.2.1–4.2.2), now crossing
+// a socket instead of a function call.
+package agent
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/localrt"
+	"ursa/internal/remote/shuffle"
+	"ursa/internal/remote/workload"
+	"ursa/internal/wire"
+)
+
+// Config shapes one worker agent.
+type Config struct {
+	// MasterAddr is the master's control-plane address to dial.
+	MasterAddr string
+	// ShuffleAddr is the address the agent's shuffle server listens on;
+	// empty picks an ephemeral 127.0.0.1 port (loopback clusters) — real
+	// deployments pass host:0 or host:port so peers can reach it.
+	ShuffleAddr string
+	// Cores bounds concurrent monotask execution. Default: GOMAXPROCS.
+	Cores int
+	// MaxFrame bounds control and shuffle frames. Default wire.DefaultMaxFrame.
+	MaxFrame int
+	// Logf, if set, receives the agent's log lines.
+	Logf func(format string, args ...any)
+}
+
+type fetchKey struct {
+	ds     int32
+	part   int32
+	origin int32
+}
+
+// jobState is one prepared job on the agent: the locally rebuilt plan and
+// the contribution store that both feeds executions and serves peers.
+type jobState struct {
+	rt *localrt.Runtime
+
+	mu      sync.Mutex
+	fetched map[fetchKey]bool
+}
+
+type dispatchKey struct {
+	job int64
+	mt  int32
+}
+
+type inflight struct {
+	seq     uint64
+	aborted atomic.Bool
+}
+
+// Agent is one running worker agent.
+type Agent struct {
+	cfg Config
+
+	conn    *wire.Conn
+	id      int32
+	hb      time.Duration
+	shuffle *shuffle.Server
+	// masterShuffleAddr is the fallback fetch holder: the master's
+	// canonical checkpoint store (Welcome.MasterShuffleAddr).
+	masterShuffleAddr string
+
+	sem  chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[int64]*jobState
+	clients  map[string]*shuffle.Client
+	inflight map[dispatchKey]*inflight
+
+	closeOnce sync.Once
+	done      chan error
+}
+
+// Dial connects to the master, registers, and starts the agent's read loop,
+// heartbeats and shuffle server. It returns once the handshake completes;
+// Wait blocks until the agent exits.
+func Dial(cfg Config) (*Agent, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	a := &Agent{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Cores),
+		quit:     make(chan struct{}),
+		jobs:     make(map[int64]*jobState),
+		clients:  make(map[string]*shuffle.Client),
+		inflight: make(map[dispatchKey]*inflight),
+		done:     make(chan error, 1),
+	}
+
+	shufAddr := cfg.ShuffleAddr
+	if shufAddr == "" {
+		shufAddr = "127.0.0.1:0"
+	}
+	srv, err := shuffle.Listen(shufAddr, cfg.MaxFrame, a.resolveJob, nil)
+	if err != nil {
+		return nil, err
+	}
+	a.shuffle = srv
+
+	nc, err := net.Dial("tcp", cfg.MasterAddr)
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("agent: dial master %s: %w", cfg.MasterAddr, err)
+	}
+	a.conn = wire.NewConn(nc, cfg.MaxFrame)
+	if !a.conn.Send(wire.Register{ShuffleAddr: srv.Addr(), Cores: int32(cfg.Cores)}) {
+		a.conn.Close()
+		srv.Close()
+		return nil, fmt.Errorf("agent: registration send failed")
+	}
+	m, err := a.conn.ReadMsg()
+	if err != nil {
+		a.conn.Close()
+		srv.Close()
+		return nil, fmt.Errorf("agent: reading welcome: %w", err)
+	}
+	w, ok := m.(wire.Welcome)
+	if !ok {
+		a.conn.Close()
+		srv.Close()
+		return nil, fmt.Errorf("agent: expected welcome, got %T", m)
+	}
+	a.id = w.WorkerID
+	a.hb = time.Duration(w.HeartbeatMicros) * time.Microsecond
+	a.masterShuffleAddr = w.MasterShuffleAddr
+	a.logf("agent %d: joined master %s (hb=%v shuffle=%s)", a.id, cfg.MasterAddr, a.hb, srv.Addr())
+
+	a.wg.Add(2)
+	go a.heartbeats()
+	go a.readLoop()
+	return a, nil
+}
+
+// ID returns the worker ID the master assigned.
+func (a *Agent) ID() int { return int(a.id) }
+
+// ShuffleAddr returns the address this agent serves partitions on.
+func (a *Agent) ShuffleAddr() string { return a.shuffle.Addr() }
+
+// Wait blocks until the agent exits and returns its terminal error (nil for
+// a clean master-initiated shutdown).
+func (a *Agent) Wait() error { return <-a.done }
+
+// Kill abruptly severs the agent — control connection, shuffle server,
+// everything — without draining. It exists for fault-injection tests: the
+// master observes exactly what a crashed worker process looks like.
+func (a *Agent) Kill() { a.shutdown(fmt.Errorf("agent: killed")) }
+
+// Stop drains in-flight executions and leaves the cluster cleanly — the
+// worker binary's SIGINT/SIGTERM path. The master sees the connection drop
+// and fails this worker through the §4.3 recovery path; committed outputs
+// stay durable at its checkpoint.
+func (a *Agent) Stop() {
+	a.drain()
+	a.shutdown(nil)
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// shutdown tears the agent down once; err==nil is a clean shutdown.
+func (a *Agent) shutdown(err error) {
+	a.closeOnce.Do(func() {
+		close(a.quit)
+		a.conn.Close()
+		a.shuffle.Close()
+		a.mu.Lock()
+		clients := a.clients
+		a.clients = map[string]*shuffle.Client{}
+		a.mu.Unlock()
+		for _, c := range clients {
+			c.Close()
+		}
+		go func() {
+			a.wg.Wait()
+			a.done <- err
+		}()
+	})
+}
+
+func (a *Agent) heartbeats() {
+	defer a.wg.Done()
+	hb := a.hb
+	if hb <= 0 {
+		hb = 100 * time.Millisecond
+	}
+	t := time.NewTicker(hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.quit:
+			return
+		case now := <-t.C:
+			a.conn.Send(wire.Heartbeat{WorkerID: a.id, SentUnixMicros: now.UnixMicro()})
+		}
+	}
+}
+
+// readLoop is the control-plane inbound path. Prepare is handled
+// synchronously so the per-connection FIFO guarantees every Dispatch for a
+// job arrives after its plan exists; Dispatch execution is asynchronous.
+func (a *Agent) readLoop() {
+	defer a.wg.Done()
+	err := a.conn.ReadLoop(func(m wire.Msg) error {
+		switch m := m.(type) {
+		case wire.Prepare:
+			a.handlePrepare(m)
+		case wire.Dispatch:
+			a.handleDispatch(m)
+		case wire.Abort:
+			a.handleAbort(m)
+		case wire.JobDone:
+			a.mu.Lock()
+			delete(a.jobs, m.JobID)
+			a.mu.Unlock()
+		case wire.Shutdown:
+			return errClean
+		default:
+			return fmt.Errorf("agent: unexpected %T on control connection", m)
+		}
+		return nil
+	})
+	if err == errClean {
+		a.logf("agent %d: shutdown requested, draining", a.id)
+		a.drain()
+		a.shutdown(nil)
+		return
+	}
+	select {
+	case <-a.quit: // already shutting down (Kill or master gone)
+		a.shutdown(err)
+	default:
+		a.shutdown(fmt.Errorf("agent: master connection lost: %w", err))
+	}
+}
+
+var errClean = fmt.Errorf("agent: clean shutdown")
+
+// drain waits for in-flight executions to finish before a clean exit.
+func (a *Agent) drain() {
+	for {
+		a.mu.Lock()
+		n := len(a.inflight)
+		a.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (a *Agent) resolveJob(jobID int64) *localrt.Runtime {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if js := a.jobs[jobID]; js != nil {
+		return js.rt
+	}
+	return nil
+}
+
+func (a *Agent) handlePrepare(p wire.Prepare) {
+	errStr := ""
+	if err := a.prepare(p); err != nil {
+		errStr = err.Error()
+		a.logf("agent %d: prepare job %d (%s): %v", a.id, p.JobID, p.Workload, err)
+	} else {
+		a.logf("agent %d: prepared job %d (%s)", a.id, p.JobID, p.Workload)
+	}
+	a.conn.Send(wire.JobReady{JobID: p.JobID, Err: errStr})
+}
+
+// prepare rebuilds the job's plan from the workload registry and seeds its
+// deterministic inputs — the cross-process identity contract: same builder,
+// same params, same IDs, so nothing but (name, params) crosses the wire.
+func (a *Agent) prepare(p wire.Prepare) error {
+	bj, err := workload.Build(p.Workload, p.Params)
+	if err != nil {
+		return err
+	}
+	rt := localrt.New(bj.Plan)
+	for _, in := range bj.Inputs {
+		rt.SetInput(in.Dataset, in.Rows)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.jobs[p.JobID]; dup {
+		return fmt.Errorf("agent: job %d already prepared", p.JobID)
+	}
+	a.jobs[p.JobID] = &jobState{rt: rt, fetched: make(map[fetchKey]bool)}
+	return nil
+}
+
+func (a *Agent) handleDispatch(d wire.Dispatch) {
+	a.mu.Lock()
+	js := a.jobs[d.JobID]
+	key := dispatchKey{d.JobID, d.MTID}
+	inf := &inflight{seq: d.Seq}
+	a.inflight[key] = inf
+	a.mu.Unlock()
+	if js == nil {
+		a.finish(key, inf, wire.Complete{
+			JobID: d.JobID, MTID: d.MTID, Seq: d.Seq,
+			Err: fmt.Sprintf("agent: dispatch for unprepared job %d", d.JobID),
+		})
+		return
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.execute(js, d, key, inf)
+	}()
+}
+
+func (a *Agent) handleAbort(ab wire.Abort) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if inf := a.inflight[dispatchKey{ab.JobID, ab.MTID}]; inf != nil && inf.seq == ab.Seq {
+		inf.aborted.Store(true)
+	}
+}
+
+// finish sends the completion (unless aborted) and retires the dispatch.
+func (a *Agent) finish(key dispatchKey, inf *inflight, c wire.Complete) {
+	a.mu.Lock()
+	if cur := a.inflight[key]; cur == inf {
+		delete(a.inflight, key)
+	}
+	a.mu.Unlock()
+	if inf.aborted.Load() {
+		return
+	}
+	a.conn.Send(c)
+}
+
+// execute runs one dispatched monotask: pull the named input partitions
+// into the local store, execute under the core bound, report the measured
+// completion. Seconds covers fetch + execution (the work the dispatch
+// caused), excluding time queued on the local core semaphore.
+func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inflight) {
+	comp := wire.Complete{JobID: d.JobID, MTID: d.MTID, Seq: d.Seq}
+	plan := js.rt.Plan()
+	if int(d.MTID) < 0 || int(d.MTID) >= len(plan.Monotasks) {
+		comp.Err = fmt.Sprintf("agent: job %d has no monotask %d", d.JobID, d.MTID)
+		a.finish(key, inf, comp)
+		return
+	}
+	mt := plan.Monotasks[d.MTID]
+
+	fetchStart := time.Now()
+	wireBytes, err := a.ensureInputs(js, d)
+	fetchDur := time.Since(fetchStart)
+	if err != nil {
+		comp.Err = err.Error()
+		a.finish(key, inf, comp)
+		return
+	}
+
+	select {
+	case a.sem <- struct{}{}:
+	case <-a.quit:
+		return
+	}
+	var writes []localrt.RecordedWrite
+	execStart := time.Now()
+	if !inf.aborted.Load() {
+		writes, err = js.rt.ExecRecord(mt)
+	}
+	execDur := time.Since(execStart)
+	<-a.sem
+
+	if err != nil {
+		comp.Err = err.Error()
+		a.finish(key, inf, comp)
+		return
+	}
+	comp.Seconds = (fetchDur + execDur).Seconds()
+	if comp.Seconds < 1e-6 {
+		// Floor at clock granularity so a trivial monotask cannot inject a
+		// near-infinite rate sample (mirrors the in-process executor).
+		comp.Seconds = 1e-6
+	}
+	comp.FetchedWireBytes = wireBytes
+	for _, w := range writes {
+		rows, err := workload.EncodeRows(w.Rows)
+		if err != nil {
+			comp.Err = err.Error()
+			comp.Writes = nil
+			break
+		}
+		comp.Writes = append(comp.Writes, wire.PartWrite{
+			DatasetID: int32(w.Dataset.ID), Part: int32(w.Part), Rows: rows,
+		})
+	}
+	a.finish(key, inf, comp)
+}
+
+// ensureInputs pulls every partition the dispatch names into the local
+// contribution store. Fetches are cached per (dataset, part, origin) —
+// contribution sets are final before any reader dispatches (the dag orders
+// readers after their producers' completions), so a cached fetch can never
+// be stale. A failed peer fetch falls back to the master's canonical store.
+func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, err error) {
+	for _, f := range d.Fetches {
+		js.mu.Lock()
+		seen := js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}]
+		js.mu.Unlock()
+		if seen {
+			continue
+		}
+		contribs, n, err := a.client(f.Addr).Fetch(d.JobID, f.DatasetID, f.Part, f.Origin)
+		if err != nil && f.Origin >= 0 && a.masterShuffleAddr != "" {
+			// Peer gone mid-fetch: the master's checkpoint has every
+			// committed contribution (§4.3), so redirect there.
+			a.logf("agent %d: fetch ds%d/p%d from w%d failed (%v), falling back to master",
+				a.id, f.DatasetID, f.Part, f.Origin, err)
+			contribs, n, err = a.client(a.masterShuffleAddr).Fetch(d.JobID, f.DatasetID, f.Part, -1)
+		}
+		if err != nil {
+			return wireBytes, err
+		}
+		ds := js.rt.DatasetByID(int(f.DatasetID))
+		if ds == nil {
+			return wireBytes, fmt.Errorf("agent: fetched unknown dataset %d", f.DatasetID)
+		}
+		for _, pc := range contribs {
+			rows, err := workload.DecodeRows(pc.Rows)
+			if err != nil {
+				return wireBytes, err
+			}
+			js.rt.InsertContribution(ds, int(f.Part), int(pc.MTID), rows)
+		}
+		wireBytes += n
+		js.mu.Lock()
+		js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}] = true
+		js.mu.Unlock()
+	}
+	return wireBytes, nil
+}
+
+func (a *Agent) client(addr string) *shuffle.Client {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.clients[addr]
+	if c == nil {
+		c = shuffle.NewClient(addr, a.cfg.MaxFrame)
+		a.clients[addr] = c
+	}
+	return c
+}

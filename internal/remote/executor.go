@@ -1,0 +1,284 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/live"
+	"ursa/internal/localrt"
+	"ursa/internal/remote/workload"
+	"ursa/internal/resource"
+	"ursa/internal/wire"
+)
+
+// remoteExecutor implements live.Backend by shipping monotasks to worker
+// agents: Start encodes a Dispatch naming the input partitions' holders,
+// the agent executes and reports a measured Complete, and handleComplete
+// commits the outputs to the master's canonical store and feeds the
+// (bytes, seconds) sample into the worker's rate monitor — the §4.2.2
+// feedback loop closed over a socket.
+//
+// Scheduler-facing state (dispatches, origins, sequence counter) is owned
+// by the control loop: Start and the abort hooks run on it by the executor
+// contract, and completions are relayed onto it through the driver inbox.
+// The job-record map is mutex-guarded because the master's shuffle server
+// resolves jobs from its own connection goroutines.
+type remoteExecutor struct {
+	m   *Master
+	sys *live.System
+
+	// Loop-owned state.
+	seq        uint64
+	dispatches map[dispatchKey]*dispatchState
+	// origins records which workers hold committed contributions for each
+	// produced partition — the §4.3 checkpoint metadata that fetch specs
+	// are built from. Input partitions never appear: agents seed those
+	// locally from the deterministic builder.
+	origins map[originKey][]int
+
+	mu      sync.Mutex
+	pending *jobRec
+	jobs    map[int64]*jobRec
+	byCore  map[*core.Job]*jobRec
+}
+
+type dispatchKey struct {
+	job int64
+	mt  int32
+}
+
+type originKey struct {
+	job  int64
+	ds   int32
+	part int32
+}
+
+type dispatchState struct {
+	seq     uint64
+	worker  int
+	mt      *dag.Monotask
+	done    func(bytes, seconds float64)
+	release func()
+	sentAt  time.Time
+}
+
+// jobRec is the master's record of one submitted workload job.
+type jobRec struct {
+	name   string
+	params []byte
+	built  *workload.BuiltJob
+	core   *core.Job
+	rt     *localrt.Runtime
+}
+
+func newRemoteExecutor(m *Master, sys *live.System) *remoteExecutor {
+	return &remoteExecutor{
+		m:          m,
+		sys:        sys,
+		dispatches: make(map[dispatchKey]*dispatchState),
+		origins:    make(map[originKey][]int),
+		jobs:       make(map[int64]*jobRec),
+		byCore:     make(map[*core.Job]*jobRec),
+	}
+}
+
+// setPending stages the workload identity for the RegisterJob callback that
+// the imminent SubmitPlan will trigger (Master.Submit is serialized and
+// precedes Run, so at most one submission is in flight).
+func (e *remoteExecutor) setPending(name string, params []byte, bj *workload.BuiltJob) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending = &jobRec{name: name, params: params, built: bj}
+}
+
+// RegisterJob implements live.Backend: it binds the core job and canonical
+// runtime to the staged workload record.
+func (e *remoteExecutor) RegisterJob(j *core.Job, rt *localrt.Runtime) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec := e.pending
+	if rec == nil {
+		panic("remote: job submitted without Master.Submit (use Submit, not Sys.Submit)")
+	}
+	e.pending = nil
+	rec.core = j
+	rec.rt = rt
+	e.jobs[int64(j.ID)] = rec
+	e.byCore[j] = rec
+}
+
+func (e *remoteExecutor) record(jobID int64) *jobRec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.jobs[jobID]
+}
+
+// Close implements live.Backend: called after the driver exits, it
+// broadcasts Shutdown so agents drain and exit cleanly. Graceful close
+// flushes the queued frame before the sockets drop.
+func (e *remoteExecutor) Close() {
+	for _, link := range e.m.workers {
+		if link != nil && !link.failed {
+			link.conn.Send(wire.Shutdown{})
+			link.conn.CloseGraceful()
+		}
+	}
+}
+
+// Start implements core.MonotaskExecutor. Runs on the control loop: it
+// records the dispatch under a fresh sequence number (the at-most-once
+// commit token), mirrors the in-process executor's core accounting so
+// placement sees real occupancy, and ships the Dispatch with one fetch spec
+// per input-partition holder.
+func (e *remoteExecutor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, done func(bytes, seconds float64)) (abort func()) {
+	e.mu.Lock()
+	rec := e.byCore[j]
+	e.mu.Unlock()
+	if rec == nil {
+		panic(fmt.Sprintf("remote: job %d has no workload record", j.ID))
+	}
+
+	var release func()
+	if mt.Kind == resource.CPU {
+		w.Machine.Cores.MustAlloc(1)
+		w.Machine.Cores.Use(1)
+		released := false
+		release = func() {
+			if released {
+				return
+			}
+			released = true
+			w.Machine.Cores.Unuse(1)
+			w.Machine.Cores.FreeAlloc(1)
+		}
+	}
+
+	e.seq++
+	key := dispatchKey{int64(j.ID), int32(mt.ID)}
+	st := &dispatchState{
+		seq: e.seq, worker: w.ID, mt: mt, done: done, release: release,
+		sentAt: time.Now(),
+	}
+	e.dispatches[key] = st
+
+	d := wire.Dispatch{JobID: key.job, MTID: key.mt, Seq: st.seq,
+		Fetches: e.buildFetches(rec, mt, w.ID)}
+	link := e.m.workers[w.ID]
+	e.m.Transport.ObserveDispatch(w.ID)
+	if link == nil || link.failed || !link.conn.Send(d) {
+		// The conn died under us; schedule the failure instead of handling
+		// it reentrantly inside the scheduler's placement pass. The abort
+		// hook below reclaims this dispatch when FailWorker fires.
+		cause := fmt.Errorf("remote: dispatch to worker %d failed", w.ID)
+		e.sys.Drv.Loop().Post(func() { e.m.failWorker(w.ID, cause) })
+	}
+
+	return func() {
+		if e.dispatches[key] != st {
+			return
+		}
+		delete(e.dispatches, key)
+		if st.release != nil {
+			st.release()
+		}
+		// Best-effort: tell the agent to discard the in-flight execution.
+		// If the connection is gone the seq check drops the completion.
+		if link != nil && !link.failed {
+			link.conn.Send(wire.Abort{JobID: key.job, MTID: key.mt, Seq: st.seq})
+		}
+	}
+}
+
+// buildFetches names a holder for every input partition the monotask reads.
+// No recorded origin means the partition is a job input (or empty) — the
+// agent seeded it locally, nothing to fetch. A dead origin redirects the
+// whole partition to the master's canonical store, which holds every
+// committed contribution (§4.3); otherwise each surviving origin except the
+// executing worker itself serves its own contribution, keeping the hot path
+// peer-to-peer.
+func (e *remoteExecutor) buildFetches(rec *jobRec, mt *dag.Monotask, workerID int) []wire.FetchSpec {
+	var out []wire.FetchSpec
+	jobID := int64(rec.core.ID)
+	for _, dp := range localrt.InputParts(rec.rt.Plan(), mt) {
+		key := originKey{jobID, int32(dp.Dataset.ID), int32(dp.Part)}
+		origins := e.origins[key]
+		if len(origins) == 0 {
+			continue
+		}
+		anyDead := false
+		for _, o := range origins {
+			if e.m.workers[o].failed {
+				anyDead = true
+				break
+			}
+		}
+		if anyDead {
+			out = append(out, wire.FetchSpec{
+				DatasetID: key.ds, Part: key.part, Origin: -1,
+				Addr: e.m.shuffleSrv.Addr(),
+			})
+			continue
+		}
+		for _, o := range origins {
+			if o == workerID {
+				continue // the executing agent already holds its own writes
+			}
+			out = append(out, wire.FetchSpec{
+				DatasetID: key.ds, Part: key.part, Origin: int32(o),
+				Addr: e.m.workers[o].shuffleAddr,
+			})
+		}
+	}
+	return out
+}
+
+// handleComplete commits one completion. Runs on the control loop. The
+// (key, seq, worker) check makes the commit at-most-once: completions from
+// aborted or re-dispatched attempts are dropped, so a monotask's outputs
+// enter the checkpoint exactly once and its rate sample is counted once.
+func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
+	key := dispatchKey{c.JobID, c.MTID}
+	st := e.dispatches[key]
+	if st == nil || st.seq != c.Seq || st.worker != workerID {
+		return // stale: aborted, re-dispatched, or duplicate
+	}
+	delete(e.dispatches, key)
+	if st.release != nil {
+		st.release()
+	}
+	if c.Err != "" {
+		e.sys.Fail(fmt.Errorf("remote: worker %d: %v failed: %s", workerID, st.mt, c.Err))
+		return
+	}
+	rec := e.record(c.JobID)
+	for _, w := range c.Writes {
+		ds := rec.rt.DatasetByID(int(w.DatasetID))
+		if ds == nil {
+			e.sys.Fail(fmt.Errorf("remote: worker %d wrote unknown dataset %d", workerID, w.DatasetID))
+			return
+		}
+		rows, err := workload.DecodeRows(w.Rows)
+		if err != nil {
+			e.sys.Fail(fmt.Errorf("remote: worker %d: decoding writes: %w", workerID, err))
+			return
+		}
+		// Checkpoint at the master (§4.3): completed monotask outputs are
+		// durable here even if every producing agent later dies.
+		rec.rt.InsertContribution(ds, int(w.Part), int(c.MTID), rows)
+		e.noteOrigin(originKey{c.JobID, w.DatasetID, w.Part}, workerID)
+	}
+	e.m.Transport.ObserveCompletion(workerID, time.Since(st.sentAt).Seconds(), c.FetchedWireBytes)
+	st.done(st.mt.InputBytes, c.Seconds)
+}
+
+func (e *remoteExecutor) noteOrigin(key originKey, workerID int) {
+	for _, o := range e.origins[key] {
+		if o == workerID {
+			return
+		}
+	}
+	e.origins[key] = append(e.origins[key], workerID)
+}

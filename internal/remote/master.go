@@ -1,0 +1,425 @@
+// Package remote is the master side of the distributed data plane: the live
+// scheduling core (internal/live) with its execution back-end replaced by a
+// RemoteExecutor that dispatches monotasks to worker agent processes over
+// TCP. The control plane above the Backend seam — admission under the
+// memory reservation, Algorithm-1 placement, per-resource worker queues —
+// is byte-for-byte the code the simulator runs; only the clock (wall) and
+// the executor (sockets) differ. Worker liveness is heartbeat-based: a
+// worker missing 3 consecutive heartbeats is failed through the core's §4.3
+// recovery path (abort in-flight, reset for retry, re-place), with the
+// master's canonical contribution store standing in for dead shuffle
+// origins.
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ursa/internal/core"
+	"ursa/internal/eventloop"
+	"ursa/internal/live"
+	"ursa/internal/localrt"
+	"ursa/internal/metrics"
+	"ursa/internal/remote/shuffle"
+	"ursa/internal/remote/workload"
+	"ursa/internal/wire"
+)
+
+// Config shapes a master.
+type Config struct {
+	// Addr is the control-plane listen address. Default "127.0.0.1:0".
+	Addr string
+	// ShuffleAddr is the master's canonical-store fetch address. Default
+	// "127.0.0.1:0"; real deployments pass a peer-reachable host.
+	ShuffleAddr string
+	// Workers is how many agents must register before the run starts.
+	Workers int
+	// CoresPerWorker is each worker's CPU concurrency in the scheduler's
+	// accounting. Default 2.
+	CoresPerWorker int
+	// MemPerWorker is each worker's admission-capacity in scheduler units;
+	// 0 means effectively unbounded.
+	MemPerWorker float64
+	// HeartbeatInterval paces agent heartbeats; a worker silent for
+	// HeartbeatMisses intervals is declared dead. Defaults: 100ms, 3.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// StatsInterval emits the transport stats line (and samples the
+	// transport trace) at this period; 0 disables.
+	StatsInterval time.Duration
+	// SampleInterval enables cluster-utilization sampling; 0 disables.
+	SampleInterval eventloop.Duration
+	// MaxFrame bounds control and shuffle frames. Default wire.DefaultMaxFrame.
+	MaxFrame int
+	// Core configures the scheduling core (defaults as in live.Config).
+	Core core.Config
+	// Logf, if set, receives the master's log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.ShuffleAddr == "" {
+		c.ShuffleAddr = "127.0.0.1:0"
+	}
+	if c.CoresPerWorker <= 0 {
+		c.CoresPerWorker = 2
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	return c
+}
+
+// workerLink is the master's handle on one registered agent. conn and
+// shuffleAddr are written once during registration (before Run); failed is
+// owned by the control loop thereafter.
+type workerLink struct {
+	id          int
+	conn        *wire.Conn
+	shuffleAddr string
+	cores       int
+	failed      bool
+}
+
+// RemoteJob is one submitted workload job.
+type RemoteJob struct {
+	// Name is the workload registry name the job was built from.
+	Name string
+	// Built is the master's build of the workload.
+	Built *workload.BuiltJob
+	// Live is the scheduler-side job handle; its runtime doubles as the
+	// canonical checkpoint store the completions populate.
+	Live *live.Job
+
+	params []byte
+}
+
+// ResultRows returns the job's output rows (with the workload's Finish
+// post-processing applied) after the run completes.
+func (j *RemoteJob) ResultRows() ([]localrt.Row, error) {
+	rows := j.Live.Rows(j.Built.Output)
+	if j.Built.Finish != nil {
+		return j.Built.Finish(rows)
+	}
+	return rows, nil
+}
+
+// Master runs the scheduling core over a cluster of worker agents.
+type Master struct {
+	Sys *live.System
+	// Transport aggregates the data-plane counters (satellite: per-worker
+	// heartbeat age, RTT, wire bytes, failures).
+	Transport *metrics.Transport
+
+	cfg        Config
+	ln         net.Listener
+	shuffleSrv *shuffle.Server
+	exec       *remoteExecutor
+
+	ready chan struct{} // closed when cfg.Workers agents have registered
+
+	mu      sync.Mutex
+	workers []*workerLink
+	nreg    int
+	jobs    []*RemoteJob
+	started bool
+	start   time.Time
+
+	closeOnce sync.Once
+}
+
+// NewMaster listens for agents and assembles the scheduling core. Submit
+// jobs, then Run — Run blocks until all Workers agents have registered.
+func NewMaster(cfg Config) (*Master, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers <= 0 {
+		return nil, errors.New("remote: Config.Workers must be positive")
+	}
+	m := &Master{
+		cfg:       cfg,
+		Transport: metrics.NewTransport(),
+		ready:     make(chan struct{}),
+		workers:   make([]*workerLink, cfg.Workers),
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen %s: %w", cfg.Addr, err)
+	}
+	m.ln = ln
+	m.shuffleSrv, err = shuffle.Listen(cfg.ShuffleAddr, cfg.MaxFrame, m.resolveJob,
+		m.Transport.ObserveServedBytes)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	m.Sys = live.NewSystem(live.Config{
+		Workers:        cfg.Workers,
+		CoresPerWorker: cfg.CoresPerWorker,
+		MemPerWorker:   cfg.MemPerWorker,
+		Core:           cfg.Core,
+		SampleInterval: cfg.SampleInterval,
+		NewBackend: func(s *live.System) live.Backend {
+			m.exec = newRemoteExecutor(m, s)
+			return m.exec
+		},
+	})
+	go m.accept()
+	return m, nil
+}
+
+// Addr is the control-plane address agents dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// ShuffleAddr is the master's canonical-store fetch address.
+func (m *Master) ShuffleAddr() string { return m.shuffleSrv.Addr() }
+
+// Jobs returns the submitted jobs in submission order.
+func (m *Master) Jobs() []*RemoteJob {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*RemoteJob(nil), m.jobs...)
+}
+
+func (m *Master) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+func (m *Master) resolveJob(jobID int64) *localrt.Runtime {
+	if rec := m.exec.record(jobID); rec != nil {
+		return rec.rt
+	}
+	return nil
+}
+
+// Submit builds the named workload locally, registers the job with the
+// scheduler, and records it for the Prepare broadcast. Both sides run the
+// same deterministic builder, so every dataset and monotask ID the wire
+// protocol carries agrees by construction. Submit must precede Run.
+func (m *Master) Submit(name string, params []byte) (*RemoteJob, error) {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return nil, errors.New("remote: Submit after Run")
+	}
+	m.mu.Unlock()
+	bj, err := workload.Build(name, params)
+	if err != nil {
+		return nil, err
+	}
+	m.exec.setPending(name, params, bj)
+	lj, err := m.Sys.SubmitPlan(bj.Spec, bj.Plan, bj.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	rj := &RemoteJob{Name: name, Built: bj, Live: lj, params: params}
+	m.mu.Lock()
+	m.jobs = append(m.jobs, rj)
+	m.mu.Unlock()
+	return rj, nil
+}
+
+// accept registers agents until the listener closes. Registration is the
+// only inbound traffic before Run; each accepted agent gets the next worker
+// ID, a Welcome, and a dedicated read loop.
+func (m *Master) accept() {
+	for {
+		nc, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		go m.handshake(nc)
+	}
+}
+
+func (m *Master) handshake(nc net.Conn) {
+	c := wire.NewConn(nc, m.cfg.MaxFrame)
+	msg, err := c.ReadMsg()
+	if err != nil {
+		c.Close()
+		return
+	}
+	reg, ok := msg.(wire.Register)
+	if !ok {
+		c.Close()
+		return
+	}
+	m.mu.Lock()
+	if m.nreg >= m.cfg.Workers {
+		m.mu.Unlock()
+		m.logf("master: rejecting extra agent from %v (cluster full)", nc.RemoteAddr())
+		c.Close()
+		return
+	}
+	id := m.nreg
+	m.nreg++
+	link := &workerLink{id: id, conn: c, shuffleAddr: reg.ShuffleAddr, cores: int(reg.Cores)}
+	m.workers[id] = link
+	full := m.nreg == m.cfg.Workers
+	m.mu.Unlock()
+
+	m.Transport.ObserveRegister(id, time.Now())
+	c.Send(wire.Welcome{
+		WorkerID:          int32(id),
+		HeartbeatMicros:   m.cfg.HeartbeatInterval.Microseconds(),
+		MaxFrame:          int64(m.cfg.MaxFrame),
+		MasterShuffleAddr: m.shuffleSrv.Addr(),
+	})
+	m.logf("master: worker %d registered from %v (cores=%d shuffle=%s)",
+		id, nc.RemoteAddr(), reg.Cores, reg.ShuffleAddr)
+	if full {
+		close(m.ready)
+	}
+	go m.readLoop(link)
+}
+
+// readLoop is one worker's inbound control path. Heartbeats update the
+// (thread-safe) transport monitor directly; everything that touches
+// scheduler state is relayed onto the control loop through the driver inbox.
+func (m *Master) readLoop(link *workerLink) {
+	err := link.conn.ReadLoop(func(msg wire.Msg) error {
+		switch msg := msg.(type) {
+		case wire.Heartbeat:
+			m.Transport.ObserveHeartbeat(link.id, time.Now())
+		case wire.Complete:
+			m.Sys.Drv.Send(func() { m.exec.handleComplete(link.id, msg) })
+		case wire.JobReady:
+			if msg.Err != "" {
+				err := fmt.Errorf("remote: worker %d failed to prepare job %d: %s",
+					link.id, msg.JobID, msg.Err)
+				m.Sys.Drv.Send(func() { m.Sys.Fail(err) })
+			}
+		default:
+			return fmt.Errorf("remote: unexpected %T from worker %d", msg, link.id)
+		}
+		return nil
+	})
+	m.Sys.Drv.Send(func() {
+		m.failWorker(link.id, fmt.Errorf("remote: worker %d connection lost: %w", link.id, err))
+	})
+}
+
+// failWorker declares one worker dead. Runs on the control loop: it marks
+// the link (so future fetch specs route around it), closes the connection,
+// and hands the victim to the core's §4.3 recovery — abort hooks reclaim
+// dispatch state, in-flight monotasks reset for retry, placement re-places
+// them on surviving workers.
+func (m *Master) failWorker(id int, cause error) {
+	link := m.workers[id]
+	if link == nil || link.failed {
+		return
+	}
+	link.failed = true
+	m.Transport.ObserveFailure(id)
+	m.logf("master: worker %d failed: %v", id, cause)
+	link.conn.Close()
+	m.Sys.Core.FailWorker(id)
+	for _, l := range m.workers {
+		if l != nil && !l.failed {
+			return
+		}
+	}
+	m.Sys.Fail(fmt.Errorf("remote: all workers dead (last: %w)", cause))
+}
+
+// WaitWorkers blocks until all Workers agents have registered (or ctx ends).
+func (m *Master) WaitWorkers(ctx context.Context) error {
+	select {
+	case <-m.ready:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("remote: waiting for %d workers: %w", m.cfg.Workers, ctx.Err())
+	}
+}
+
+// Run waits for the cluster to assemble, broadcasts job plans, arms the
+// liveness and stats tickers, and drives the scheduling core until every
+// job finishes or the back-end fails. It must follow all Submits.
+func (m *Master) Run(ctx context.Context) error {
+	if err := m.WaitWorkers(ctx); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.started = true
+	m.start = time.Now()
+	jobs := append([]*RemoteJob(nil), m.jobs...)
+	m.mu.Unlock()
+
+	// Prepare precedes every Dispatch on each per-worker connection (FIFO),
+	// so agents build each plan before any of its monotasks arrive.
+	for _, rj := range jobs {
+		jobID := int64(rj.Live.Core.ID)
+		p := wire.Prepare{JobID: jobID, Workload: rj.Name, Params: rj.params}
+		for _, link := range m.workers {
+			link.conn.Send(p)
+		}
+	}
+
+	loop := m.Sys.Drv.Loop()
+	hb := m.cfg.HeartbeatInterval
+	stopLiveness := loop.Every(eventloop.Duration(hb/time.Microsecond), func() {
+		deadline := time.Duration(m.cfg.HeartbeatMisses) * hb
+		for id, age := range m.Transport.HeartbeatAges(time.Now()) {
+			if age > deadline {
+				m.failWorker(id, fmt.Errorf("remote: no heartbeat for %v (limit %v)", age, deadline))
+			}
+		}
+	})
+	defer stopLiveness()
+	if m.cfg.StatsInterval > 0 {
+		stopStats := loop.Every(eventloop.Duration(m.cfg.StatsInterval/time.Microsecond), func() {
+			now := time.Now()
+			m.Transport.Sample(now.Sub(m.start).Seconds(), now)
+			m.logf("master: %s", m.Transport.StatsLine(now))
+		})
+		defer stopStats()
+	}
+	userCB := m.Sys.OnJobFinished
+	m.Sys.OnJobFinished = func(j *core.Job) {
+		done := wire.JobDone{JobID: int64(j.ID)}
+		for _, link := range m.workers {
+			if !link.failed {
+				link.conn.Send(done)
+			}
+		}
+		if userCB != nil {
+			userCB(j)
+		}
+	}
+
+	err := m.Sys.Run(ctx)
+	now := time.Now()
+	m.Transport.Sample(now.Sub(m.start).Seconds(), now)
+	return err
+}
+
+// Close releases the master's listeners and connections. Idempotent; called
+// after Run (the RemoteExecutor's Close already broadcast Shutdown).
+func (m *Master) Close() {
+	m.closeOnce.Do(func() {
+		m.ln.Close()
+		m.mu.Lock()
+		links := append([]*workerLink(nil), m.workers...)
+		m.mu.Unlock()
+		for _, link := range links {
+			if link != nil {
+				link.conn.Close()
+			}
+		}
+		m.shuffleSrv.Close()
+	})
+}

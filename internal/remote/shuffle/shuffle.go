@@ -1,0 +1,227 @@
+// Package shuffle moves partition contributions between processes. Every
+// node — worker agents and the master — runs a Server that answers
+// wire.Fetch requests from the contribution store of the addressed job's
+// runtime, and executing agents use Clients to pull the input partitions a
+// dispatch names. The master's server fronts the canonical checkpoint store
+// (§4.3), so readers fall back to it when a peer origin is dead; agent
+// servers serve their locally produced contributions, which keeps the hot
+// path peer-to-peer.
+package shuffle
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ursa/internal/localrt"
+	"ursa/internal/remote/workload"
+	"ursa/internal/wire"
+)
+
+// Resolver maps a job ID to the runtime holding its contribution store
+// (nil = unknown job).
+type Resolver func(jobID int64) *localrt.Runtime
+
+// Server answers Fetch requests over freshly accepted connections. Each
+// connection is served by one goroutine; requests on a connection are
+// processed in order.
+type Server struct {
+	ln       net.Listener
+	maxFrame int
+	resolve  Resolver
+	// onServed, if set, observes the payload bytes of every served
+	// partition (the master feeds its transport counters with this).
+	onServed func(bytes float64)
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a shuffle server on ln. maxFrame <= 0 selects the default.
+func Serve(ln net.Listener, maxFrame int, resolve Resolver, onServed func(float64)) *Server {
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	s := &Server{
+		ln:       ln,
+		maxFrame: maxFrame,
+		resolve:  resolve,
+		onServed: onServed,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s
+}
+
+// Listen opens a listener on addr and serves on it.
+func Listen(addr string, maxFrame int, resolve Resolver, onServed func(float64)) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: listen %s: %w", addr, err)
+	}
+	return Serve(ln, maxFrame, resolve, onServed), nil
+}
+
+// Addr returns the address peers dial to fetch from this server.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes open connections, and waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	c := wire.NewConn(nc, s.maxFrame)
+	defer c.Close()
+	_ = c.ReadLoop(func(m wire.Msg) error {
+		f, ok := m.(wire.Fetch)
+		if !ok {
+			return fmt.Errorf("shuffle: unexpected %T on fetch connection", m)
+		}
+		resp := s.handle(f)
+		if !c.Send(resp) {
+			return fmt.Errorf("shuffle: send failed")
+		}
+		return nil
+	})
+}
+
+func (s *Server) handle(f wire.Fetch) wire.FetchResp {
+	rt := s.resolve(f.JobID)
+	if rt == nil {
+		return wire.FetchResp{Err: fmt.Sprintf("shuffle: unknown job %d", f.JobID)}
+	}
+	d := rt.DatasetByID(int(f.DatasetID))
+	if d == nil {
+		return wire.FetchResp{Err: fmt.Sprintf("shuffle: job %d has no dataset %d", f.JobID, f.DatasetID)}
+	}
+	if f.Part < 0 || int(f.Part) >= d.Partitions {
+		return wire.FetchResp{Err: fmt.Sprintf("shuffle: dataset %d part %d out of range", f.DatasetID, f.Part)}
+	}
+	contribs := rt.PartContribs(d, int(f.Part))
+	resp := wire.FetchResp{Contribs: make([]wire.PartContrib, 0, len(contribs))}
+	var served float64
+	for _, c := range contribs {
+		rows, err := workload.EncodeRows(c.Rows)
+		if err != nil {
+			return wire.FetchResp{Err: err.Error()}
+		}
+		served += float64(len(rows))
+		resp.Contribs = append(resp.Contribs, wire.PartContrib{MTID: int32(c.MTID), Rows: rows})
+	}
+	if s.onServed != nil {
+		s.onServed(served)
+	}
+	return resp
+}
+
+// Client fetches partitions from one holder address over a lazily dialed,
+// cached connection. Requests are serialized; a transport error poisons the
+// connection so the next call redials.
+type Client struct {
+	addr     string
+	maxFrame int
+
+	mu sync.Mutex
+	nc *wire.Conn
+}
+
+// NewClient returns a client for the holder at addr (dialed on first use).
+func NewClient(addr string, maxFrame int) *Client {
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	return &Client{addr: addr, maxFrame: maxFrame}
+}
+
+// Fetch pulls one partition's contributions. wireBytes is the payload bytes
+// moved (the sum of encoded contribution sizes) — the number the agent
+// reports in Complete.FetchedWireBytes.
+func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.PartContrib, wireBytes float64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		nc, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shuffle: dial %s: %w", c.addr, err)
+		}
+		c.nc = wire.NewConn(nc, c.maxFrame)
+	}
+	fail := func(err error) ([]wire.PartContrib, float64, error) {
+		c.nc.Close()
+		c.nc = nil
+		return nil, 0, err
+	}
+	if !c.nc.Send(wire.Fetch{JobID: jobID, DatasetID: dsID, Part: part, Origin: origin}) {
+		return fail(fmt.Errorf("shuffle: send to %s failed", c.addr))
+	}
+	m, err := c.nc.ReadMsg()
+	if err != nil {
+		return fail(fmt.Errorf("shuffle: fetch from %s: %w", c.addr, err))
+	}
+	resp, ok := m.(wire.FetchResp)
+	if !ok {
+		return fail(fmt.Errorf("shuffle: unexpected %T from %s", m, c.addr))
+	}
+	if resp.Err != "" {
+		// Protocol-level error on a healthy connection: keep it cached.
+		return nil, 0, fmt.Errorf("shuffle: %s: %s", c.addr, resp.Err)
+	}
+	for _, pc := range resp.Contribs {
+		wireBytes += float64(len(pc.Rows))
+	}
+	return resp.Contribs, wireBytes, nil
+}
+
+// Close drops the cached connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc != nil {
+		c.nc.Close()
+		c.nc = nil
+	}
+}

@@ -1,0 +1,113 @@
+// Package workload is the cross-process plan identity of the distributed
+// data plane. Go closures (the UDFs inside an operation graph) cannot cross
+// a socket, so a job travels as a (workload name, params) pair: master and
+// worker agents both run the same registered builder, which must construct
+// the identical graph deterministically — dataset and monotask IDs are
+// assigned densely in construction order, so both sides agree on every ID
+// the wire protocol carries by construction. This package also owns the row
+// codec (gob) that moves partition contributions between processes.
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ursa/internal/core"
+	"ursa/internal/dag"
+	"ursa/internal/localrt"
+)
+
+// BuiltJob is one materialized build of a registered workload: the plan,
+// its inputs, and the dataset holding the result rows.
+type BuiltJob struct {
+	// Spec is the scheduler-side job description (master side only; agents
+	// ignore it).
+	Spec core.JobSpec
+	// Plan is the physical plan; IDs are identical wherever the same
+	// builder ran with the same params.
+	Plan *dag.Plan
+	// Inputs are the job-input datasets with their materialized rows.
+	// Builders generate inputs deterministically from params, so every
+	// process seeds its own copy instead of shipping them.
+	Inputs []localrt.PlanInput
+	// Output is the dataset whose rows are the job's result.
+	Output *dag.Dataset
+	// Cols optionally names the output columns (SQL workloads).
+	Cols []string
+	// Finish optionally post-processes the collected output rows (e.g. a
+	// query's ORDER BY / LIMIT); nil means identity.
+	Finish func(rows []localrt.Row) ([]localrt.Row, error)
+}
+
+// BuildFunc builds a workload instance from its encoded params. It must be
+// deterministic: same params, same graph, same inputs, in any process.
+type BuildFunc func(params []byte) (*BuiltJob, error)
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]BuildFunc)
+)
+
+// Register adds a named builder. Duplicate names panic — the registry is
+// populated from package init functions and a collision is a programming
+// error.
+func Register(name string, build BuildFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	registry[name] = build
+}
+
+// Build runs the named builder.
+func Build(name string, params []byte) (*BuiltJob, error) {
+	regMu.Lock()
+	build, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return build(params)
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EncodeRows serializes a row slice for the wire. Row types must be
+// gob-registered (builtins do this in init; custom workloads call
+// gob.Register for theirs).
+func EncodeRows(rows []localrt.Row) ([]byte, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rows); err != nil {
+		return nil, fmt.Errorf("workload: encoding rows: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRows reverses EncodeRows.
+func DecodeRows(b []byte) ([]localrt.Row, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var rows []localrt.Row
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("workload: decoding rows: %w", err)
+	}
+	return rows, nil
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ursa/internal/localrt"
+)
+
+// TestBuildersDeterministic verifies the cross-process identity contract:
+// two independent builds of the same (name, params) produce plans with
+// identical structure IDs and identical inputs.
+func TestBuildersDeterministic(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []byte
+	}{
+		{"wordcount", nil},
+		{"sql_analytics", nil},
+	}
+	for _, tc := range cases {
+		a, err := Build(tc.name, tc.params)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		b, err := Build(tc.name, tc.params)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, want := len(a.Plan.Monotasks), len(b.Plan.Monotasks); got != want {
+			t.Fatalf("%s: monotask counts differ: %d vs %d", tc.name, got, want)
+		}
+		if a.Output.ID != b.Output.ID {
+			t.Fatalf("%s: output dataset IDs differ: %d vs %d", tc.name, a.Output.ID, b.Output.ID)
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Fatalf("%s: input counts differ", tc.name)
+		}
+		for i := range a.Inputs {
+			if a.Inputs[i].Dataset.ID != b.Inputs[i].Dataset.ID {
+				t.Fatalf("%s: input %d dataset IDs differ", tc.name, i)
+			}
+			if !reflect.DeepEqual(a.Inputs[i].Rows, b.Inputs[i].Rows) {
+				t.Fatalf("%s: input %d rows differ", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestRowCodecRoundTrip runs each builtin workload locally and round-trips
+// every materialized output row through the gob codec.
+func TestRowCodecRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		bj, err := Build(name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := localrt.LocalRunner{}.RunPlan(bj.Plan, bj.Inputs)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		out := rows(bj.Output)
+		if len(out) == 0 {
+			t.Fatalf("%s: no output rows", name)
+		}
+		enc, err := EncodeRows(out)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		dec, err := DecodeRows(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got, want := stringify(dec), stringify(out); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: codec round trip changed rows", name)
+		}
+		if bj.Finish != nil {
+			if _, err := bj.Finish(dec); err != nil {
+				t.Fatalf("%s: finish: %v", name, err)
+			}
+		}
+	}
+}
+
+func stringify(rows []localrt.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%#v", r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -276,16 +276,46 @@ func Run(db *DB, sql string) (*Result, error) {
 	return Exec(db, q)
 }
 
-// Exec executes a parsed query.
+// Compiled is a planned query: the session holding its operation graph, the
+// output dataset, and the post-processing (ORDER BY / LIMIT) that runs over
+// the collected rows. Compile and Finish are split so the graph can be
+// built identically in separate processes (the remote workload registry)
+// while execution happens wherever the scheduler decides.
+type Compiled struct {
+	// Sess owns the query's operation graph and input bindings.
+	Sess *dataset.Session
+	// Out is the dataset holding the query's (pre-ORDER BY) output rows.
+	Out *dataset.Dataset[[]Value]
+	// Cols are the result column names.
+	Cols []string
+
+	q *Query
+}
+
+// Exec executes a parsed query: Compile, collect, Finish.
 func Exec(db *DB, q *Query) (*Result, error) {
+	c, err := Compile(db, q)
+	if err != nil {
+		return nil, err
+	}
+	if db.Runner != nil {
+		c.Sess.SetRunner(db.Runner)
+	}
+	rows, err := dataset.Collect(c.Out)
+	if err != nil {
+		return nil, err
+	}
+	return c.Finish(rows)
+}
+
+// Compile parses nothing and executes nothing: it builds the query's
+// operation graph against the database and returns the compiled handle.
+func Compile(db *DB, q *Query) (*Compiled, error) {
 	base, ok := db.Get(q.From)
 	if !ok {
 		return nil, fmt.Errorf("sql: unknown table %q", q.From)
 	}
 	sess := dataset.NewSession()
-	if db.Runner != nil {
-		sess.SetRunner(db.Runner)
-	}
 	sc := newSchema(base.Name, base.Cols)
 	cur := dataset.Parallelize(sess, base.Rows, queryParts)
 
@@ -332,16 +362,19 @@ func Exec(db *DB, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &Compiled{Sess: sess, Out: out, Cols: cols, q: q}, nil
+}
 
-	rows, err := dataset.Collect(out)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Cols: cols, Rows: rows}
+// Finish applies the query's ORDER BY and LIMIT to the collected output
+// rows and wraps them as a Result. It is deterministic given the rows (the
+// sort is stable over the input order).
+func (c *Compiled) Finish(rows [][]Value) (*Result, error) {
+	q := c.q
+	res := &Result{Cols: c.Cols, Rows: rows}
 	if q.OrderBy != nil {
 		idx := -1
-		for i, c := range cols {
-			if strings.EqualFold(c, q.OrderBy.Col) {
+		for i, col := range c.Cols {
+			if strings.EqualFold(col, q.OrderBy.Col) {
 				idx = i
 			}
 		}
@@ -561,6 +594,7 @@ func execAggregate(cur *dataset.Dataset[row], sc *schema,
 
 	keyed := dataset.MapPartitions(cur, "pre-agg", func(rows []row) []dataset.Pair[string, groupRow] {
 		partial := map[string]*groupRow{}
+		var order []string // first-seen key order: emission must be deterministic
 		for _, r := range rows {
 			keyVals := make([]Value, len(keyIdx))
 			var sb strings.Builder
@@ -573,6 +607,7 @@ func execAggregate(cur *dataset.Dataset[row], sc *schema,
 			if !ok {
 				g = &groupRow{Keys: keyVals, Aggs: make([]aggState, len(aggEvals))}
 				partial[key] = g
+				order = append(order, key)
 			}
 			for ai, eval := range aggEvals {
 				var v float64 = 1 // COUNT(*)
@@ -584,8 +619,8 @@ func execAggregate(cur *dataset.Dataset[row], sc *schema,
 			}
 		}
 		out := make([]dataset.Pair[string, groupRow], 0, len(partial))
-		for key, g := range partial {
-			out = append(out, dataset.Pair[string, groupRow]{Key: key, Val: *g})
+		for _, key := range order {
+			out = append(out, dataset.Pair[string, groupRow]{Key: key, Val: *partial[key]})
 		}
 		return out
 	})

@@ -1,0 +1,24 @@
+package sqlmini
+
+import (
+	"encoding/gob"
+
+	"ursa/internal/dataset"
+)
+
+// RegisterWireTypes registers every concrete row type a compiled query can
+// materialize with encoding/gob, so query datasets can cross process
+// boundaries (the distributed data plane ships partition contributions as
+// gob-encoded row slices). Both ends of a connection link this package, so
+// the registered names agree. Idempotent via gob's own registry; call it
+// once per process before encoding or decoding query rows.
+func RegisterWireTypes() {
+	gob.Register(row{})
+	gob.Register(aggState{})
+	gob.Register(groupRow{})
+	gob.Register(dataset.Pair[string, row]{})
+	gob.Register(dataset.Pair[string, groupRow]{})
+	gob.Register(dataset.CoGrouped[string, row, row]{})
+	gob.Register(dataset.JoinRow[row, row]{})
+	gob.Register(dataset.Pair[string, dataset.JoinRow[row, row]]{})
+}

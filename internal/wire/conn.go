@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with the frame codec and a single-writer pump: Send
+// enqueues a message onto a buffered channel drained by one goroutine, so
+// any number of goroutines can send without interleaving frames, and a slow
+// or dead peer can never block the caller — the control loop must stay
+// responsive even when a worker stops reading. ReadLoop is the inbound half
+// and belongs to exactly one goroutine.
+type Conn struct {
+	nc       net.Conn
+	r        *bufio.Reader
+	maxFrame int
+	out      chan Msg
+	quit     chan struct{}
+
+	closeOnce sync.Once
+	pumpDone  chan struct{}
+
+	mu      sync.Mutex
+	sendErr error
+}
+
+// sendBuffer bounds the outbound queue. The control plane's messages are
+// small and paced by the scheduler; hitting this limit means the peer has
+// stopped draining, which we treat as a transport failure rather than
+// applying backpressure to the control loop.
+const sendBuffer = 1024
+
+// NewConn starts the write pump over nc. maxFrame bounds both directions;
+// <= 0 selects DefaultMaxFrame.
+func NewConn(nc net.Conn, maxFrame int) *Conn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	c := &Conn{
+		nc:       nc,
+		r:        bufio.NewReader(nc),
+		maxFrame: maxFrame,
+		out:      make(chan Msg, sendBuffer),
+		quit:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
+	}
+	go c.pump()
+	return c
+}
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// pump is the single writer: it drains the outbound queue, encoding into
+// one reusable buffer. A write error poisons the connection (recorded, nc
+// closed) so both the reader and future senders observe the failure.
+func (c *Conn) pump() {
+	defer close(c.pumpDone)
+	w := bufio.NewWriter(c.nc)
+	var buf []byte
+	for {
+		select {
+		case <-c.quit:
+			// Drain what was queued before the close, under a write
+			// deadline, so a graceful close can deliver its final frames
+			// (Shutdown broadcasts) without risking a hang on a dead peer.
+			c.nc.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+			for {
+				select {
+				case m := <-c.out:
+					buf = AppendFrame(buf[:0], m)
+					if _, err := w.Write(buf); err != nil {
+						return
+					}
+				default:
+					w.Flush()
+					return
+				}
+			}
+		case m := <-c.out:
+			buf = AppendFrame(buf[:0], m)
+			if len(buf) > c.maxFrame+headerLen {
+				c.fail(fmt.Errorf("wire: outbound frame exceeds max %d", c.maxFrame))
+				return
+			}
+			if _, err := w.Write(buf); err != nil {
+				c.fail(err)
+				return
+			}
+			// Flush when the queue is momentarily empty; otherwise let the
+			// bufio writer coalesce the burst into fewer syscalls.
+			if len(c.out) == 0 {
+				if err := w.Flush(); err != nil {
+					c.fail(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.sendErr == nil {
+		c.sendErr = err
+	}
+	c.mu.Unlock()
+	c.Close()
+}
+
+// Send enqueues one message. It never blocks: a full queue or a closed
+// connection returns false (and a full queue closes the connection — the
+// peer has stopped draining). Callers treat false as the peer being gone;
+// the liveness machinery turns that into a worker failure.
+func (c *Conn) Send(m Msg) bool {
+	select {
+	case <-c.quit:
+		return false
+	default:
+	}
+	select {
+	case c.out <- m:
+		return true
+	case <-c.quit:
+		return false
+	default:
+		c.fail(fmt.Errorf("wire: send queue full (%d) to %v", sendBuffer, c.nc.RemoteAddr()))
+		return false
+	}
+}
+
+// SendErr reports the first write-side error, if any.
+func (c *Conn) SendErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sendErr
+}
+
+// Close tears the connection down immediately: stops the pump and closes
+// the socket (unblocking any ReadLoop). Queued frames may be dropped.
+// Idempotent and safe from any goroutine, including the pump itself.
+func (c *Conn) Close() { c.shutdown(false) }
+
+// CloseGraceful stops the pump but gives it a bounded window to flush
+// already-queued frames before the socket closes — used to deliver final
+// Shutdown broadcasts. Must not be called from the pump goroutine.
+func (c *Conn) CloseGraceful() { c.shutdown(true) }
+
+func (c *Conn) shutdown(graceful bool) {
+	c.closeOnce.Do(func() {
+		close(c.quit)
+		if graceful {
+			select {
+			case <-c.pumpDone:
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+		c.nc.Close()
+	})
+}
+
+// ReadMsg reads and decodes one message. It shares the connection's buffered
+// reader with ReadLoop, so a handshake can read its reply directly and then
+// hand the connection to ReadLoop without losing buffered frames. Exactly
+// one goroutine may read at a time.
+func (c *Conn) ReadMsg() (Msg, error) {
+	typ, payload, err := ReadFrame(c.r, c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(typ, payload)
+}
+
+// ReadLoop reads frames until the connection dies or handle returns an
+// error, decoding each into a message. It returns the terminal error (io.EOF
+// for a clean peer close). Exactly one goroutine may call it.
+func (c *Conn) ReadLoop(handle func(Msg) error) error {
+	for {
+		m, err := c.ReadMsg()
+		if err != nil {
+			return err
+		}
+		if err := handle(m); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package wire
+
+import "fmt"
+
+// Message type bytes. The zero value is reserved so an all-zero frame is
+// invalid.
+const (
+	TRegister  byte = 1  // worker → master: join the cluster
+	TWelcome   byte = 2  // master → worker: assigned identity + protocol params
+	THeartbeat byte = 3  // worker → master: liveness beacon
+	TPrepare   byte = 4  // master → worker: build a job's plan from the registry
+	TJobReady  byte = 5  // worker → master: prepare ack (or error)
+	TDispatch  byte = 6  // master → worker: execute one monotask
+	TComplete  byte = 7  // worker → master: measured completion + output contributions
+	TAbort     byte = 8  // master → worker: discard an in-flight dispatch
+	TFetch     byte = 9  // any → holder: request one shuffle partition
+	TFetchResp byte = 10 // holder → requester: partition contributions
+	TJobDone   byte = 11 // master → worker: job finished, release its state
+	TShutdown  byte = 12 // master → worker: drain and exit
+)
+
+// Msg is one protocol message.
+type Msg interface {
+	Type() byte
+	encode(e *Encoder)
+}
+
+// Decode decodes a payload previously framed with AppendFrame. Unknown
+// types and malformed payloads return an error, never a panic.
+func Decode(typ byte, payload []byte) (Msg, error) {
+	d := NewDecoder(payload)
+	var m Msg
+	switch typ {
+	case TRegister:
+		m = decodeRegister(d)
+	case TWelcome:
+		m = decodeWelcome(d)
+	case THeartbeat:
+		m = decodeHeartbeat(d)
+	case TPrepare:
+		m = decodePrepare(d)
+	case TJobReady:
+		m = decodeJobReady(d)
+	case TDispatch:
+		m = decodeDispatch(d)
+	case TComplete:
+		m = decodeComplete(d)
+	case TAbort:
+		m = decodeAbort(d)
+	case TFetch:
+		m = decodeFetch(d)
+	case TFetchResp:
+		m = decodeFetchResp(d)
+	case TJobDone:
+		m = decodeJobDone(d)
+	case TShutdown:
+		m = Shutdown{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", typ)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("wire: message type %d: %w", typ, err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: message type %d: %d trailing bytes", typ, d.Remaining())
+	}
+	return m, nil
+}
+
+// Register is the first message on a worker's control connection.
+type Register struct {
+	// ShuffleAddr is the address peers dial to fetch this worker's shuffle
+	// partitions.
+	ShuffleAddr string
+	// Cores advertises the agent's local execution parallelism.
+	Cores int32
+}
+
+func (Register) Type() byte { return TRegister }
+func (m Register) encode(e *Encoder) {
+	e.Str(m.ShuffleAddr)
+	e.I32(m.Cores)
+}
+func decodeRegister(d *Decoder) Msg {
+	return Register{ShuffleAddr: d.Str(), Cores: d.I32()}
+}
+
+// Welcome assigns the worker its identity and protocol parameters.
+// MasterShuffleAddr is where the master's canonical contribution store
+// serves fetches — the fallback holder when a peer origin is dead.
+type Welcome struct {
+	WorkerID          int32
+	HeartbeatMicros   int64
+	MaxFrame          int64
+	MasterShuffleAddr string
+}
+
+func (Welcome) Type() byte { return TWelcome }
+func (m Welcome) encode(e *Encoder) {
+	e.I32(m.WorkerID)
+	e.I64(m.HeartbeatMicros)
+	e.I64(m.MaxFrame)
+	e.Str(m.MasterShuffleAddr)
+}
+func decodeWelcome(d *Decoder) Msg {
+	return Welcome{
+		WorkerID: d.I32(), HeartbeatMicros: d.I64(), MaxFrame: d.I64(),
+		MasterShuffleAddr: d.Str(),
+	}
+}
+
+// Heartbeat is the worker's periodic liveness beacon.
+type Heartbeat struct {
+	WorkerID       int32
+	SentUnixMicros int64
+}
+
+func (Heartbeat) Type() byte { return THeartbeat }
+func (m Heartbeat) encode(e *Encoder) {
+	e.I32(m.WorkerID)
+	e.I64(m.SentUnixMicros)
+}
+func decodeHeartbeat(d *Decoder) Msg {
+	return Heartbeat{WorkerID: d.I32(), SentUnixMicros: d.I64()}
+}
+
+// Prepare tells a worker to build a job's plan from the workload registry.
+// Workload + Params are the cross-process plan identity: both sides run the
+// same registered builder, so dataset and monotask IDs agree by construction.
+type Prepare struct {
+	JobID    int64
+	Workload string
+	Params   []byte
+}
+
+func (Prepare) Type() byte { return TPrepare }
+func (m Prepare) encode(e *Encoder) {
+	e.I64(m.JobID)
+	e.Str(m.Workload)
+	e.Blob(m.Params)
+}
+func decodePrepare(d *Decoder) Msg {
+	return Prepare{JobID: d.I64(), Workload: d.Str(), Params: d.Blob()}
+}
+
+// JobReady acks a Prepare; a non-empty Err is fatal for the run.
+type JobReady struct {
+	JobID int64
+	Err   string
+}
+
+func (JobReady) Type() byte { return TJobReady }
+func (m JobReady) encode(e *Encoder) {
+	e.I64(m.JobID)
+	e.Str(m.Err)
+}
+func decodeJobReady(d *Decoder) Msg {
+	return JobReady{JobID: d.I64(), Err: d.Str()}
+}
+
+// FetchSpec tells the executing worker where one input partition lives.
+// Origin is the worker whose contribution store serves it (-1 = the
+// master's canonical store). Addr is the address to dial.
+type FetchSpec struct {
+	DatasetID int32
+	Part      int32
+	Origin    int32
+	Addr      string
+}
+
+const fetchSpecMin = 4 + 4 + 4 + 4 // three i32s + empty string prefix
+
+func (s FetchSpec) encode(e *Encoder) {
+	e.I32(s.DatasetID)
+	e.I32(s.Part)
+	e.I32(s.Origin)
+	e.Str(s.Addr)
+}
+func decodeFetchSpec(d *Decoder) FetchSpec {
+	return FetchSpec{DatasetID: d.I32(), Part: d.I32(), Origin: d.I32(), Addr: d.Str()}
+}
+
+// Dispatch asks a worker to execute one monotask of a prepared job. Seq
+// disambiguates re-dispatches of the same monotask after a failure, making
+// the master's completion commit at-most-once.
+type Dispatch struct {
+	JobID   int64
+	MTID    int32
+	Seq     uint64
+	Fetches []FetchSpec
+}
+
+func (Dispatch) Type() byte { return TDispatch }
+func (m Dispatch) encode(e *Encoder) {
+	e.I64(m.JobID)
+	e.I32(m.MTID)
+	e.U64(m.Seq)
+	e.U32(uint32(len(m.Fetches)))
+	for _, f := range m.Fetches {
+		f.encode(e)
+	}
+}
+func decodeDispatch(d *Decoder) Msg {
+	m := Dispatch{JobID: d.I64(), MTID: d.I32(), Seq: d.U64()}
+	n := d.count(fetchSpecMin)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Fetches = append(m.Fetches, decodeFetchSpec(d))
+	}
+	return m
+}
+
+// PartWrite is one partition contribution produced by a completed monotask.
+// Rows is an opaque row payload (the remote layer's row codec).
+type PartWrite struct {
+	DatasetID int32
+	Part      int32
+	Rows      []byte
+}
+
+const partWriteMin = 4 + 4 + 4 // two i32s + empty blob prefix
+
+func (w PartWrite) encode(e *Encoder) {
+	e.I32(w.DatasetID)
+	e.I32(w.Part)
+	e.Blob(w.Rows)
+}
+func decodePartWrite(d *Decoder) PartWrite {
+	return PartWrite{DatasetID: d.I32(), Part: d.I32(), Rows: d.Blob()}
+}
+
+// Complete reports a monotask's measured execution: Seconds is the
+// wall-clock execution time on the worker (the T of the §4.2.2 rate
+// estimate X/T), FetchedWireBytes the shuffle payload bytes pulled over the
+// wire to feed it, and Writes the produced partition contributions
+// (checkpointed at the master for §4.3 recovery).
+type Complete struct {
+	JobID            int64
+	MTID             int32
+	Seq              uint64
+	Seconds          float64
+	FetchedWireBytes float64
+	Err              string
+	Writes           []PartWrite
+}
+
+func (Complete) Type() byte { return TComplete }
+func (m Complete) encode(e *Encoder) {
+	e.I64(m.JobID)
+	e.I32(m.MTID)
+	e.U64(m.Seq)
+	e.F64(m.Seconds)
+	e.F64(m.FetchedWireBytes)
+	e.Str(m.Err)
+	e.U32(uint32(len(m.Writes)))
+	for _, w := range m.Writes {
+		w.encode(e)
+	}
+}
+func decodeComplete(d *Decoder) Msg {
+	m := Complete{
+		JobID: d.I64(), MTID: d.I32(), Seq: d.U64(),
+		Seconds: d.F64(), FetchedWireBytes: d.F64(), Err: d.Str(),
+	}
+	n := d.count(partWriteMin)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Writes = append(m.Writes, decodePartWrite(d))
+	}
+	return m
+}
+
+// Abort tells a worker to discard an in-flight dispatch (§4.3): the task
+// was reset and will re-run elsewhere, so its completion must not commit.
+type Abort struct {
+	JobID int64
+	MTID  int32
+	Seq   uint64
+}
+
+func (Abort) Type() byte { return TAbort }
+func (m Abort) encode(e *Encoder) {
+	e.I64(m.JobID)
+	e.I32(m.MTID)
+	e.U64(m.Seq)
+}
+func decodeAbort(d *Decoder) Msg {
+	return Abort{JobID: d.I64(), MTID: d.I32(), Seq: d.U64()}
+}
+
+// Fetch requests one shuffle partition from a holder. Origin echoes the
+// FetchSpec so the holder can validate it serves its own contributions.
+type Fetch struct {
+	JobID     int64
+	DatasetID int32
+	Part      int32
+	Origin    int32
+}
+
+func (Fetch) Type() byte { return TFetch }
+func (m Fetch) encode(e *Encoder) {
+	e.I64(m.JobID)
+	e.I32(m.DatasetID)
+	e.I32(m.Part)
+	e.I32(m.Origin)
+}
+func decodeFetch(d *Decoder) Msg {
+	return Fetch{JobID: d.I64(), DatasetID: d.I32(), Part: d.I32(), Origin: d.I32()}
+}
+
+// PartContrib is one producer monotask's contribution to a partition.
+// Carrying the producer ID lets every node assemble partitions in the same
+// canonical order (sorted by producer), which keeps ordinal-sensitive reads
+// identical across processes.
+type PartContrib struct {
+	MTID int32
+	Rows []byte
+}
+
+const partContribMin = 4 + 4 // i32 + empty blob prefix
+
+// FetchResp answers a Fetch with the partition's contributions.
+type FetchResp struct {
+	Err      string
+	Contribs []PartContrib
+}
+
+func (FetchResp) Type() byte { return TFetchResp }
+func (m FetchResp) encode(e *Encoder) {
+	e.Str(m.Err)
+	e.U32(uint32(len(m.Contribs)))
+	for _, c := range m.Contribs {
+		e.I32(c.MTID)
+		e.Blob(c.Rows)
+	}
+}
+func decodeFetchResp(d *Decoder) Msg {
+	m := FetchResp{Err: d.Str()}
+	n := d.count(partContribMin)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Contribs = append(m.Contribs, PartContrib{MTID: d.I32(), Rows: d.Blob()})
+	}
+	return m
+}
+
+// JobDone tells workers to release a finished job's state.
+type JobDone struct{ JobID int64 }
+
+func (JobDone) Type() byte          { return TJobDone }
+func (m JobDone) encode(e *Encoder) { e.I64(m.JobID) }
+func decodeJobDone(d *Decoder) Msg  { return JobDone{JobID: d.I64()} }
+
+// Shutdown asks a worker to drain in-flight work and exit cleanly.
+type Shutdown struct{}
+
+func (Shutdown) Type() byte        { return TShutdown }
+func (Shutdown) encode(e *Encoder) {}

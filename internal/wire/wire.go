@@ -1,0 +1,217 @@
+// Package wire is the binary protocol of the distributed data plane: a
+// length-prefixed frame format and hand-rolled codecs for the master↔worker
+// messages (register / heartbeat / dispatch / complete / abort /
+// shuffle-fetch). Everything on the hot path is explicit byte twiddling —
+// no reflection, no interface dispatch per field — and the decoder is
+// defensive: adversarial length prefixes can neither panic it nor make it
+// allocate beyond the configured frame bound (see FuzzDecodeFrame).
+//
+// Frame layout:
+//
+//	[4-byte big-endian frame length n] [1-byte message type] [n-1 payload bytes]
+//
+// The length covers the type byte plus the payload. Frames larger than the
+// negotiated maximum are rejected before any payload allocation happens.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DefaultMaxFrame bounds a frame (type byte + payload). Shuffle payloads
+// carry whole partition contributions, so the default is generous; both ends
+// enforce the same limit.
+const DefaultMaxFrame = 64 << 20 // 64 MiB
+
+// frame header size: 4-byte length prefix.
+const headerLen = 4
+
+// ErrFrameTooLarge is returned when a length prefix exceeds the maximum.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrTruncated is returned when a payload ends before its declared content.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// ReadFrame reads one frame from r, enforcing max (0 means DefaultMaxFrame).
+// It returns the message type byte and the payload.
+func ReadFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, errors.New("wire: empty frame")
+	}
+	if n > uint32(max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// AppendFrame appends the encoded frame for m to dst and returns it.
+func AppendFrame(dst []byte, m Msg) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length back-patched below
+	dst = append(dst, m.Type())
+	e := Encoder{buf: dst}
+	m.encode(&e)
+	dst = e.buf
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerLen))
+	return dst
+}
+
+// WriteFrame encodes m as one frame and writes it to w.
+func WriteFrame(w io.Writer, m Msg) error {
+	_, err := w.Write(AppendFrame(nil, m))
+	return err
+}
+
+// Encoder appends fixed-width binary primitives to a buffer.
+type Encoder struct{ buf []byte }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v byte) { e.buf = append(e.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// I32 appends a big-endian int32.
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a big-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends an IEEE-754 float64.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a u32-length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a u32-length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder consumes binary primitives from a payload. The first error sticks;
+// subsequent reads return zero values. Blob and Str never allocate beyond
+// the remaining payload, whatever their length prefixes claim.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the undecoded byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() byte {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// I32 reads a big-endian int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads an IEEE-754 float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Blob reads a u32-length-prefixed byte slice. The returned slice aliases
+// the payload buffer — no copy, no allocation an attacker can inflate.
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	if d.err != nil || uint32(d.Remaining()) < n {
+		d.fail()
+		return nil
+	}
+	v := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return v
+}
+
+// Str reads a u32-length-prefixed string.
+func (d *Decoder) Str() string { return string(d.Blob()) }
+
+// count reads a u32 element count for a list whose elements occupy at least
+// minElem bytes each, rejecting counts the remaining payload cannot hold —
+// the guard that keeps adversarial prefixes from triggering huge
+// preallocations.
+func (d *Decoder) count(minElem int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if int64(n)*int64(minElem) > int64(d.Remaining()) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}

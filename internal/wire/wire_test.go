@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// roundTrip frames m, reads the frame back, decodes it, and returns the
+// decoded message.
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	typ, payload, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != m.Type() {
+		t.Fatalf("type byte = %d, want %d", typ, m.Type())
+	}
+	got, err := Decode(typ, payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Msg{
+		Register{ShuffleAddr: "127.0.0.1:9999", Cores: 8},
+		Register{}, // empty strings must survive
+		Welcome{WorkerID: 3, HeartbeatMicros: 250_000, MaxFrame: DefaultMaxFrame},
+		Heartbeat{WorkerID: 3, SentUnixMicros: 1_722_000_000_123_456},
+		Prepare{JobID: 7, Workload: "wordcount", Params: []byte{1, 2, 3}},
+		Prepare{JobID: 8, Workload: "empty", Params: nil},
+		JobReady{JobID: 7},
+		JobReady{JobID: 7, Err: "builder exploded"},
+		Dispatch{JobID: 7, MTID: 42, Seq: 9},
+		Dispatch{
+			JobID: 7, MTID: 42, Seq: 10,
+			Fetches: []FetchSpec{
+				{DatasetID: 1, Part: 0, Origin: -1, Addr: "10.0.0.1:1"},
+				{DatasetID: 1, Part: 1, Origin: 2, Addr: "10.0.0.2:2"},
+			},
+		},
+		Complete{JobID: 7, MTID: 42, Seq: 10, Seconds: 0.125, FetchedWireBytes: 4096},
+		Complete{
+			JobID: 7, MTID: 42, Seq: 10, Seconds: 1e-6, Err: "exec failed",
+			Writes: []PartWrite{
+				{DatasetID: 2, Part: 3, Rows: []byte("rowdata")},
+				{DatasetID: 2, Part: 4, Rows: nil},
+			},
+		},
+		Abort{JobID: 7, MTID: 42, Seq: 10},
+		Fetch{JobID: 7, DatasetID: 2, Part: 3, Origin: 1},
+		FetchResp{Err: "no such partition"},
+		FetchResp{
+			Contribs: []PartContrib{
+				{MTID: 5, Rows: []byte("abc")},
+				{MTID: 9, Rows: []byte{}},
+			},
+		},
+		JobDone{JobID: 7},
+		Shutdown{},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !equalMsg(got, m) {
+			t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+// equalMsg compares messages treating nil and empty slices as equal (the
+// codec cannot distinguish them, by design).
+func equalMsg(a, b Msg) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(m Msg) Msg {
+	switch v := m.(type) {
+	case Prepare:
+		if len(v.Params) == 0 {
+			v.Params = nil
+		}
+		return v
+	case Dispatch:
+		if len(v.Fetches) == 0 {
+			v.Fetches = nil
+		}
+		return v
+	case Complete:
+		for i := range v.Writes {
+			if len(v.Writes[i].Rows) == 0 {
+				v.Writes[i].Rows = nil
+			}
+		}
+		if len(v.Writes) == 0 {
+			v.Writes = nil
+		}
+		return v
+	case FetchResp:
+		for i := range v.Contribs {
+			if len(v.Contribs[i].Rows) == 0 {
+				v.Contribs[i].Rows = nil
+			}
+		}
+		if len(v.Contribs) == 0 {
+			v.Contribs = nil
+		}
+		return v
+	}
+	return m
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	// Header declares a 1 GiB frame; only the header is present. The read
+	// must fail on the length check without trying to allocate or read.
+	hdr := []byte{0x40, 0x00, 0x00, 0x00} // 1 GiB
+	_, _, err := ReadFrame(bytes.NewReader(hdr), 1<<20)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsEmpty(t *testing.T) {
+	hdr := []byte{0, 0, 0, 0}
+	_, _, err := ReadFrame(bytes.NewReader(hdr), 0)
+	if err == nil {
+		t.Fatal("want error for zero-length frame")
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	// Declares 10 bytes, provides 3.
+	raw := []byte{0, 0, 0, 10, THeartbeat, 1, 2}
+	_, _, err := ReadFrame(bytes.NewReader(raw), 0)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeUnknownType(t *testing.T) {
+	if _, err := Decode(200, nil); err == nil {
+		t.Fatal("want error for unknown message type")
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	var e Encoder
+	JobDone{JobID: 1}.encode(&e)
+	payload := append(e.Bytes(), 0xFF) // one stray byte
+	if _, err := Decode(TJobDone, payload); err == nil {
+		t.Fatal("want error for trailing bytes")
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	var e Encoder
+	Complete{JobID: 1, MTID: 2, Seq: 3, Seconds: 4, Err: "xyz"}.encode(&e)
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(TComplete, full[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded, want error", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeHugeListCount(t *testing.T) {
+	// A Dispatch whose fetch-list count claims 2^31 elements with no
+	// payload behind it must be rejected by the count guard, not
+	// preallocated.
+	var e Encoder
+	e.I64(1)       // JobID
+	e.I32(2)       // MTID
+	e.U64(3)       // Seq
+	e.U32(1 << 31) // absurd fetch count
+	_, err := Decode(TDispatch, e.Bytes())
+	if err == nil {
+		t.Fatal("want error for absurd list count")
+	}
+}
+
+func TestDecodeHugeStringPrefix(t *testing.T) {
+	// Register with a string length prefix far beyond the payload.
+	var e Encoder
+	e.U32(1 << 30)
+	_, err := Decode(TRegister, e.Bytes())
+	if err == nil {
+		t.Fatal("want error for oversized string prefix")
+	}
+}
+
+func TestBlobAliasesBuffer(t *testing.T) {
+	var e Encoder
+	e.Blob([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	b := d.Blob()
+	if len(b) != 3 || cap(b) != 3 {
+		t.Fatalf("blob len/cap = %d/%d, want 3/3", len(b), cap(b))
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestAppendFramePatchesLength(t *testing.T) {
+	frame := AppendFrame(nil, Heartbeat{WorkerID: 1, SentUnixMicros: 2})
+	typ, payload, err := ReadFrame(bytes.NewReader(frame), 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != THeartbeat {
+		t.Fatalf("typ = %d", typ)
+	}
+	m, err := Decode(typ, payload)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if hb := m.(Heartbeat); hb.WorkerID != 1 || hb.SentUnixMicros != 2 {
+		t.Fatalf("decoded %#v", hb)
+	}
+}
+
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	// Two frames appended back-to-back must both parse.
+	buf := AppendFrame(nil, JobDone{JobID: 1})
+	buf = AppendFrame(buf, Abort{JobID: 2, MTID: 3, Seq: 4})
+	r := bytes.NewReader(buf)
+	for i, wantType := range []byte{TJobDone, TAbort} {
+		typ, payload, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != wantType {
+			t.Fatalf("frame %d type = %d, want %d", i, typ, wantType)
+		}
+		if _, err := Decode(typ, payload); err != nil {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d leftover bytes", r.Len())
+	}
+}
