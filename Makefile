@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke-dist fuzz-wire bench bench-json bench-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist chaos fuzz-wire bench bench-json bench-guard clean
 
-ci: fmt-check vet build test race smoke-dist
+ci: fmt-check vet build test race smoke-dist chaos
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -37,6 +37,14 @@ race:
 # the data plane cannot silently drop out of CI.)
 smoke-dist:
 	$(GO) test -race -count=1 -run 'TestLoopback|TestMeasuredRates|TestAgentFailureRecovery' ./internal/remote
+
+# Hostile-network matrix: the loopback cluster under every injected fault
+# class (drop, delay, partition, slow-reader, truncation, wedge) must finish
+# both jobs with rows byte-identical to direct execution, with no worker
+# failures and under a wall-clock cap — plus the exactly-once degradation
+# invariant on a full peer partition. Runs under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosMatrix|TestPeerPartition' ./internal/remote
 
 # One-shot fuzz pass over the wire codec's seed corpus (no new inputs).
 fuzz-wire:

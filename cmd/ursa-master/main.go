@@ -49,6 +49,16 @@ func main() {
 		stats    = flag.Duration("stats", time.Second, "transport stats line period (0 disables)")
 		showRows = flag.Int("show-rows", 10, "result rows to print per job")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "abort if the run exceeds this")
+
+		// Transport hardening knobs (see DESIGN.md §10).
+		handshakeTO = flag.Duration("handshake-timeout", remote.DefaultHandshakeTimeout,
+			"max wait for a connecting worker's Register frame")
+		writeDL = flag.Duration("write-deadline", remote.DefaultWriteDeadline,
+			"per-write deadline on worker control links (negative disables)")
+		drainDL = flag.Duration("drain-deadline", 0,
+			"graceful-close flush window for queued control frames (0 = default)")
+		shuffleIdle = flag.Duration("shuffle-read-idle", 0,
+			"canonical-store shuffle server idle-client cutoff (0 = default)")
 	)
 	flag.Parse()
 	if *list {
@@ -65,6 +75,10 @@ func main() {
 		CoresPerWorker:    *cores,
 		HeartbeatInterval: *hb,
 		StatsInterval:     *stats,
+		HandshakeTimeout:  *handshakeTO,
+		WriteDeadline:     *writeDL,
+		DrainDeadline:     *drainDL,
+		ShuffleReadIdle:   *shuffleIdle,
 		SampleInterval:    eventloop.Duration(50 * time.Millisecond / time.Microsecond),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -29,10 +29,47 @@ func main() {
 		shuffle = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
 		cores   = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("quiet", false, "suppress agent logs")
+
+		// Transport hardening knobs (see DESIGN.md §10).
+		regAttempts = flag.Int("register-attempts", agent.DefaultRegisterAttempts,
+			"registration attempts before giving up (1 = one-shot)")
+		regBackoff = flag.Duration("register-backoff", agent.DefaultRegisterBackoff,
+			"registration retry backoff base")
+		regBackoffMax = flag.Duration("register-backoff-max", agent.DefaultRegisterBackoffMax,
+			"registration retry backoff cap")
+		handshakeTO = flag.Duration("handshake-timeout", agent.DefaultHandshakeTimeout,
+			"max wait for the master's Welcome per registration attempt")
+		writeDL = flag.Duration("write-deadline", agent.DefaultWriteDeadline,
+			"per-write deadline on the master control link (negative disables)")
+		drainDL = flag.Duration("drain-deadline", 0,
+			"graceful-close flush window for queued control frames (0 = default)")
+		fetchTO = flag.Duration("fetch-timeout", 0,
+			"per-fetch shuffle response deadline (0 = default)")
+		fetchRetries = flag.Int("fetch-retries", 0,
+			"transient shuffle fetch retries before degrading to the master store (0 = default, negative disables)")
+		fetchBackoff = flag.Duration("fetch-backoff", 0,
+			"shuffle fetch retry backoff base (0 = default)")
+		fetchBackoffMax = flag.Duration("fetch-backoff-max", 0,
+			"shuffle fetch retry backoff cap (0 = default)")
+		shuffleIdle = flag.Duration("shuffle-read-idle", 0,
+			"shuffle server idle-client cutoff (0 = default)")
 	)
 	flag.Parse()
 
-	cfg := agent.Config{MasterAddr: *master, ShuffleAddr: *shuffle, Cores: *cores}
+	cfg := agent.Config{
+		MasterAddr: *master, ShuffleAddr: *shuffle, Cores: *cores,
+		RegisterAttempts:   *regAttempts,
+		RegisterBackoff:    *regBackoff,
+		RegisterBackoffMax: *regBackoffMax,
+		HandshakeTimeout:   *handshakeTO,
+		WriteDeadline:      *writeDL,
+		DrainDeadline:      *drainDL,
+		FetchTimeout:       *fetchTO,
+		FetchRetries:       *fetchRetries,
+		FetchBackoff:       *fetchBackoff,
+		FetchBackoffMax:    *fetchBackoffMax,
+		ShuffleReadIdle:    *shuffleIdle,
+	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -1,0 +1,397 @@
+// Package faultinject is a deterministic, seeded network fault injector for
+// the distributed data plane. It composes over the wire package's dial/listen
+// seam: production code dials with net.Dial and listens with net.Listen; tests
+// wrap either side with an Injector and the exact same cluster code runs under
+// drops, delays, partitions, slow readers, mid-frame truncations, or wedged
+// peers.
+//
+// Determinism: the decision for the n-th connection an Injector sees is a pure
+// function of (Seed, n) — each connection index derives its own rand source —
+// so the fault schedule is reproducible regardless of how goroutines interleave
+// their dials. MaxFaults bounds the total number of faulted connections, which
+// is how chaos tests guarantee eventual success: after the budget is spent the
+// injector passes every byte through untouched.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// None passes traffic through untouched.
+	None Class = iota
+	// Drop refuses the connection at dial/accept time (connection-reset-like
+	// error before any byte moves).
+	Drop
+	// Delay adds a fixed latency to every read on the connection.
+	Delay
+	// SlowRead trickles reads: at most TrickleBytes per Read call, with
+	// TricklePause between calls — a congested or slow-reading peer.
+	SlowRead
+	// Truncate forwards CutAfterBytes of inbound payload, then severs the
+	// connection mid-frame.
+	Truncate
+	// Wedge accepts the connection and then never delivers a byte: reads
+	// block until the caller's read deadline (or close) fires. This is the
+	// "peer accepted, peer silent" failure heartbeats cannot see.
+	Wedge
+)
+
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case SlowRead:
+		return "slowread"
+	case Truncate:
+		return "truncate"
+	case Wedge:
+		return "wedge"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Config shapes an Injector.
+type Config struct {
+	// Seed fixes the fault schedule. Two injectors with equal Config produce
+	// identical decisions for every connection index.
+	Seed int64
+	// Class is the fault class this injector applies.
+	Class Class
+	// Prob is the probability a given connection receives the fault
+	// (evaluated deterministically per connection index). 0 disables; 1
+	// faults every connection until MaxFaults is spent.
+	Prob float64
+	// MaxFaults bounds the total faulted connections; 0 means unbounded.
+	// Bounding drops/truncations guarantees retries eventually succeed.
+	MaxFaults int
+
+	// Delay is the per-read latency for Class Delay.
+	Delay time.Duration
+	// TrickleBytes caps bytes per Read for Class SlowRead (default 64).
+	TrickleBytes int
+	// TricklePause is the per-Read pause for Class SlowRead (default 1ms).
+	TricklePause time.Duration
+	// CutAfterBytes is how many inbound bytes Class Truncate forwards before
+	// severing the connection (default 6 — inside the second frame header or
+	// mid-payload for any real message).
+	CutAfterBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrickleBytes <= 0 {
+		c.TrickleBytes = 64
+	}
+	if c.TricklePause <= 0 {
+		c.TricklePause = time.Millisecond
+	}
+	if c.CutAfterBytes <= 0 {
+		c.CutAfterBytes = 6
+	}
+	return c
+}
+
+// Decision is the fault assigned to one connection index.
+type Decision struct {
+	Conn  int
+	Class Class
+}
+
+// ErrInjectedDrop is the error a Drop decision returns from Dial/Accept.
+var ErrInjectedDrop = errors.New("faultinject: connection dropped")
+
+// ErrPartitioned is the error returned when dialing a blocked address.
+var ErrPartitioned = errors.New("faultinject: address partitioned")
+
+// errTruncated is what a severed connection's reads return — indistinguishable
+// in kind from a peer that died mid-frame.
+var errTruncated = errors.New("faultinject: connection truncated mid-frame")
+
+// Injector deterministically assigns fault decisions to connections in the
+// order they are established. Safe for concurrent use.
+type Injector struct {
+	cfg  Config
+	next atomic.Int64 // next connection index
+	used atomic.Int64 // faults spent against MaxFaults
+
+	mu      sync.Mutex
+	blocked map[string]bool
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg.withDefaults(), blocked: make(map[string]bool)}
+}
+
+// Block partitions the given dial targets: every dial to one of these
+// addresses fails with ErrPartitioned, independent of the fault schedule and
+// the MaxFaults budget. Unlisted addresses are unaffected — the selective
+// A↔B partition (peers unreachable, master reachable).
+func (i *Injector) Block(addrs ...string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, a := range addrs {
+		i.blocked[a] = true
+	}
+}
+
+// Unblock heals a partition.
+func (i *Injector) Unblock(addrs ...string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for _, a := range addrs {
+		delete(i.blocked, a)
+	}
+}
+
+func (i *Injector) isBlocked(addr string) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.blocked[addr]
+}
+
+// DecisionAt returns the decision for connection index n — a pure function of
+// (Config.Seed, n), independent of any injector state. Exposed so tests can
+// assert schedule determinism.
+func (i *Injector) DecisionAt(n int) Decision {
+	const golden = uint64(0x9e3779b97f4a7c15)
+	mix := uint64(i.cfg.Seed) ^ (uint64(n)+1)*golden
+	rng := rand.New(rand.NewSource(int64(mix)))
+	d := Decision{Conn: n, Class: None}
+	if i.cfg.Class != None && i.cfg.Prob > 0 && rng.Float64() < i.cfg.Prob {
+		d.Class = i.cfg.Class
+	}
+	return d
+}
+
+// Schedule returns the first n decisions — the deterministic fault schedule.
+func (i *Injector) Schedule(n int) []Decision {
+	out := make([]Decision, n)
+	for k := range out {
+		out[k] = i.DecisionAt(k)
+	}
+	return out
+}
+
+// take assigns the next connection its decision, honouring MaxFaults.
+func (i *Injector) take() Decision {
+	n := int(i.next.Add(1) - 1)
+	d := i.DecisionAt(n)
+	if d.Class == None {
+		return d
+	}
+	if i.cfg.MaxFaults > 0 && i.used.Add(1) > int64(i.cfg.MaxFaults) {
+		i.used.Add(-1)
+		d.Class = None
+		return d
+	}
+	if i.cfg.MaxFaults <= 0 {
+		// Unbounded budget: still count, so FaultsInjected reports reality.
+		i.used.Add(1)
+	}
+	return d
+}
+
+// FaultsInjected reports how many connections have received a fault so far.
+func (i *Injector) FaultsInjected() int { return int(i.used.Load()) }
+
+// Dial wraps a dial function with this injector: partitions are checked
+// first, then the per-connection decision is applied to the established
+// connection (Drop closes it immediately and fails the dial).
+func (i *Injector) Dial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if i.isBlocked(addr) {
+			return nil, fmt.Errorf("%w: %s", ErrPartitioned, addr)
+		}
+		nc, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		d := i.take()
+		if d.Class == Drop {
+			nc.Close()
+			return nil, fmt.Errorf("%w (conn %d to %s)", ErrInjectedDrop, d.Conn, addr)
+		}
+		return i.wrap(nc, d), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection passes through the
+// injector's schedule (Drop closes the accepted connection and accepts the
+// next one).
+func (i *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: i}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		d := l.inj.take()
+		if d.Class == Drop {
+			nc.Close()
+			continue
+		}
+		return l.inj.wrap(nc, d), nil
+	}
+}
+
+// wrap applies a non-Drop decision to an established connection.
+func (i *Injector) wrap(nc net.Conn, d Decision) net.Conn {
+	switch d.Class {
+	case Delay:
+		return &delayConn{Conn: nc, delay: i.cfg.Delay}
+	case SlowRead:
+		return &slowConn{Conn: nc, chunk: i.cfg.TrickleBytes, pause: i.cfg.TricklePause}
+	case Truncate:
+		return &truncConn{Conn: nc, budget: i.cfg.CutAfterBytes}
+	case Wedge:
+		return newWedgeConn(nc)
+	default:
+		return nc
+	}
+}
+
+// delayConn adds fixed latency to every read.
+type delayConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *delayConn) Read(p []byte) (int, error) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Read(p)
+}
+
+// slowConn trickles reads: small chunks with a pause between them.
+type slowConn struct {
+	net.Conn
+	chunk int
+	pause time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	if len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	n, err := c.Conn.Read(p)
+	if c.pause > 0 {
+		time.Sleep(c.pause)
+	}
+	return n, err
+}
+
+// truncConn forwards budget bytes, then severs the connection.
+type truncConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (c *truncConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	b := c.budget
+	c.mu.Unlock()
+	if b <= 0 {
+		c.Conn.Close()
+		return 0, errTruncated
+	}
+	if len(p) > b {
+		p = p[:b]
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.budget -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+// wedgeConn never delivers a byte: Read blocks until the connection's read
+// deadline expires or the connection is closed. Writes pass through (the
+// peer really received the request — it just never answers).
+type wedgeConn struct {
+	net.Conn
+	mu       sync.Mutex
+	deadline time.Time
+	wake     chan struct{} // closed+replaced on every deadline change
+	closed   chan struct{}
+	once     sync.Once
+}
+
+func newWedgeConn(nc net.Conn) *wedgeConn {
+	return &wedgeConn{Conn: nc, wake: make(chan struct{}), closed: make(chan struct{})}
+}
+
+func (c *wedgeConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	close(c.wake)
+	c.wake = make(chan struct{})
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *wedgeConn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *wedgeConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *wedgeConn) Read(p []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		deadline := c.deadline
+		wake := c.wake
+		c.mu.Unlock()
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			wait := time.Until(deadline)
+			if wait <= 0 {
+				return 0, os.ErrDeadlineExceeded
+			}
+			timer = time.NewTimer(wait)
+			timeout = timer.C
+		}
+		select {
+		case <-c.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, net.ErrClosed
+		case <-wake: // deadline changed; re-evaluate
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-timeout:
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism pins the core contract: the fault schedule is a
+// pure function of the seed — two injectors with the same config produce
+// identical decisions for every connection index, independent of draw order,
+// and different seeds produce different schedules.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Class: Drop, Prob: 0.5}
+	a, b := New(cfg), New(cfg)
+	sa, sb := a.Schedule(256), b.Schedule(256)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	// Order independence: querying indices backwards gives the same answers.
+	for i := 255; i >= 0; i-- {
+		if got := b.DecisionAt(i); got != sa[i] {
+			t.Fatalf("decision %d order-dependent: %+v vs %+v", i, got, sa[i])
+		}
+	}
+	// A 0.5-probability schedule must exercise both outcomes.
+	faulted := 0
+	for _, d := range sa {
+		if d.Class == Drop {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(sa) {
+		t.Fatalf("degenerate schedule: %d/%d faulted", faulted, len(sa))
+	}
+	cfg.Seed = 43
+	if reflect.DeepEqual(New(cfg).Schedule(256), sa) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+// pipeDial returns a DialFunc-shaped function backed by net.Pipe (the far
+// end is discarded — enough to exercise dial-time decisions).
+func pipeDial(addr string) (net.Conn, error) {
+	c1, c2 := net.Pipe()
+	_ = c2
+	return c1, nil
+}
+
+// TestMaxFaultsBudget pins that MaxFaults bounds total injected faults:
+// with Prob=1 every connection would fault, but only MaxFaults do — the
+// guarantee chaos tests lean on for eventual success.
+func TestMaxFaultsBudget(t *testing.T) {
+	inj := New(Config{Seed: 7, Class: Drop, Prob: 1, MaxFaults: 3})
+	dial := inj.Dial(pipeDial)
+	var drops int
+	for i := 0; i < 10; i++ {
+		nc, err := dial("x")
+		if err != nil {
+			if !errors.Is(err, ErrInjectedDrop) {
+				t.Fatalf("unexpected dial error: %v", err)
+			}
+			drops++
+			continue
+		}
+		nc.Close()
+	}
+	if drops != 3 {
+		t.Fatalf("expected exactly 3 dropped connections, got %d", drops)
+	}
+	if got := inj.FaultsInjected(); got != 3 {
+		t.Fatalf("FaultsInjected = %d, want 3", got)
+	}
+}
+
+// TestPartition pins selective address blocking: blocked targets refuse
+// independent of schedule and budget; others connect; Unblock heals.
+func TestPartition(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	dial := inj.Dial(pipeDial)
+	inj.Block("peer:1", "peer:2")
+	if _, err := dial("peer:1"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("expected ErrPartitioned, got %v", err)
+	}
+	nc, err := dial("master:9")
+	if err != nil {
+		t.Fatalf("unblocked address refused: %v", err)
+	}
+	nc.Close()
+	inj.Unblock("peer:1")
+	if nc, err = dial("peer:1"); err != nil {
+		t.Fatalf("healed address refused: %v", err)
+	}
+	nc.Close()
+}
+
+// TestTruncateMidStream pins that a Truncate connection forwards exactly
+// CutAfterBytes and then sever the stream.
+func TestTruncateMidStream(t *testing.T) {
+	inj := New(Config{Seed: 5, Class: Truncate, Prob: 1, CutAfterBytes: 6})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc.Write([]byte("0123456789abcdef"))
+		nc.Close()
+	}()
+	dial := inj.Dial(func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) })
+	nc, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	got, err := io.ReadAll(nc)
+	if err == nil {
+		t.Fatal("expected a truncation error")
+	}
+	if len(got) != 6 {
+		t.Fatalf("read %d bytes before cut, want 6", len(got))
+	}
+}
+
+// TestWedgeHonoursDeadline pins the wedge semantics: reads never deliver,
+// but the caller's read deadline fires (a timeout error) and Close unblocks.
+func TestWedgeHonoursDeadline(t *testing.T) {
+	inj := New(Config{Seed: 3, Class: Wedge, Prob: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc.Write([]byte("data the wedge must swallow"))
+	}()
+	dial := inj.Dial(func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) })
+	nc, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	nc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err = nc.Read(make([]byte, 16))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+	if e := time.Since(start); e < 20*time.Millisecond {
+		t.Fatalf("deadline fired too early: %v", e)
+	}
+
+	// Extending the deadline re-arms the wait.
+	nc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err = nc.Read(make([]byte, 16)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected deadline error after re-arm, got %v", err)
+	}
+
+	// Close unblocks a deadline-less read.
+	nc.SetReadDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := nc.Read(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	nc.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected error from read on closed wedge")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read on closed wedge did not unblock")
+	}
+}
+
+// TestListenerSchedule pins that the listener seam applies the same
+// deterministic schedule to accepted connections.
+func TestListenerSchedule(t *testing.T) {
+	inj := New(Config{Seed: 9, Class: Delay, Prob: 1, Delay: time.Millisecond})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := inj.Listener(base)
+	defer ln.Close()
+	go func() {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		nc.Write([]byte("hi"))
+		nc.Close()
+	}()
+	nc, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, ok := nc.(*delayConn); !ok {
+		t.Fatalf("accepted conn not wrapped: %T", nc)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,13 +27,15 @@ type Transport struct {
 	mu      sync.Mutex
 	workers map[int]*WorkerTransport
 
-	registers   int
-	failures    int
-	dispatches  int
-	completions int
-	wireBytes   float64
-	servedBytes float64
-	rttEWMA     float64
+	registers      int
+	failures       int
+	dispatches     int
+	completions    int
+	fetchRetries   int
+	fetchFallbacks int
+	wireBytes      float64
+	servedBytes    float64
+	rttEWMA        float64
 
 	series *trace.TimeSeries
 }
@@ -50,6 +52,12 @@ type WorkerTransport struct {
 	// WireBytes counts shuffle payload bytes this worker reported fetching
 	// over the wire.
 	WireBytes float64
+	// FetchRetries counts shuffle fetch attempts beyond the first this
+	// worker reported (transient faults absorbed by retry/backoff), and
+	// FetchFallbacks counts partition fetches that degraded to the master's
+	// canonical store after peer retries were exhausted.
+	FetchRetries   int
+	FetchFallbacks int
 	// Failed marks the worker as declared dead.
 	Failed bool
 }
@@ -121,6 +129,37 @@ func (t *Transport) ObserveCompletion(id int, rtt, wireBytes float64) {
 	}
 }
 
+// ObserveFetchDegradation folds a completion's reported fetch degradation
+// into the counters: retries are transient faults the retry/backoff budget
+// absorbed; fallbacks are partitions that degraded to the master's canonical
+// store after peer retries were exhausted.
+func (t *Transport) ObserveFetchDegradation(id, retries, fallbacks int) {
+	if retries == 0 && fallbacks == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fetchRetries += retries
+	t.fetchFallbacks += fallbacks
+	w := t.worker(id)
+	w.FetchRetries += retries
+	w.FetchFallbacks += fallbacks
+}
+
+// FetchRetries returns the total reported shuffle fetch retries.
+func (t *Transport) FetchRetries() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fetchRetries
+}
+
+// FetchFallbacks returns the total reported master-store fetch fallbacks.
+func (t *Transport) FetchFallbacks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fetchFallbacks
+}
+
 // ObserveFailure records a worker declared dead (heartbeat timeout or
 // connection error).
 func (t *Transport) ObserveFailure(id int) {
@@ -138,15 +177,24 @@ func (t *Transport) ObserveServedBytes(n float64) {
 	t.servedBytes += n
 }
 
-// HeartbeatAges returns the age of each live worker's last heartbeat.
+// HeartbeatAges returns the age of each live worker's last heartbeat. A
+// worker whose counters exist but whose LastHeartbeat was never stamped (a
+// dispatch/completion observation racing registration) reports age 0: an age
+// measured from the zero time would be ~the Unix epoch, instantly exceeding
+// any miss budget and failing a healthy, just-registered worker.
 func (t *Transport) HeartbeatAges(now time.Time) map[int]time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make(map[int]time.Duration, len(t.workers))
 	for id, w := range t.workers {
-		if !w.Failed {
-			out[id] = now.Sub(w.LastHeartbeat)
+		if w.Failed {
+			continue
 		}
+		if w.LastHeartbeat.IsZero() {
+			out[id] = 0
+			continue
+		}
+		out[id] = now.Sub(w.LastHeartbeat)
 	}
 	return out
 }
@@ -182,7 +230,7 @@ func (t *Transport) Sample(ts float64, now time.Time) {
 	t.mu.Lock()
 	var maxAge float64
 	for _, w := range t.workers {
-		if w.Failed {
+		if w.Failed || w.LastHeartbeat.IsZero() {
 			continue
 		}
 		if age := now.Sub(w.LastHeartbeat).Seconds(); age > maxAge {
@@ -220,14 +268,18 @@ func (t *Transport) StatsLine(now time.Time) string {
 		if i > 0 {
 			hb.WriteByte(' ')
 		}
-		if w.Failed {
+		switch {
+		case w.Failed:
 			fmt.Fprintf(&hb, "w%d=dead", id)
-		} else {
+		case w.LastHeartbeat.IsZero():
+			fmt.Fprintf(&hb, "w%d=new", id)
+		default:
 			fmt.Fprintf(&hb, "w%d=%.1fs", id, now.Sub(w.LastHeartbeat).Seconds())
 		}
 	}
 	return fmt.Sprintf(
-		"transport: workers=%d/%d hb_age[%s] rtt=%.1fms wire=%.2fMB served=%.2fMB disp=%d comp=%d fail=%d",
+		"transport: workers=%d/%d hb_age[%s] rtt=%.1fms wire=%.2fMB served=%.2fMB disp=%d comp=%d fail=%d retry=%d fallback=%d",
 		alive, len(t.workers), hb.String(), t.rttEWMA*1e3,
-		t.wireBytes/1e6, t.servedBytes/1e6, t.dispatches, t.completions, t.failures)
+		t.wireBytes/1e6, t.servedBytes/1e6, t.dispatches, t.completions, t.failures,
+		t.fetchRetries, t.fetchFallbacks)
 }

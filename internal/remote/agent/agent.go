@@ -9,7 +9,7 @@ package agent
 
 import (
 	"fmt"
-	"net"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +35,93 @@ type Config struct {
 	MaxFrame int
 	// Logf, if set, receives the agent's log lines.
 	Logf func(format string, args ...any)
+
+	// Dial opens the control connection to the master. nil = wire.NetDial.
+	Dial wire.DialFunc
+	// ShuffleDial opens fetch connections to peers and to the master's
+	// canonical store. nil falls back to Dial, then wire.NetDial — tests
+	// fault the data plane here without touching the control plane.
+	ShuffleDial wire.DialFunc
+	// ShuffleListen opens the agent's shuffle listener. nil = wire.NetListen.
+	ShuffleListen wire.ListenFunc
+
+	// RegisterAttempts bounds registration (dial + handshake) attempts: a
+	// worker started moments before its master — or across a transient
+	// refusal — retries with capped, jittered exponential backoff instead of
+	// exiting. 0 selects DefaultRegisterAttempts; 1 is one-shot.
+	RegisterAttempts int
+	// RegisterBackoff is the backoff base between registration attempts and
+	// RegisterBackoffMax its cap. Defaults: 50ms, 1s.
+	RegisterBackoff    time.Duration
+	RegisterBackoffMax time.Duration
+	// HandshakeTimeout bounds the wait for the master's Welcome on each
+	// registration attempt. Default 5s.
+	HandshakeTimeout time.Duration
+
+	// WriteDeadline bounds each control-plane write (heartbeats, completions)
+	// so a dead-but-unclosed master fails the pump fast instead of wedging it
+	// until the kernel TCP timeout. Default 10s; negative disables.
+	WriteDeadline time.Duration
+	// DrainDeadline bounds the graceful-close flush of queued control frames.
+	// Default wire.DefaultDrainDeadline.
+	DrainDeadline time.Duration
+
+	// FetchTimeout bounds each shuffle fetch's response wait; FetchRetries,
+	// FetchBackoff and FetchBackoffMax shape the retry/backoff of transient
+	// fetch faults (defaults per shuffle.ClientConfig). Only after retries
+	// are exhausted does a fetch degrade to the master's canonical store.
+	FetchTimeout    time.Duration
+	FetchRetries    int
+	FetchBackoff    time.Duration
+	FetchBackoffMax time.Duration
+	// ShuffleReadIdle bounds the agent shuffle server's wait for the next
+	// request on an open connection (default shuffle.DefaultServerReadIdle).
+	ShuffleReadIdle time.Duration
+}
+
+// Registration retry defaults.
+const (
+	DefaultRegisterAttempts   = 10
+	DefaultRegisterBackoff    = 50 * time.Millisecond
+	DefaultRegisterBackoffMax = time.Second
+	DefaultHandshakeTimeout   = 5 * time.Second
+	DefaultWriteDeadline      = 10 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Dial == nil {
+		c.Dial = wire.NetDial
+	}
+	if c.ShuffleDial == nil {
+		c.ShuffleDial = c.Dial
+	}
+	if c.ShuffleListen == nil {
+		c.ShuffleListen = wire.NetListen
+	}
+	if c.RegisterAttempts <= 0 {
+		c.RegisterAttempts = DefaultRegisterAttempts
+	}
+	if c.RegisterBackoff <= 0 {
+		c.RegisterBackoff = DefaultRegisterBackoff
+	}
+	if c.RegisterBackoffMax <= 0 {
+		c.RegisterBackoffMax = DefaultRegisterBackoffMax
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if c.WriteDeadline == 0 {
+		c.WriteDeadline = DefaultWriteDeadline
+	} else if c.WriteDeadline < 0 {
+		c.WriteDeadline = 0
+	}
+	return c
 }
 
 type fetchKey struct {
@@ -87,16 +174,13 @@ type Agent struct {
 	done      chan error
 }
 
-// Dial connects to the master, registers, and starts the agent's read loop,
-// heartbeats and shuffle server. It returns once the handshake completes;
-// Wait blocks until the agent exits.
+// Dial connects to the master, registers (retrying transient failures with
+// capped, jittered exponential backoff — a worker started moments before its
+// master must join, not exit), and starts the agent's read loop, heartbeats
+// and shuffle server. It returns once the handshake completes; Wait blocks
+// until the agent exits.
 func Dial(cfg Config) (*Agent, error) {
-	if cfg.Cores <= 0 {
-		cfg.Cores = runtime.GOMAXPROCS(0)
-	}
-	if cfg.MaxFrame <= 0 {
-		cfg.MaxFrame = wire.DefaultMaxFrame
-	}
+	cfg = cfg.withDefaults()
 	a := &Agent{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Cores),
@@ -111,34 +195,18 @@ func Dial(cfg Config) (*Agent, error) {
 	if shufAddr == "" {
 		shufAddr = "127.0.0.1:0"
 	}
-	srv, err := shuffle.Listen(shufAddr, cfg.MaxFrame, a.resolveJob, nil)
+	srv, err := shuffle.Listen(shufAddr, shuffle.ServerConfig{
+		MaxFrame: cfg.MaxFrame, ReadIdle: cfg.ShuffleReadIdle, Listen: cfg.ShuffleListen,
+	}, a.resolveJob, nil)
 	if err != nil {
 		return nil, err
 	}
 	a.shuffle = srv
 
-	nc, err := net.Dial("tcp", cfg.MasterAddr)
+	w, err := a.register(srv.Addr())
 	if err != nil {
 		srv.Close()
-		return nil, fmt.Errorf("agent: dial master %s: %w", cfg.MasterAddr, err)
-	}
-	a.conn = wire.NewConn(nc, cfg.MaxFrame)
-	if !a.conn.Send(wire.Register{ShuffleAddr: srv.Addr(), Cores: int32(cfg.Cores)}) {
-		a.conn.Close()
-		srv.Close()
-		return nil, fmt.Errorf("agent: registration send failed")
-	}
-	m, err := a.conn.ReadMsg()
-	if err != nil {
-		a.conn.Close()
-		srv.Close()
-		return nil, fmt.Errorf("agent: reading welcome: %w", err)
-	}
-	w, ok := m.(wire.Welcome)
-	if !ok {
-		a.conn.Close()
-		srv.Close()
-		return nil, fmt.Errorf("agent: expected welcome, got %T", m)
+		return nil, err
 	}
 	a.id = w.WorkerID
 	a.hb = time.Duration(w.HeartbeatMicros) * time.Microsecond
@@ -149,6 +217,66 @@ func Dial(cfg Config) (*Agent, error) {
 	go a.heartbeats()
 	go a.readLoop()
 	return a, nil
+}
+
+// register performs the dial + Register + Welcome handshake, retrying
+// transient failures (refused dial, handshake timeout, torn connection) up
+// to RegisterAttempts with jittered exponential backoff capped at
+// RegisterBackoffMax. On success a.conn holds the registered connection.
+func (a *Agent) register(shuffleAddr string) (wire.Welcome, error) {
+	cfg := a.cfg
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var lastErr error
+	for attempt := 0; attempt < cfg.RegisterAttempts; attempt++ {
+		if attempt > 0 {
+			d := cfg.RegisterBackoff << uint(attempt-1)
+			if d > cfg.RegisterBackoffMax || d <= 0 {
+				d = cfg.RegisterBackoffMax
+			}
+			sleep := d/2 + time.Duration(rng.Int63n(int64(d/2)))
+			a.logf("agent: registration attempt %d failed (%v), retrying in %v",
+				attempt, lastErr, sleep)
+			time.Sleep(sleep)
+		}
+		w, err := a.registerOnce(shuffleAddr)
+		if err == nil {
+			return w, nil
+		}
+		lastErr = err
+	}
+	return wire.Welcome{}, fmt.Errorf("agent: registration with %s failed after %d attempts: %w",
+		cfg.MasterAddr, cfg.RegisterAttempts, lastErr)
+}
+
+func (a *Agent) registerOnce(shuffleAddr string) (wire.Welcome, error) {
+	cfg := a.cfg
+	nc, err := cfg.Dial(cfg.MasterAddr)
+	if err != nil {
+		return wire.Welcome{}, fmt.Errorf("agent: dial master %s: %w", cfg.MasterAddr, err)
+	}
+	conn := wire.NewConnConfig(nc, wire.Config{
+		MaxFrame:      cfg.MaxFrame,
+		WriteDeadline: cfg.WriteDeadline,
+		DrainDeadline: cfg.DrainDeadline,
+	})
+	if !conn.Send(wire.Register{ShuffleAddr: shuffleAddr, Cores: int32(cfg.Cores)}) {
+		conn.Close()
+		return wire.Welcome{}, fmt.Errorf("agent: registration send failed")
+	}
+	// Bounded handshake read: a master that accepted but never answers
+	// (wedged, mid-crash) must not hang the worker forever.
+	m, err := conn.ReadMsgTimeout(cfg.HandshakeTimeout)
+	if err != nil {
+		conn.Close()
+		return wire.Welcome{}, fmt.Errorf("agent: reading welcome: %w", err)
+	}
+	w, ok := m.(wire.Welcome)
+	if !ok {
+		conn.Close()
+		return wire.Welcome{}, fmt.Errorf("agent: expected welcome, got %T", m)
+	}
+	a.conn = conn
+	return w, nil
 }
 
 // ID returns the worker ID the master assigned.
@@ -370,8 +498,10 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 	mt := plan.Monotasks[d.MTID]
 
 	fetchStart := time.Now()
-	wireBytes, err := a.ensureInputs(js, d)
+	wireBytes, retries, fallbacks, err := a.ensureInputs(js, d)
 	fetchDur := time.Since(fetchStart)
+	comp.FetchRetries = int32(retries)
+	comp.FetchFallbacks = int32(fallbacks)
 	if err != nil {
 		comp.Err = err.Error()
 		a.finish(key, inf, comp)
@@ -421,8 +551,11 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 // contribution store. Fetches are cached per (dataset, part, origin) —
 // contribution sets are final before any reader dispatches (the dag orders
 // readers after their producers' completions), so a cached fetch can never
-// be stale. A failed peer fetch falls back to the master's canonical store.
-func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, err error) {
+// be stale. Transient peer faults are absorbed inside Client.Fetch by
+// retry/backoff; only once that budget is exhausted does the fetch degrade
+// to the master's canonical store (§4.3), and each such degradation is
+// counted so the master's transport metrics surface it.
+func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, retries, fallbacks int, err error) {
 	for _, f := range d.Fetches {
 		js.mu.Lock()
 		seen := js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}]
@@ -430,25 +563,29 @@ func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, 
 		if seen {
 			continue
 		}
-		contribs, n, err := a.client(f.Addr).Fetch(d.JobID, f.DatasetID, f.Part, f.Origin)
+		contribs, n, r, err := a.client(f.Addr).Fetch(d.JobID, f.DatasetID, f.Part, f.Origin)
+		retries += r
 		if err != nil && f.Origin >= 0 && a.masterShuffleAddr != "" {
-			// Peer gone mid-fetch: the master's checkpoint has every
-			// committed contribution (§4.3), so redirect there.
+			// Peer unreachable after the full retry budget: the master's
+			// checkpoint has every committed contribution (§4.3), so degrade
+			// to it — correct but no longer peer-to-peer, hence counted.
+			fallbacks++
 			a.logf("agent %d: fetch ds%d/p%d from w%d failed (%v), falling back to master",
 				a.id, f.DatasetID, f.Part, f.Origin, err)
-			contribs, n, err = a.client(a.masterShuffleAddr).Fetch(d.JobID, f.DatasetID, f.Part, -1)
+			contribs, n, r, err = a.client(a.masterShuffleAddr).Fetch(d.JobID, f.DatasetID, f.Part, -1)
+			retries += r
 		}
 		if err != nil {
-			return wireBytes, err
+			return wireBytes, retries, fallbacks, err
 		}
 		ds := js.rt.DatasetByID(int(f.DatasetID))
 		if ds == nil {
-			return wireBytes, fmt.Errorf("agent: fetched unknown dataset %d", f.DatasetID)
+			return wireBytes, retries, fallbacks, fmt.Errorf("agent: fetched unknown dataset %d", f.DatasetID)
 		}
 		for _, pc := range contribs {
 			rows, err := workload.DecodeRows(pc.Rows)
 			if err != nil {
-				return wireBytes, err
+				return wireBytes, retries, fallbacks, err
 			}
 			js.rt.InsertContribution(ds, int(f.Part), int(pc.MTID), rows)
 		}
@@ -457,7 +594,7 @@ func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, 
 		js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}] = true
 		js.mu.Unlock()
 	}
-	return wireBytes, nil
+	return wireBytes, retries, fallbacks, nil
 }
 
 func (a *Agent) client(addr string) *shuffle.Client {
@@ -465,7 +602,14 @@ func (a *Agent) client(addr string) *shuffle.Client {
 	defer a.mu.Unlock()
 	c := a.clients[addr]
 	if c == nil {
-		c = shuffle.NewClient(addr, a.cfg.MaxFrame)
+		c = shuffle.NewClient(addr, shuffle.ClientConfig{
+			MaxFrame:    a.cfg.MaxFrame,
+			Dial:        a.cfg.ShuffleDial,
+			ReadTimeout: a.cfg.FetchTimeout,
+			Retries:     a.cfg.FetchRetries,
+			BackoffBase: a.cfg.FetchBackoff,
+			BackoffMax:  a.cfg.FetchBackoffMax,
+		})
 		a.clients[addr] = c
 	}
 	return c

@@ -271,6 +271,7 @@ func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
 		e.noteOrigin(originKey{c.JobID, w.DatasetID, w.Part}, workerID)
 	}
 	e.m.Transport.ObserveCompletion(workerID, time.Since(st.sentAt).Seconds(), c.FetchedWireBytes)
+	e.m.Transport.ObserveFetchDegradation(workerID, int(c.FetchRetries), int(c.FetchFallbacks))
 	st.done(st.mt.InputBytes, c.Seconds)
 }
 

@@ -55,11 +55,36 @@ type Config struct {
 	SampleInterval eventloop.Duration
 	// MaxFrame bounds control and shuffle frames. Default wire.DefaultMaxFrame.
 	MaxFrame int
+	// Listen opens the control-plane and shuffle listeners; nil selects
+	// wire.NetListen. Tests compose fault injectors here.
+	Listen wire.ListenFunc
+	// HandshakeTimeout bounds the wait for a connecting agent's Register
+	// frame — a client that connects and goes silent cannot pin the
+	// handshake goroutine. Default 5s.
+	HandshakeTimeout time.Duration
+	// WriteDeadline bounds each control-plane write to a worker (dispatches,
+	// prepares) so a dead-but-unclosed agent fails its link fast instead of
+	// wedging the single writer until the kernel TCP timeout. Default 10s;
+	// negative disables.
+	WriteDeadline time.Duration
+	// DrainDeadline bounds the graceful-close flush of queued control frames
+	// (the final Shutdown broadcast). Default wire.DefaultDrainDeadline.
+	DrainDeadline time.Duration
+	// ShuffleReadIdle bounds the canonical-store shuffle server's wait for
+	// the next request on an open connection (default
+	// shuffle.DefaultServerReadIdle).
+	ShuffleReadIdle time.Duration
 	// Core configures the scheduling core (defaults as in live.Config).
 	Core core.Config
 	// Logf, if set, receives the master's log lines.
 	Logf func(format string, args ...any)
 }
+
+// Master-side transport defaults.
+const (
+	DefaultHandshakeTimeout = 5 * time.Second
+	DefaultWriteDeadline    = 10 * time.Second
+)
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -79,6 +104,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Listen == nil {
+		c.Listen = wire.NetListen
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if c.WriteDeadline == 0 {
+		c.WriteDeadline = DefaultWriteDeadline
+	} else if c.WriteDeadline < 0 {
+		c.WriteDeadline = 0
 	}
 	return c
 }
@@ -154,13 +190,14 @@ func NewMaster(cfg Config) (*Master, error) {
 		ready:     make(chan struct{}),
 		workers:   make([]*workerLink, cfg.Workers),
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	ln, err := cfg.Listen(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen %s: %w", cfg.Addr, err)
 	}
 	m.ln = ln
-	m.shuffleSrv, err = shuffle.Listen(cfg.ShuffleAddr, cfg.MaxFrame, m.resolveJob,
-		m.Transport.ObserveServedBytes)
+	m.shuffleSrv, err = shuffle.Listen(cfg.ShuffleAddr, shuffle.ServerConfig{
+		MaxFrame: cfg.MaxFrame, ReadIdle: cfg.ShuffleReadIdle, Listen: cfg.Listen,
+	}, m.resolveJob, m.Transport.ObserveServedBytes)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -247,8 +284,14 @@ func (m *Master) accept() {
 }
 
 func (m *Master) handshake(nc net.Conn) {
-	c := wire.NewConn(nc, m.cfg.MaxFrame)
-	msg, err := c.ReadMsg()
+	c := wire.NewConnConfig(nc, wire.Config{
+		MaxFrame:      m.cfg.MaxFrame,
+		WriteDeadline: m.cfg.WriteDeadline,
+		DrainDeadline: m.cfg.DrainDeadline,
+	})
+	// Bounded registration read: a connection that never sends its Register
+	// frame is cut loose instead of pinning this goroutine forever.
+	msg, err := c.ReadMsgTimeout(m.cfg.HandshakeTimeout)
 	if err != nil {
 		c.Close()
 		return
@@ -374,6 +417,17 @@ func (m *Master) Run(ctx context.Context) error {
 	stopLiveness := loop.Every(eventloop.Duration(hb/time.Microsecond), func() {
 		deadline := time.Duration(m.cfg.HeartbeatMisses) * hb
 		for id, age := range m.Transport.HeartbeatAges(time.Now()) {
+			// Workers outside the registry (counters created by an observe
+			// call racing registration) are not failable — there is no link
+			// to tear down yet, and an age measured from an unset timestamp
+			// would be garbage. HeartbeatAges already clamps the
+			// just-registered window (zero LastHeartbeat → age 0), so a
+			// worker that handshook but hasn't heartbeated yet only becomes
+			// failable HeartbeatMisses×interval after registration stamped
+			// its first timestamp.
+			if id < 0 || id >= len(m.workers) || m.workers[id] == nil {
+				continue
+			}
 			if age > deadline {
 				m.failWorker(id, fmt.Errorf("remote: no heartbeat for %v (limit %v)", age, deadline))
 			}

@@ -53,6 +53,12 @@ func sortedStrings(rows []localrt.Row) []string {
 // startCluster launches a loopback cluster with test-friendly timings and
 // registers cleanup.
 func startCluster(t *testing.T, n int, cfg Config) *LocalCluster {
+	return startClusterWith(t, n, cfg, agent.Config{})
+}
+
+// startClusterWith is startCluster with an explicit agent config — chaos
+// tests compose fault injectors and transport tuning here.
+func startClusterWith(t *testing.T, n int, cfg Config, agentCfg agent.Config) *LocalCluster {
 	t.Helper()
 	cfg.HeartbeatInterval = 50 * time.Millisecond
 	if cfg.HeartbeatMisses == 0 {
@@ -60,12 +66,35 @@ func startCluster(t *testing.T, n int, cfg Config) *LocalCluster {
 		// as worker deaths.
 		cfg.HeartbeatMisses = 8
 	}
-	lc, err := StartLocalCluster(n, cfg, agent.Config{})
+	lc, err := StartLocalCluster(n, cfg, agentCfg)
 	if err != nil {
 		t.Fatalf("starting local cluster: %v", err)
 	}
 	t.Cleanup(lc.Close)
 	return lc
+}
+
+// waitHeartbeats blocks until every worker's liveness beacon has been
+// observed at least once. Heartbeats flow from agent.Dial onward, so this is
+// deterministic — without it, a fast run can finish before the first 50 ms
+// tick and a "worker sent no heartbeats" assertion races the run duration.
+func waitHeartbeats(t *testing.T, lc *LocalCluster, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for id := 0; id < n; id++ {
+			if lc.Master.Transport.Worker(id).Heartbeats == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d workers to heartbeat", n)
 }
 
 func runCluster(t *testing.T, lc *LocalCluster) {
@@ -86,6 +115,7 @@ func TestLoopbackWordCount(t *testing.T) {
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
+	waitHeartbeats(t, lc, 2)
 	runCluster(t, lc)
 	got, err := job.ResultRows()
 	if err != nil {

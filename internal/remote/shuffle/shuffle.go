@@ -6,12 +6,25 @@
 // (§4.3), so readers fall back to it when a peer origin is dead; agent
 // servers serve their locally produced contributions, which keeps the hot
 // path peer-to-peer.
+//
+// Every blocking operation here is bounded: servers apply a per-request read
+// deadline so a client that opens a connection and goes silent cannot pin a
+// serving goroutine forever, and clients apply a per-fetch response deadline
+// so a wedged peer (accepted the connection, never answers — a failure mode
+// heartbeats cannot see, because the fetching worker is perfectly healthy)
+// surfaces as a retryable timeout instead of stalling the job. Transient
+// fetch errors are retried with bounded, jittered exponential backoff; only
+// after the budget is exhausted does the caller degrade to the master's
+// canonical store.
 package shuffle
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"ursa/internal/localrt"
 	"ursa/internal/remote/workload"
@@ -22,13 +35,45 @@ import (
 // (nil = unknown job).
 type Resolver func(jobID int64) *localrt.Runtime
 
+// ServerConfig shapes a shuffle server.
+type ServerConfig struct {
+	// MaxFrame bounds request and response frames. <= 0 selects the default.
+	MaxFrame int
+	// ReadIdle bounds how long a serving goroutine waits for the next request
+	// on an open connection; an idle or wedged client is disconnected (it
+	// transparently redials on its next fetch). <= 0 selects
+	// DefaultServerReadIdle; negative values are clamped to it too — use a
+	// large value to effectively disable.
+	ReadIdle time.Duration
+	// Listen opens the listener; nil selects wire.NetListen. Tests compose
+	// fault injectors here.
+	Listen wire.ListenFunc
+}
+
+// DefaultServerReadIdle is the default per-request read deadline on server
+// connections. Generous: it only needs to beat "forever".
+const DefaultServerReadIdle = 2 * time.Minute
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.ReadIdle <= 0 {
+		c.ReadIdle = DefaultServerReadIdle
+	}
+	if c.Listen == nil {
+		c.Listen = wire.NetListen
+	}
+	return c
+}
+
 // Server answers Fetch requests over freshly accepted connections. Each
 // connection is served by one goroutine; requests on a connection are
 // processed in order.
 type Server struct {
-	ln       net.Listener
-	maxFrame int
-	resolve  Resolver
+	ln      net.Listener
+	cfg     ServerConfig
+	resolve Resolver
 	// onServed, if set, observes the payload bytes of every served
 	// partition (the master feeds its transport counters with this).
 	onServed func(bytes float64)
@@ -39,14 +84,13 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 }
 
-// Serve starts a shuffle server on ln. maxFrame <= 0 selects the default.
-func Serve(ln net.Listener, maxFrame int, resolve Resolver, onServed func(float64)) *Server {
-	if maxFrame <= 0 {
-		maxFrame = wire.DefaultMaxFrame
-	}
+// Serve starts a shuffle server on ln with cfg's framing and deadlines
+// (cfg.Listen is ignored — the listener already exists).
+func Serve(ln net.Listener, cfg ServerConfig, resolve Resolver, onServed func(float64)) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
 		ln:       ln,
-		maxFrame: maxFrame,
+		cfg:      cfg,
 		resolve:  resolve,
 		onServed: onServed,
 		conns:    make(map[net.Conn]struct{}),
@@ -56,13 +100,14 @@ func Serve(ln net.Listener, maxFrame int, resolve Resolver, onServed func(float6
 	return s
 }
 
-// Listen opens a listener on addr and serves on it.
-func Listen(addr string, maxFrame int, resolve Resolver, onServed func(float64)) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+// Listen opens a listener on addr via cfg.Listen and serves on it.
+func Listen(addr string, cfg ServerConfig, resolve Resolver, onServed func(float64)) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := cfg.Listen(addr)
 	if err != nil {
 		return nil, fmt.Errorf("shuffle: listen %s: %w", addr, err)
 	}
-	return Serve(ln, maxFrame, resolve, onServed), nil
+	return Serve(ln, cfg, resolve, onServed), nil
 }
 
 // Addr returns the address peers dial to fetch from this server.
@@ -114,19 +159,23 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 		nc.Close()
 	}()
-	c := wire.NewConn(nc, s.maxFrame)
+	c := wire.NewConn(nc, s.cfg.MaxFrame)
 	defer c.Close()
-	_ = c.ReadLoop(func(m wire.Msg) error {
+	for {
+		// Bound the wait for the next request: a silent client is cut loose
+		// instead of pinning this goroutine until process exit.
+		m, err := c.ReadMsgTimeout(s.cfg.ReadIdle)
+		if err != nil {
+			return
+		}
 		f, ok := m.(wire.Fetch)
 		if !ok {
-			return fmt.Errorf("shuffle: unexpected %T on fetch connection", m)
+			return // protocol violation: drop the connection
 		}
-		resp := s.handle(f)
-		if !c.Send(resp) {
-			return fmt.Errorf("shuffle: send failed")
+		if !c.Send(s.handle(f)) {
+			return
 		}
-		return nil
-	})
+	}
 }
 
 func (s *Server) handle(f wire.Fetch) wire.FetchResp {
@@ -158,37 +207,145 @@ func (s *Server) handle(f wire.Fetch) wire.FetchResp {
 	return resp
 }
 
+// ClientConfig shapes a fetch client's transport behaviour.
+type ClientConfig struct {
+	// MaxFrame bounds request and response frames. <= 0 selects the default.
+	MaxFrame int
+	// Dial opens connections to the holder; nil selects wire.NetDial. Tests
+	// compose fault injectors here.
+	Dial wire.DialFunc
+	// ReadTimeout bounds each fetch's response wait — the deadline that
+	// turns a wedged peer into a retryable error. <= 0 selects
+	// DefaultFetchReadTimeout.
+	ReadTimeout time.Duration
+	// Retries is how many times a transient transport error (dial failure,
+	// timeout, truncation, reset) is retried after the first attempt.
+	// < 0 disables retries; 0 selects DefaultFetchRetries.
+	Retries int
+	// BackoffBase and BackoffMax shape the bounded, jittered exponential
+	// backoff between attempts: sleep_k ∈ [½,1)·min(Base·2^k, Max).
+	// <= 0 selects the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed fixes the jitter sequence; 0 seeds from the address (stable but
+	// distinct per holder).
+	Seed int64
+}
+
+// Fetch transport defaults.
+const (
+	DefaultFetchReadTimeout = 5 * time.Second
+	DefaultFetchRetries     = 3
+	DefaultBackoffBase      = 10 * time.Millisecond
+	DefaultBackoffMax       = 250 * time.Millisecond
+)
+
+func (c ClientConfig) withDefaults(addr string) ClientConfig {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Dial == nil {
+		c.Dial = wire.NetDial
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = DefaultFetchReadTimeout
+	}
+	if c.Retries == 0 {
+		c.Retries = DefaultFetchRetries
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.Seed == 0 {
+		var h int64 = 1469598103934665603
+		for i := 0; i < len(addr); i++ {
+			h = (h ^ int64(addr[i])) * 1099511628211
+		}
+		c.Seed = h
+	}
+	return c
+}
+
 // Client fetches partitions from one holder address over a lazily dialed,
 // cached connection. Requests are serialized; a transport error poisons the
-// connection so the next call redials.
+// connection so the next attempt redials.
 type Client struct {
-	addr     string
-	maxFrame int
+	addr string
+	cfg  ClientConfig
 
-	mu sync.Mutex
-	nc *wire.Conn
+	mu  sync.Mutex
+	nc  *wire.Conn
+	rng *rand.Rand
 }
 
 // NewClient returns a client for the holder at addr (dialed on first use).
-func NewClient(addr string, maxFrame int) *Client {
-	if maxFrame <= 0 {
-		maxFrame = wire.DefaultMaxFrame
+func NewClient(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults(addr)
+	return &Client{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// backoff returns the jittered sleep before retry attempt k (0-based):
+// uniformly in [½,1) of min(Base·2^k, Max). Called with mu held.
+func (c *Client) backoff(k int) time.Duration {
+	d := c.cfg.BackoffBase << uint(k)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
 	}
-	return &Client{addr: addr, maxFrame: maxFrame}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)))
 }
 
 // Fetch pulls one partition's contributions. wireBytes is the payload bytes
 // moved (the sum of encoded contribution sizes) — the number the agent
-// reports in Complete.FetchedWireBytes.
-func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.PartContrib, wireBytes float64, err error) {
+// reports in Complete.FetchedWireBytes. retries is how many attempts beyond
+// the first were needed; err is non-nil only once the retry budget is
+// exhausted (transient transport faults — dial failures, response timeouts,
+// mid-frame truncations — are absorbed here). Protocol-level errors from a
+// healthy holder (unknown job, bad partition) are returned immediately and
+// keep the connection cached.
+func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.PartContrib, wireBytes float64, retries int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		contribs, wireBytes, err = c.fetchOnce(jobID, dsID, part, origin)
+		if err == nil || !retryable(err) {
+			return contribs, wireBytes, retries, err
+		}
+		if attempt >= c.cfg.Retries {
+			return nil, 0, retries, fmt.Errorf(
+				"shuffle: fetch from %s failed after %d attempts: %w", c.addr, attempt+1, err)
+		}
+		retries++
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// retryable classifies fetch errors: every transport-level failure (dial,
+// write, read, timeout, decode-on-torn-frame) is transient and worth
+// retrying; only protocol-level errors from a healthy holder are not.
+func retryable(err error) bool {
+	var pe *protocolError
+	return !errors.As(err, &pe)
+}
+
+// protocolError marks a well-formed error response from a healthy holder.
+type protocolError struct{ msg string }
+
+func (e *protocolError) Error() string { return e.msg }
+
+// fetchOnce performs one attempt over the cached connection (dialing if
+// needed). Transport errors poison the connection. Called with mu held.
+func (c *Client) fetchOnce(jobID int64, dsID, part, origin int32) ([]wire.PartContrib, float64, error) {
 	if c.nc == nil {
-		nc, err := net.Dial("tcp", c.addr)
+		nc, err := c.cfg.Dial(c.addr)
 		if err != nil {
 			return nil, 0, fmt.Errorf("shuffle: dial %s: %w", c.addr, err)
 		}
-		c.nc = wire.NewConn(nc, c.maxFrame)
+		c.nc = wire.NewConn(nc, c.cfg.MaxFrame)
 	}
 	fail := func(err error) ([]wire.PartContrib, float64, error) {
 		c.nc.Close()
@@ -198,7 +355,9 @@ func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.P
 	if !c.nc.Send(wire.Fetch{JobID: jobID, DatasetID: dsID, Part: part, Origin: origin}) {
 		return fail(fmt.Errorf("shuffle: send to %s failed", c.addr))
 	}
-	m, err := c.nc.ReadMsg()
+	// The response deadline: a wedged holder (read the request, never
+	// answers) surfaces here as a timeout instead of blocking forever.
+	m, err := c.nc.ReadMsgTimeout(c.cfg.ReadTimeout)
 	if err != nil {
 		return fail(fmt.Errorf("shuffle: fetch from %s: %w", c.addr, err))
 	}
@@ -208,8 +367,9 @@ func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.P
 	}
 	if resp.Err != "" {
 		// Protocol-level error on a healthy connection: keep it cached.
-		return nil, 0, fmt.Errorf("shuffle: %s: %s", c.addr, resp.Err)
+		return nil, 0, &protocolError{msg: fmt.Sprintf("shuffle: %s: %s", c.addr, resp.Err)}
 	}
+	var wireBytes float64
 	for _, pc := range resp.Contribs {
 		wireBytes += float64(len(pc.Rows))
 	}

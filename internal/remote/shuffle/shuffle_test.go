@@ -1,0 +1,244 @@
+package shuffle
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ursa/internal/localrt"
+	"ursa/internal/wire"
+)
+
+// fakeHolder is a minimal wire-speaking shuffle peer with scripted
+// behaviour per request: "ok" answers with one contribution, "wedge" reads
+// the request and never answers, "protoerr" answers with a well-formed
+// error response.
+type fakeHolder struct {
+	ln       net.Listener
+	mode     string
+	requests int32
+}
+
+func startHolder(t *testing.T, mode string) *fakeHolder {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHolder{ln: ln, mode: mode}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go h.serve(nc)
+		}
+	}()
+	return h
+}
+
+func (h *fakeHolder) serve(nc net.Conn) {
+	c := wire.NewConn(nc, 0)
+	defer c.Close()
+	for {
+		m, err := c.ReadMsg()
+		if err != nil {
+			return
+		}
+		if _, ok := m.(wire.Fetch); !ok {
+			return
+		}
+		atomic.AddInt32(&h.requests, 1)
+		switch h.mode {
+		case "ok":
+			c.Send(wire.FetchResp{Contribs: []wire.PartContrib{{MTID: 7, Rows: []byte("rows")}}})
+		case "wedge":
+			// Read, never answer: the failure mode heartbeats cannot see.
+		case "protoerr":
+			c.Send(wire.FetchResp{Err: "no such dataset"})
+		}
+	}
+}
+
+func (h *fakeHolder) addr() string { return h.ln.Addr().String() }
+
+// TestFetchRetryThenSuccess pins the retry path: transient dial failures are
+// absorbed by the backoff budget and the fetch ultimately succeeds, with
+// retries reporting exactly the attempts beyond the first. No degradation to
+// any fallback is involved at this layer — the caller only sees success.
+func TestFetchRetryThenSuccess(t *testing.T) {
+	h := startHolder(t, "ok")
+	var dials int32
+	dial := func(addr string) (net.Conn, error) {
+		if atomic.AddInt32(&dials, 1) <= 2 {
+			return nil, errors.New("synthetic transient dial failure")
+		}
+		return wire.NetDial(addr)
+	}
+	cl := NewClient(h.addr(), ClientConfig{
+		Dial: dial, Retries: 4,
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond, Seed: 1,
+	})
+	defer cl.Close()
+	contribs, wireBytes, retries, err := cl.Fetch(1, 2, 0, 0)
+	if err != nil {
+		t.Fatalf("fetch should have succeeded after retries: %v", err)
+	}
+	if retries != 2 {
+		t.Fatalf("retries = %d, want 2 (two failed dials)", retries)
+	}
+	if len(contribs) != 1 || contribs[0].MTID != 7 || string(contribs[0].Rows) != "rows" {
+		t.Fatalf("unexpected contribs: %+v", contribs)
+	}
+	if wireBytes != 4 {
+		t.Fatalf("wireBytes = %v, want 4", wireBytes)
+	}
+}
+
+// TestFetchExhaustedRetries pins the budget: when every attempt fails the
+// error surfaces only after Retries+1 attempts, with at least the minimum
+// jittered backoff (½ of each step) elapsed between them.
+func TestFetchExhaustedRetries(t *testing.T) {
+	var dials int32
+	dial := func(addr string) (net.Conn, error) {
+		atomic.AddInt32(&dials, 1)
+		return nil, errors.New("synthetic dial failure")
+	}
+	base := 8 * time.Millisecond
+	cl := NewClient("10.255.255.1:1", ClientConfig{
+		Dial: dial, Retries: 3, BackoffBase: base, BackoffMax: 32 * time.Millisecond, Seed: 1,
+	})
+	defer cl.Close()
+	start := time.Now()
+	_, _, retries, err := cl.Fetch(1, 2, 0, 0)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected an error once retries were exhausted")
+	}
+	if retries != 3 {
+		t.Fatalf("retries = %d, want 3", retries)
+	}
+	if got := atomic.LoadInt32(&dials); got != 4 {
+		t.Fatalf("dial attempts = %d, want 4", got)
+	}
+	// Minimum sleep: ½·(8 + 16 + 32) ms = 28 ms.
+	if min := 28 * time.Millisecond; elapsed < min {
+		t.Fatalf("retries returned after %v, want >= %v of backoff", elapsed, min)
+	}
+}
+
+// TestFetchWedgedPeerTimesOut is the satellite-1 regression: a peer that
+// accepts the connection and reads the request but never answers must
+// surface as a deadline error after the retry budget — not block forever.
+func TestFetchWedgedPeerTimesOut(t *testing.T) {
+	h := startHolder(t, "wedge")
+	cl := NewClient(h.addr(), ClientConfig{
+		ReadTimeout: 40 * time.Millisecond, Retries: 1,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond, Seed: 1,
+	})
+	defer cl.Close()
+	start := time.Now()
+	_, _, retries, err := cl.Fetch(1, 2, 0, 0)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected a timeout error from the wedged peer")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("error should carry the deadline cause, got: %v", err)
+	}
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+	// Two attempts, each bounded by the 40 ms read deadline.
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("returned after %v, want >= 80ms (two bounded waits)", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("wedged peer stalled the fetch for %v", elapsed)
+	}
+	if got := atomic.LoadInt32(&h.requests); got != 2 {
+		t.Fatalf("holder saw %d requests, want 2", got)
+	}
+}
+
+// TestFetchProtocolErrorNotRetried pins the transient/permanent split: a
+// well-formed error response from a healthy holder is returned immediately
+// (retries = 0) and keeps the connection cached for the next fetch.
+func TestFetchProtocolErrorNotRetried(t *testing.T) {
+	h := startHolder(t, "protoerr")
+	cl := NewClient(h.addr(), ClientConfig{
+		Retries: 5, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond, Seed: 1,
+	})
+	defer cl.Close()
+	_, _, retries, err := cl.Fetch(1, 2, 0, 0)
+	if err == nil {
+		t.Fatal("expected the holder's protocol error")
+	}
+	if retries != 0 {
+		t.Fatalf("protocol error was retried %d times; must not be retried", retries)
+	}
+	if got := atomic.LoadInt32(&h.requests); got != 1 {
+		t.Fatalf("holder saw %d requests, want exactly 1", got)
+	}
+	// The connection stays cached: a second fetch reuses it (no redial) and
+	// the holder sees it on the same serving loop.
+	if _, _, _, err = cl.Fetch(1, 2, 1, 0); err == nil {
+		t.Fatal("expected the holder's protocol error again")
+	}
+	if got := atomic.LoadInt32(&h.requests); got != 2 {
+		t.Fatalf("holder saw %d requests after second fetch, want 2", got)
+	}
+}
+
+// TestBackoffBounds pins the backoff shape: sleep_k ∈ [½,1)·min(Base·2^k,
+// Max) for every step, including far past the cap (no overflow).
+func TestBackoffBounds(t *testing.T) {
+	cl := NewClient("x", ClientConfig{
+		BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond, Seed: 3,
+	})
+	for k := 0; k < 64; k++ {
+		want := 10 * time.Millisecond << uint(k)
+		if want > 80*time.Millisecond || want <= 0 {
+			want = 80 * time.Millisecond
+		}
+		for trial := 0; trial < 32; trial++ {
+			got := cl.backoff(k)
+			if got < want/2 || got >= want {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v)", k, got, want/2, want)
+			}
+		}
+	}
+}
+
+// TestServerReadIdleCutsSilentClient pins the server-side bound: a client
+// that connects and goes silent is disconnected after ReadIdle instead of
+// pinning a serving goroutine forever.
+func TestServerReadIdleCutsSilentClient(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerConfig{ReadIdle: 30 * time.Millisecond},
+		func(int64) *localrt.Runtime { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Send nothing. The server must hang up on its own.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("expected the server to close the silent connection")
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("server did not cut the silent client within 5s: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("silent client held the connection for %v", elapsed)
+	}
+}

@@ -15,11 +15,11 @@ import (
 // responsive even when a worker stops reading. ReadLoop is the inbound half
 // and belongs to exactly one goroutine.
 type Conn struct {
-	nc       net.Conn
-	r        *bufio.Reader
-	maxFrame int
-	out      chan Msg
-	quit     chan struct{}
+	nc   net.Conn
+	r    *bufio.Reader
+	cfg  Config
+	out  chan Msg
+	quit chan struct{}
 
 	closeOnce sync.Once
 	pumpDone  chan struct{}
@@ -34,16 +34,49 @@ type Conn struct {
 // applying backpressure to the control loop.
 const sendBuffer = 1024
 
-// NewConn starts the write pump over nc. maxFrame bounds both directions;
-// <= 0 selects DefaultMaxFrame.
-func NewConn(nc net.Conn, maxFrame int) *Conn {
-	if maxFrame <= 0 {
-		maxFrame = DefaultMaxFrame
+// DefaultDrainDeadline bounds the graceful-close flush window.
+const DefaultDrainDeadline = 200 * time.Millisecond
+
+// Config shapes one Conn's framing and deadline behaviour.
+type Config struct {
+	// MaxFrame bounds frames in both directions; <= 0 selects DefaultMaxFrame.
+	MaxFrame int
+	// WriteDeadline bounds each steady-state write in the pump. Without it a
+	// dead-but-unclosed peer stalls the single writer until the kernel TCP
+	// timeout fires (minutes), filling the outbound queue and escalating to
+	// a spurious "send queue full" transport failure. 0 disables (legacy
+	// behaviour); the master and agent configs default it on.
+	WriteDeadline time.Duration
+	// DrainDeadline bounds the graceful-close flush of already-queued frames
+	// (Shutdown broadcasts). <= 0 selects DefaultDrainDeadline.
+	DrainDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
 	}
+	if c.DrainDeadline <= 0 {
+		c.DrainDeadline = DefaultDrainDeadline
+	}
+	return c
+}
+
+// NewConn starts the write pump over nc. maxFrame bounds both directions;
+// <= 0 selects DefaultMaxFrame. Deadlines take defaults (no steady-state
+// write deadline); use NewConnConfig to set them.
+func NewConn(nc net.Conn, maxFrame int) *Conn {
+	return NewConnConfig(nc, Config{MaxFrame: maxFrame})
+}
+
+// NewConnConfig starts the write pump over nc with explicit framing and
+// deadline configuration.
+func NewConnConfig(nc net.Conn, cfg Config) *Conn {
+	cfg = cfg.withDefaults()
 	c := &Conn{
 		nc:       nc,
 		r:        bufio.NewReader(nc),
-		maxFrame: maxFrame,
+		cfg:      cfg,
 		out:      make(chan Msg, sendBuffer),
 		quit:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
@@ -65,10 +98,11 @@ func (c *Conn) pump() {
 	for {
 		select {
 		case <-c.quit:
-			// Drain what was queued before the close, under a write
-			// deadline, so a graceful close can deliver its final frames
-			// (Shutdown broadcasts) without risking a hang on a dead peer.
-			c.nc.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+			// Drain what was queued before the close, under the configured
+			// drain deadline, so a graceful close can deliver its final
+			// frames (Shutdown broadcasts) without risking a hang on a dead
+			// peer.
+			c.nc.SetWriteDeadline(time.Now().Add(c.cfg.DrainDeadline))
 			for {
 				select {
 				case m := <-c.out:
@@ -83,9 +117,15 @@ func (c *Conn) pump() {
 			}
 		case m := <-c.out:
 			buf = AppendFrame(buf[:0], m)
-			if len(buf) > c.maxFrame+headerLen {
-				c.fail(fmt.Errorf("wire: outbound frame exceeds max %d", c.maxFrame))
+			if len(buf) > c.cfg.MaxFrame+headerLen {
+				c.fail(fmt.Errorf("wire: outbound frame exceeds max %d", c.cfg.MaxFrame))
 				return
+			}
+			if c.cfg.WriteDeadline > 0 {
+				// Bound the steady-state write: a wedged peer fails fast
+				// here instead of stalling the pump until the kernel TCP
+				// timeout while the queue fills behind it.
+				c.nc.SetWriteDeadline(time.Now().Add(c.cfg.WriteDeadline))
 			}
 			if _, err := w.Write(buf); err != nil {
 				c.fail(err)
@@ -156,7 +196,7 @@ func (c *Conn) shutdown(graceful bool) {
 		if graceful {
 			select {
 			case <-c.pumpDone:
-			case <-time.After(250 * time.Millisecond):
+			case <-time.After(c.cfg.DrainDeadline + 50*time.Millisecond):
 			}
 		}
 		c.nc.Close()
@@ -168,11 +208,35 @@ func (c *Conn) shutdown(graceful bool) {
 // hand the connection to ReadLoop without losing buffered frames. Exactly
 // one goroutine may read at a time.
 func (c *Conn) ReadMsg() (Msg, error) {
-	typ, payload, err := ReadFrame(c.r, c.maxFrame)
+	typ, payload, err := ReadFrame(c.r, c.cfg.MaxFrame)
 	if err != nil {
 		return nil, err
 	}
 	return Decode(typ, payload)
+}
+
+// SetReadDeadline bounds subsequent reads on the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// ReadMsgTimeout reads one message under a read deadline, clearing the
+// deadline afterwards on success. A d <= 0 reads without a deadline. The
+// returned error satisfies net.Error.Timeout() when the deadline fired —
+// callers classify that as retryable.
+func (c *Conn) ReadMsgTimeout(d time.Duration) (Msg, error) {
+	if d <= 0 {
+		return c.ReadMsg()
+	}
+	if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	m, err := c.ReadMsg()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // ReadLoop reads frames until the connection dies or handle returns an

@@ -239,8 +239,15 @@ type Complete struct {
 	Seq              uint64
 	Seconds          float64
 	FetchedWireBytes float64
-	Err              string
-	Writes           []PartWrite
+	// FetchRetries counts shuffle fetch attempts beyond the first that this
+	// monotask's input pulls needed (transient peer faults absorbed by
+	// retry/backoff), and FetchFallbacks counts partitions that degraded to
+	// the master's canonical store after peer retries were exhausted — the
+	// degradation signals the master folds into metrics.Transport.
+	FetchRetries   int32
+	FetchFallbacks int32
+	Err            string
+	Writes         []PartWrite
 }
 
 func (Complete) Type() byte { return TComplete }
@@ -250,6 +257,8 @@ func (m Complete) encode(e *Encoder) {
 	e.U64(m.Seq)
 	e.F64(m.Seconds)
 	e.F64(m.FetchedWireBytes)
+	e.I32(m.FetchRetries)
+	e.I32(m.FetchFallbacks)
 	e.Str(m.Err)
 	e.U32(uint32(len(m.Writes)))
 	for _, w := range m.Writes {
@@ -259,7 +268,8 @@ func (m Complete) encode(e *Encoder) {
 func decodeComplete(d *Decoder) Msg {
 	m := Complete{
 		JobID: d.I64(), MTID: d.I32(), Seq: d.U64(),
-		Seconds: d.F64(), FetchedWireBytes: d.F64(), Err: d.Str(),
+		Seconds: d.F64(), FetchedWireBytes: d.F64(),
+		FetchRetries: d.I32(), FetchFallbacks: d.I32(), Err: d.Str(),
 	}
 	n := d.count(partWriteMin)
 	for i := 0; i < n && d.Err() == nil; i++ {

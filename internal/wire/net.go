@@ -1,0 +1,17 @@
+package wire
+
+import "net"
+
+// DialFunc opens one stream connection to addr. Production code uses NetDial;
+// tests compose fault injectors over it — the dial seam of the data plane.
+type DialFunc func(addr string) (net.Conn, error)
+
+// ListenFunc opens a stream listener on addr. Production code uses NetListen;
+// tests compose fault injectors over it — the listen seam of the data plane.
+type ListenFunc func(addr string) (net.Listener, error)
+
+// NetDial is the production DialFunc: plain TCP.
+func NetDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// NetListen is the production ListenFunc: plain TCP.
+func NetListen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
