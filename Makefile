@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke-dist chaos fuzz-wire bench bench-json bench-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist chaos fuzz-wire bench bench-json bench-guard bench-wire bench-wire-guard clean
 
-ci: fmt-check vet build test race smoke-dist chaos
+ci: fmt-check vet build test race smoke-dist chaos bench-wire-guard
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -62,6 +62,17 @@ bench-json:
 # snapshot (or started allocating). Re-baseline with `make bench-json`.
 bench-guard:
 	$(GO) run ./cmd/ursa-bench -guard BENCH_core.json
+
+# Regenerate the checked-in shuffle data-plane snapshot (BENCH_wire.json).
+bench-wire:
+	$(GO) run ./cmd/ursa-bench -wire BENCH_wire.json
+
+# Fail if the encode-once serve path regressed >20%, started allocating, or
+# lost its >=3x margin over the legacy encode-per-fetch path. The margin is
+# measured fresh on both sides, so it holds on any hardware; re-baseline the
+# ns/op numbers with `make bench-wire`.
+bench-wire-guard:
+	$(GO) run ./cmd/ursa-bench -guard-wire BENCH_wire.json
 
 clean:
 	$(GO) clean ./...

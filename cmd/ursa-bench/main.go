@@ -31,6 +31,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulation runs per experiment: 0 = GOMAXPROCS, 1 = serial (results are identical for any value)")
 	perfOut := flag.String("perf", "", "measure core hot paths and write the benchmark report JSON to this path, then exit")
 	guard := flag.String("guard", "", "re-measure the placement tick and fail if it regressed >20% vs the checked-in report at this path")
+	wireOut := flag.String("wire", "", "measure the shuffle data plane and write the wire benchmark report JSON to this path, then exit")
+	guardWire := flag.String("guard-wire", "", "re-measure the partition serve paths and fail if the encode-once path regressed >20%, allocates, or lost its >=3x margin over the legacy path, vs the report at this path")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -44,6 +46,22 @@ func main() {
 
 	if *guard != "" {
 		if err := guardPerf(*guard); err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *wireOut != "" {
+		if err := writeWire(*wireOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ursa-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *guardWire != "" {
+		if err := guardWirePerf(*guardWire); err != nil {
 			fmt.Fprintf(os.Stderr, "ursa-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -117,6 +135,92 @@ func writePerf(path string) error {
 		rep.EventLoopTimers.NsPerOp, 1024, rep.EventLoopTimers.AllocsPerOp, rep.EventLoopTimers.Throughput)
 	fmt.Printf("table1 serial: %.2f sim-runs/s; parallel: %.2f sim-runs/s\n",
 		rep.Table1Serial.Throughput, rep.Table1Parallel.Throughput)
+	return nil
+}
+
+// writeWire regenerates the shuffle data-plane snapshot (BENCH_wire.json).
+func writeWire(path string) error {
+	fmt.Fprintln(os.Stderr, "measuring shuffle data plane (takes a few seconds)...")
+	rep, err := perf.CollectWire()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("encode-once serve: %.0f ns/op, %d allocs/op, %.2fM rows/s, %.1f MB/s\n",
+		rep.EncodeOnceServe.NsPerOp, rep.EncodeOnceServe.AllocsPerOp,
+		rep.EncodeOnceServe.Throughput/1e6, rep.EncodeOnceServe.BytesPerSec/1e6)
+	fmt.Printf("legacy serve: %.0f ns/op (%.1fx slower)\n",
+		rep.LegacyServe.NsPerOp, rep.LegacyServe.NsPerOp/rep.EncodeOnceServe.NsPerOp)
+	fmt.Printf("fetch round trip: %.0f ns/op, %d allocs/op, %.1f MB/s over loopback\n",
+		rep.FetchRoundTrip.NsPerOp, rep.FetchRoundTrip.AllocsPerOp, rep.FetchRoundTrip.BytesPerSec/1e6)
+	fmt.Printf("spill serve: %.0f ns/op, %.1f MB/s from disk\n",
+		rep.SpillServe.NsPerOp, rep.SpillServe.BytesPerSec/1e6)
+	return nil
+}
+
+// wireSpeedupFloor is the minimum fresh encode-once speedup over the legacy
+// encode-per-fetch serve. Both sides are measured on the same machine in the
+// same run, so the ratio is hardware-independent — it fails only if the
+// zero-copy path genuinely lost its margin.
+const wireSpeedupFloor = 3.0
+
+// wireAllocSlack tolerates a few incidental allocations per serve op before
+// the guard calls it a leak in the pooled path (map/timer noise on some
+// runtimes), without letting a per-contribution regression (>= wireContribs
+// allocs) through.
+const wireAllocSlack = 4
+
+// guardWirePerf compares fresh serve-path measurements against the checked-in
+// wire report: ns/op regression vs the baseline, alloc discipline, and the
+// machine-independent encode-once-vs-legacy ratio.
+func guardWirePerf(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	base, err := perf.LoadWire(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if base.EncodeOnceServe.NsPerOp <= 0 {
+		return fmt.Errorf("%s: no encode_once_serve baseline recorded", path)
+	}
+	fmt.Fprintln(os.Stderr, "measuring partition serve paths for regression guard...")
+	cur, legacy := perf.MeasureWireServe()
+	ratio := cur.NsPerOp / base.EncodeOnceServe.NsPerOp
+	speedup := legacy.NsPerOp / cur.NsPerOp
+	fmt.Printf("encode-once serve: %.0f ns/op now vs %.0f ns/op baseline (%.2fx); %.1fx faster than legacy\n",
+		cur.NsPerOp, base.EncodeOnceServe.NsPerOp, ratio, speedup)
+	allocCap := base.EncodeOnceServe.AllocsPerOp
+	if allocCap < wireAllocSlack {
+		allocCap = wireAllocSlack
+	}
+	if cur.AllocsPerOp > allocCap {
+		return fmt.Errorf("encode-once serve allocates: %d allocs/op vs %d allowed",
+			cur.AllocsPerOp, allocCap)
+	}
+	if speedup < wireSpeedupFloor {
+		return fmt.Errorf("encode-once serve is only %.1fx faster than the legacy path (floor %.0fx)",
+			speedup, wireSpeedupFloor)
+	}
+	if ratio > 1+guardRegression {
+		return fmt.Errorf("encode-once serve regressed %.0f%% (> %.0f%% budget); "+
+			"fix the regression or re-baseline with -wire %s",
+			100*(ratio-1), 100*guardRegression, path)
+	}
+	fmt.Println("wire bench guard: ok")
 	return nil
 }
 

@@ -59,6 +59,14 @@ func main() {
 			"graceful-close flush window for queued control frames (0 = default)")
 		shuffleIdle = flag.Duration("shuffle-read-idle", 0,
 			"canonical-store shuffle server idle-client cutoff (0 = default)")
+
+		// Data-plane knobs (see DESIGN.md §11).
+		compress = flag.Bool("shuffle-compress", false,
+			"compress shuffle contributions (in effect per worker only when the worker also enables it)")
+		memBudget = flag.Int64("shuffle-mem-budget", 0,
+			"max in-memory bytes per job's canonical contribution store before spilling to disk (0 = never spill)")
+		spillDir = flag.String("shuffle-spill-dir", "",
+			"directory for contribution spill files (empty = system temp dir)")
 	)
 	flag.Parse()
 	if *list {
@@ -79,6 +87,9 @@ func main() {
 		WriteDeadline:     *writeDL,
 		DrainDeadline:     *drainDL,
 		ShuffleReadIdle:   *shuffleIdle,
+		Compress:          *compress,
+		ShuffleMemBudget:  *memBudget,
+		ShuffleSpillDir:   *spillDir,
 		SampleInterval:    eventloop.Duration(50 * time.Millisecond / time.Microsecond),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

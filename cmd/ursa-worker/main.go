@@ -53,6 +53,14 @@ func main() {
 			"shuffle fetch retry backoff cap (0 = default)")
 		shuffleIdle = flag.Duration("shuffle-read-idle", 0,
 			"shuffle server idle-client cutoff (0 = default)")
+
+		// Data-plane knobs (see DESIGN.md §11).
+		compress = flag.Bool("shuffle-compress", false,
+			"offer contribution compression (in effect only when the master also enables it)")
+		memBudget = flag.Int64("shuffle-mem-budget", 0,
+			"max in-memory bytes per job's contribution store before spilling to disk (0 = never spill)")
+		spillDir = flag.String("shuffle-spill-dir", "",
+			"directory for contribution spill files (empty = system temp dir)")
 	)
 	flag.Parse()
 
@@ -69,6 +77,9 @@ func main() {
 		FetchBackoff:       *fetchBackoff,
 		FetchBackoffMax:    *fetchBackoffMax,
 		ShuffleReadIdle:    *shuffleIdle,
+		Compress:           *compress,
+		ShuffleMemBudget:   *memBudget,
+		ShuffleSpillDir:    *spillDir,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {

@@ -126,8 +126,15 @@ type Job struct {
 	rt   *localrt.Runtime
 }
 
-// Rows returns the materialized rows of a dataset after the job ran.
+// Rows returns the materialized rows of a dataset after the job ran. It
+// panics on a storage error (spilled store closed, undecodable blob) — use
+// RowsErr where those are reachable.
 func (j *Job) Rows(d *dag.Dataset) []localrt.Row { return j.rt.Rows(d) }
+
+// RowsErr is Rows with storage errors surfaced: contributions held as
+// encoded blobs (checkpointed completions, spilled partitions) decode on
+// first read, and that read can fail.
+func (j *Job) RowsErr(d *dag.Dataset) ([]localrt.Row, error) { return j.rt.RowsErr(d) }
 
 // System is a live Ursa deployment on the local machine: LiveDriver +
 // scheduling core + real-execution back-end.

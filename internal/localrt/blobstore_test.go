@@ -1,0 +1,338 @@
+package localrt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"ursa/internal/dag"
+	"ursa/internal/resource"
+)
+
+// fakeCodec encodes string rows as a length-prefixed join — enough structure
+// to detect corruption, no gob dependency. flags==1 marks an xor-"compressed"
+// blob so flag plumbing is exercised without a real compressor.
+type fakeCodec struct {
+	compress  bool
+	encodeErr error
+	decodeErr error
+}
+
+func (f fakeCodec) EncodeBlob(rows []Row) ([]byte, byte, int, error) {
+	if f.encodeErr != nil {
+		return nil, 0, 0, f.encodeErr
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%d|", len(rows))
+	for _, r := range rows {
+		s := r.(string)
+		fmt.Fprintf(&b, "%d:%s", len(s), s)
+	}
+	blob := b.Bytes()
+	rawLen := len(blob)
+	var flags byte
+	if f.compress {
+		flags = 1
+		for i := range blob {
+			blob[i] ^= 0x5A
+		}
+	}
+	return blob, flags, rawLen, nil
+}
+
+func (f fakeCodec) DecodeBlob(blob []byte, flags byte, rawLen int) ([]Row, error) {
+	if f.decodeErr != nil {
+		return nil, f.decodeErr
+	}
+	if flags == 1 {
+		dec := make([]byte, len(blob))
+		for i := range blob {
+			dec[i] = blob[i] ^ 0x5A
+		}
+		blob = dec
+	}
+	if len(blob) != rawLen {
+		return nil, fmt.Errorf("fakeCodec: rawLen %d != %d", rawLen, len(blob))
+	}
+	s := string(blob)
+	bar := strings.IndexByte(s, '|')
+	if bar < 0 {
+		return nil, errors.New("fakeCodec: corrupt blob")
+	}
+	var n int
+	fmt.Sscanf(s[:bar], "%d", &n)
+	s = s[bar+1:]
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		colon := strings.IndexByte(s, ':')
+		if colon < 0 {
+			return nil, errors.New("fakeCodec: corrupt entry")
+		}
+		var l int
+		fmt.Sscanf(s[:colon], "%d", &l)
+		rows = append(rows, s[colon+1:colon+1+l])
+		s = s[colon+1+l:]
+	}
+	return rows, nil
+}
+
+// passthrough builds a one-op identity plan: in → copy → out, both with the
+// given partition count.
+func passthrough(parts int) (*dag.Graph, *dag.Dataset, *dag.Dataset) {
+	g := dag.NewGraph()
+	in := g.CreateData(parts)
+	out := g.CreateData(parts)
+	op := g.CreateOp(resource.CPU, "copy").Read(in).Create(out)
+	op.SetUDF(UDF(func(ins [][]Row) []Row { return ins[0] }))
+	return g, in, out
+}
+
+func inputRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("row-%03d-%s", i, strings.Repeat("x", i%17))
+	}
+	return rows
+}
+
+func sortedStrings(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.(string)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEncodeOnceCommitCachesBlobs(t *testing.T) {
+	g, in, out := passthrough(3)
+	rt := New(g.MustBuild())
+	rt.SetCodec(fakeCodec{})
+	rt.SetInput(in, inputRows(10))
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.BlobBytes() == 0 {
+		t.Fatal("commit with codec installed cached no blobs")
+	}
+	// Serving must hand back the cached bytes, not re-encode: two calls
+	// return the same backing array.
+	refs1, err := rt.PartBlobsAppend(nil, out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs2, err := rt.PartBlobsAppend(nil, out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs1) == 0 || len(refs1) != len(refs2) {
+		t.Fatalf("refs: %d vs %d", len(refs1), len(refs2))
+	}
+	for i := range refs1 {
+		if !refs1[i].InMemory() || &refs1[i].Data[0] != &refs2[i].Data[0] {
+			t.Fatal("PartBlobsAppend re-encoded instead of serving the cached blob")
+		}
+	}
+	// Round trip through the codec matches the direct rows.
+	var decoded []Row
+	for _, ref := range refs1 {
+		rows, err := fakeCodec{}.DecodeBlob(ref.Data, ref.Flags, ref.RawLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded = append(decoded, rows...)
+	}
+	want, err := rt.RowsErr(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 holds a subset; just check containment and non-emptiness.
+	wantSet := map[string]bool{}
+	for _, r := range want {
+		wantSet[r.(string)] = true
+	}
+	for _, r := range decoded {
+		if !wantSet[r.(string)] {
+			t.Fatalf("decoded unexpected row %q", r)
+		}
+	}
+}
+
+func TestInsertEncodedDecodesLazilyAndIdempotently(t *testing.T) {
+	g := dag.NewGraph()
+	d := g.CreateData(2)
+	rt := New(mustPlanWith(g, d))
+	codec := fakeCodec{compress: true}
+	rt.SetCodec(codec)
+
+	rows := []Row{"alpha", "beta", "gamma"}
+	blob, flags, rawLen, err := codec.EncodeBlob(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.InsertEncoded(d, 1, 7, blob, flags, rawLen)
+	rt.InsertEncoded(d, 1, 7, append([]byte(nil), blob...), flags, rawLen) // dup dropped
+	got, err := rt.RowsErr(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedStrings(got), []string{"alpha", "beta", "gamma"}) {
+		t.Fatalf("rows = %v", got)
+	}
+	// ContribBlob returns the exact stored bytes.
+	b2, f2, r2, err := rt.ContribBlob(d, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2, blob) || f2 != flags || r2 != rawLen {
+		t.Fatal("ContribBlob does not match inserted blob")
+	}
+}
+
+func TestSpillEvictsServesAndDecodes(t *testing.T) {
+	g, in, out := passthrough(4)
+	rt := New(g.MustBuild())
+	rt.SetCodec(fakeCodec{})
+	dir := t.TempDir()
+	rt.SetSpill(1, dir) // budget of one byte: spill everything
+	rt.SetInput(in, inputRows(40))
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.SpilledBytes() == 0 {
+		t.Fatal("budget 1 spilled nothing")
+	}
+	if rt.BlobBytes() > 1 {
+		t.Fatalf("BlobBytes = %d, want <= budget after spill", rt.BlobBytes())
+	}
+	// Spilled contributions still serve: refs stream via ReadAt and the
+	// bytes decode to the same rows.
+	var all []Row
+	for p := 0; p < 4; p++ {
+		refs, err := rt.PartBlobsAppend(nil, out, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range refs {
+			if ref.InMemory() {
+				continue
+			}
+			buf := make([]byte, ref.Len)
+			// Chunked read, as the streaming server does.
+			for off := 0; off < ref.Len; off += 7 {
+				end := off + 7
+				if end > ref.Len {
+					end = ref.Len
+				}
+				if _, err := ref.ReadAt(buf[off:end], int64(off)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rows, err := fakeCodec{}.DecodeBlob(buf, ref.Flags, ref.RawLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, rows...)
+		}
+	}
+	want, err := rt.RowsErr(out) // decode-from-disk path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedStrings(all), sortedStrings(want)) {
+		t.Fatal("streamed spilled bytes decode differently from RowsErr")
+	}
+	if !reflect.DeepEqual(sortedStrings(want), sortedStrings(inputRows(40))) {
+		t.Fatal("spilled run lost or mutated rows")
+	}
+	// Close removes the spill file.
+	rt.Close()
+	matches, _ := filepath.Glob(filepath.Join(dir, "ursa-spill-*"))
+	if len(matches) != 0 {
+		t.Fatalf("spill files left after Close: %v", matches)
+	}
+	if _, err := rt.RowsErr(out); err == nil {
+		t.Fatal("reading spilled rows after Close must fail")
+	}
+}
+
+func TestSpillWriteFailureDegradesToMemory(t *testing.T) {
+	g, in, out := passthrough(2)
+	rt := New(g.MustBuild())
+	rt.SetCodec(fakeCodec{})
+	// A spill dir that cannot exist forces CreateTemp to fail.
+	rt.SetSpill(1, filepath.Join(t.TempDir(), "absent", "nope"))
+	rt.SetInput(in, inputRows(8))
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.SpillErr() == nil {
+		t.Fatal("want recorded spill error")
+	}
+	got, err := rt.RowsErr(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedStrings(got), sortedStrings(inputRows(8))) {
+		t.Fatal("in-memory degradation lost rows")
+	}
+}
+
+func TestBlobCacheOffReencodesPerServe(t *testing.T) {
+	g, in, out := passthrough(2)
+	rt := New(g.MustBuild())
+	rt.SetCodec(fakeCodec{})
+	rt.SetBlobCache(false)
+	rt.SetInput(in, inputRows(6))
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.BlobBytes() != 0 {
+		t.Fatalf("BlobBytes = %d with cache off, want 0", rt.BlobBytes())
+	}
+	refs1, err := rt.PartBlobsAppend(nil, out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs2, err := rt.PartBlobsAppend(nil, out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs1) == 0 {
+		t.Fatal("no refs")
+	}
+	if &refs1[0].Data[0] == &refs2[0].Data[0] {
+		t.Fatal("cache-off serve returned the same backing array (cached)")
+	}
+	if !bytes.Equal(refs1[0].Data, refs2[0].Data) {
+		t.Fatal("re-encoded blobs differ")
+	}
+}
+
+func TestDecodeErrorPropagates(t *testing.T) {
+	g := dag.NewGraph()
+	d := g.CreateData(1)
+	rt := New(mustPlanWith(g, d))
+	rt.SetCodec(fakeCodec{decodeErr: errors.New("boom")})
+	rt.InsertEncoded(d, 0, 3, []byte("junk"), 0, 4)
+	if _, err := rt.RowsErr(d); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want decode boom", err)
+	}
+}
+
+// mustPlanWith builds a minimal valid plan whose graph contains d — enough
+// for store-only tests that never Run.
+func mustPlanWith(g *dag.Graph, d *dag.Dataset) *dag.Plan {
+	out := g.CreateData(d.Partitions)
+	op := g.CreateOp(resource.CPU, "sink").Read(d).Create(out)
+	op.SetUDF(UDF(func(ins [][]Row) []Row { return ins[0] }))
+	return g.MustBuild()
+}

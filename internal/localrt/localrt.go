@@ -85,29 +85,18 @@ func (lr LocalRunner) RunPlan(plan *dag.Plan, inputs []PlanInput) (RowsFn, error
 // before every real monotask's output in a partition's canonical order.
 const InputMTID = -1
 
-// Contrib is one producer monotask's contribution to a partition. Keying
-// partition contents by producer makes the store position-independent: every
-// process (master, any agent) assembles a partition as the concatenation of
-// its contributions sorted by MTID, so ordinal-sensitive reads (non-keyed
-// shuffle bucketing, split-partition round-robin) see the same row order no
-// matter which order contributions arrived in or over which transport.
-type Contrib struct {
-	// MTID is the producing monotask's plan ID, or InputMTID for rows
-	// materialized via SetInput.
-	MTID int
-	Rows []Row
-}
+// partition is an ordered contribution list, kept sorted by producer MTID.
+// Keying partition contents by producer makes the store
+// position-independent: every process (master, any agent) assembles a
+// partition as the concatenation of its contributions sorted by MTID, so
+// ordinal-sensitive reads (non-keyed shuffle bucketing, split-partition
+// round-robin) see the same row order no matter which order contributions
+// arrived in or over which transport.
+type partition []contrib
 
-// partition is an ordered contribution list, kept sorted by MTID.
-type partition []Contrib
-
-// rowCount is the partition's total row count.
-func (p partition) rowCount() int {
-	n := 0
-	for _, c := range p {
-		n += len(c.Rows)
-	}
-	return n
+// sortSearchMTID locates the insert position of mtID in p.
+func sortSearchMTID(p partition, mtID int) int {
+	return sort.Search(len(p), func(i int) bool { return p[i].mtID >= mtID })
 }
 
 // Runtime executes one plan over materialized inputs. A Runtime (like the
@@ -125,6 +114,13 @@ type Runtime struct {
 	// retry, §4.3) cannot double-append its rows.
 	committed map[*dag.Monotask]bool
 	workers   int
+
+	// Encode-once state (see blobstore.go). codec == nil keeps the runtime
+	// rows-only — the pure-local path pays no serialization cost.
+	codec        BlobCodec
+	blobCacheOff bool
+	blobBytes    int64
+	spill        spillState
 }
 
 // New builds a runtime for the plan. Input datasets must be provided via
@@ -186,83 +182,96 @@ func (r *Runtime) SetInputPartitions(d *dag.Dataset, parts [][]Row) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, p := range parts {
-		r.insertLocked(d, i, InputMTID, p)
+		if len(p) == 0 {
+			continue
+		}
+		r.insertContribLocked(d, i, contrib{mtID: InputMTID, rows: p})
 	}
 }
 
 // Rows returns the materialized rows of a dataset after Run, concatenated
-// over partitions in canonical contribution order.
+// over partitions in canonical contribution order. It panics on a storage
+// error (spill read or decode failure) — pure-local runs cannot hit those;
+// paths that can must use RowsErr.
 func (r *Runtime) Rows(d *dag.Dataset) []Row {
+	rows, err := r.RowsErr(d)
+	if err != nil {
+		panic(fmt.Sprintf("localrt: Rows(%d): %v", d.ID, err))
+	}
+	return rows
+}
+
+// RowsErr is Rows with storage errors surfaced instead of panicking.
+func (r *Runtime) RowsErr(d *dag.Dataset) ([]Row, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Row
-	for _, p := range r.store[d] {
-		for _, c := range p {
-			out = append(out, c.Rows...)
+	for pi := range r.store[d] {
+		p := r.store[d][pi]
+		for i := range p {
+			rows, err := r.rowsOfLocked(&p[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
 		}
 	}
-	return out
+	return out, nil
 }
 
-// Partitions returns the assembled partitions of a dataset after Run.
+// Partitions returns the assembled partitions of a dataset after Run. Like
+// Rows it panics on storage errors.
 func (r *Runtime) Partitions(d *dag.Dataset) [][]Row {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	parts := r.store[d]
 	out := make([][]Row, len(parts))
-	for i, p := range parts {
-		for _, c := range p {
-			out[i] = append(out[i], c.Rows...)
+	for i := range parts {
+		p := parts[i]
+		for j := range p {
+			rows, err := r.rowsOfLocked(&p[j])
+			if err != nil {
+				panic(fmt.Sprintf("localrt: Partitions(%d): %v", d.ID, err))
+			}
+			out[i] = append(out[i], rows...)
 		}
 	}
 	return out
 }
 
-// PartContribs returns a dataset partition's contributions in canonical
-// (producer-sorted) order. The returned slice is a copy; the row slices
-// alias the store and must not be mutated. This is what a shuffle-fetch
-// server hands to remote readers.
-func (r *Runtime) PartContribs(d *dag.Dataset, part int) []Contrib {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	parts := r.store[d]
-	if part < 0 || part >= len(parts) {
-		return nil
-	}
-	out := make([]Contrib, len(parts[part]))
-	copy(out, parts[part])
-	return out
-}
-
-// InsertContribution records one producer's contribution to a dataset
-// partition. Inserts are idempotent per (dataset, part, producer): fetching
-// the same contribution from two holders (a peer and the master's
+// InsertContribution records one producer's decoded contribution to a
+// dataset partition. Inserts are idempotent per (dataset, part, producer):
+// fetching the same contribution from two holders (a peer and the master's
 // checkpoint) cannot duplicate rows. Safe for concurrent use.
 func (r *Runtime) InsertContribution(d *dag.Dataset, part, mtID int, rows []Row) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.insertLocked(d, part, mtID, rows)
-}
-
-// insertLocked performs the sorted, deduplicated insert. Callers hold r.mu.
-func (r *Runtime) insertLocked(d *dag.Dataset, part, mtID int, rows []Row) {
 	if len(rows) == 0 {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.insertContribLocked(d, part, contrib{mtID: mtID, rows: rows})
+}
+
+// insertContribLocked performs the sorted, deduplicated insert. Callers
+// hold r.mu. A newly cached blob is charged against the memory budget.
+func (r *Runtime) insertContribLocked(d *dag.Dataset, part int, c contrib) {
 	parts, ok := r.store[d]
 	if !ok {
 		parts = make([]partition, d.Partitions)
 		r.store[d] = parts
 	}
 	p := parts[part]
-	i := sort.Search(len(p), func(i int) bool { return p[i].MTID >= mtID })
-	if i < len(p) && p[i].MTID == mtID {
+	i := sortSearchMTID(p, c.mtID)
+	if i < len(p) && p[i].mtID == c.mtID {
 		return // duplicate delivery of the same producer's output
 	}
-	p = append(p, Contrib{})
+	p = append(p, contrib{})
 	copy(p[i+1:], p[i:])
-	p[i] = Contrib{MTID: mtID, Rows: rows}
+	p[i] = c
 	parts[part] = p
+	if c.blob != nil && !r.blobCacheOff {
+		r.accountBlobLocked(d, part, &parts[part][i])
+	}
 }
 
 // Run executes the plan to completion. See RunContext.
@@ -390,7 +399,11 @@ func (r *Runtime) ExecRecord(mt *dag.Monotask) (writes []RecordedWrite, err erro
 				inputs[ri] = outputs[ref.Step]
 				continue
 			}
-			inputs[ri] = r.gather(ref, mt)
+			in, err := r.gather(ref, mt)
+			if err != nil {
+				return nil, err
+			}
+			inputs[ri] = in
 		}
 		var rows []Row
 		switch udf := step.UDF.(type) {
@@ -410,6 +423,25 @@ func (r *Runtime) ExecRecord(mt *dag.Monotask) (writes []RecordedWrite, err erro
 			writes = append(writes, splitWrite(d, mt, rows)...)
 		}
 	}
+	// Encode-once: with a codec installed, the produced contributions are
+	// serialized here — at produce time, outside the store lock — and the
+	// bytes committed alongside the rows. Every later serve of these
+	// contributions (shuffle fetch, Complete shipping, master checkpoint) is
+	// a byte copy of this one encoding.
+	r.mu.Lock()
+	codec, cacheOff := r.codec, r.blobCacheOff
+	r.mu.Unlock()
+	var encs []contrib
+	if codec != nil && !cacheOff {
+		encs = make([]contrib, len(writes))
+		for i, w := range writes {
+			blob, flags, rawLen, err := encodeWith(codec, w.Rows)
+			if err != nil {
+				return nil, err
+			}
+			encs[i] = contrib{mtID: mt.ID, rows: w.Rows, blob: blob, flags: flags, rawLen: rawLen}
+		}
+	}
 	// Commit all outputs atomically and at most once: internal steps read
 	// only the in-memory outputs slice, so deferring store writes to the
 	// end changes nothing for a healthy run, and a monotask re-executed
@@ -418,8 +450,12 @@ func (r *Runtime) ExecRecord(mt *dag.Monotask) (writes []RecordedWrite, err erro
 	defer r.mu.Unlock()
 	if !r.committed[mt] {
 		r.committed[mt] = true
-		for _, w := range writes {
-			r.insertLocked(w.Dataset, w.Part, mt.ID, w.Rows)
+		for i, w := range writes {
+			c := contrib{mtID: mt.ID, rows: w.Rows}
+			if encs != nil {
+				c = encs[i]
+			}
+			r.insertContribLocked(w.Dataset, w.Part, c)
 		}
 	}
 	return writes, nil
@@ -427,29 +463,52 @@ func (r *Runtime) ExecRecord(mt *dag.Monotask) (writes []RecordedWrite, err erro
 
 // gather collects a monotask's input rows from a dataset under its mapping.
 // Partitions are read in canonical contribution order, so ordinals are
-// identical on every process holding the same contributions.
-func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
+// identical on every process holding the same contributions. Contributions
+// held only as blobs (fetched from peers, or spilled) are decoded here — the
+// single decode site of the data plane.
+func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) ([]Row, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	d := ref.Dataset
 	parts := r.store[d]
 	paral := parallelismOf(mt)
+	// partRows resolves one partition's contributions to decoded row slices
+	// in canonical order.
+	partRows := func(p partition) ([][]Row, error) {
+		out := make([][]Row, len(p))
+		for i := range p {
+			rows, err := r.rowsOfLocked(&p[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rows
+		}
+		return out, nil
+	}
 	switch ref.Mapping {
 	case dag.MapBroadcast:
 		var all []Row
 		for _, p := range parts {
-			for _, c := range p {
-				all = append(all, c.Rows...)
+			crs, err := partRows(p)
+			if err != nil {
+				return nil, err
+			}
+			for _, rows := range crs {
+				all = append(all, rows...)
 			}
 		}
-		return all
+		return all, nil
 	case dag.MapShard:
 		// Pull-based shuffle: take this index's bucket of every partition.
 		var out []Row
 		for pi, p := range parts {
+			crs, err := partRows(p)
+			if err != nil {
+				return nil, err
+			}
 			k := 0
-			for _, c := range p {
-				for _, row := range c.Rows {
+			for _, rows := range crs {
+				for _, row := range rows {
 					if bucketOf(row, pi, k, paral) == mt.Index {
 						out = append(out, row)
 					}
@@ -457,7 +516,7 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 				}
 			}
 		}
-		return out
+		return out, nil
 	default:
 		if d.Partitions < paral {
 			// Several monotasks split one partition: deal its rows
@@ -469,27 +528,35 @@ func (r *Runtime) gather(ref dag.ReadRef, mt *dag.Monotask) []Row {
 			pos := mt.Index - first
 			var out []Row
 			if i >= len(parts) {
-				return nil
+				return nil, nil
+			}
+			crs, err := partRows(parts[i])
+			if err != nil {
+				return nil, err
 			}
 			k := 0
-			for _, c := range parts[i] {
-				for _, row := range c.Rows {
+			for _, rows := range crs {
+				for _, row := range rows {
 					if k%consumers == pos {
 						out = append(out, row)
 					}
 					k++
 				}
 			}
-			return out
+			return out, nil
 		}
 		lo, hi := dag.PartRange(d, paral, mt.Index)
 		var out []Row
 		for i := lo; i < hi && i < len(parts); i++ {
-			for _, c := range parts[i] {
-				out = append(out, c.Rows...)
+			crs, err := partRows(parts[i])
+			if err != nil {
+				return nil, err
+			}
+			for _, rows := range crs {
+				out = append(out, rows...)
 			}
 		}
-		return out
+		return out, nil
 	}
 }
 

@@ -15,6 +15,7 @@ const (
 	SeriesHBAge   = "[NET]HeartbeatAgeMax_s"
 	SeriesRTT     = "[NET]DispatchRTT_ms"
 	SeriesWireMB  = "[NET]ShuffleWire_MB"
+	SeriesRawMB   = "[NET]ShuffleRaw_MB"
 	SeriesInFlite = "[NET]InFlight"
 )
 
@@ -34,7 +35,9 @@ type Transport struct {
 	fetchRetries   int
 	fetchFallbacks int
 	wireBytes      float64
+	rawBytes       float64
 	servedBytes    float64
+	servedRawBytes float64
 	rttEWMA        float64
 
 	series *trace.TimeSeries
@@ -50,8 +53,11 @@ type WorkerTransport struct {
 	// in seconds (α = 0.2).
 	RTTEWMA float64
 	// WireBytes counts shuffle payload bytes this worker reported fetching
-	// over the wire.
+	// over the wire — what actually crossed the network. RawBytes is the
+	// uncompressed encoded size of the same payloads; the two differ only
+	// when compression is negotiated, and the gap is the saving.
 	WireBytes float64
+	RawBytes  float64
 	// FetchRetries counts shuffle fetch attempts beyond the first this
 	// worker reported (transient faults absorbed by retry/backoff), and
 	// FetchFallbacks counts partition fetches that degraded to the master's
@@ -66,7 +72,7 @@ type WorkerTransport struct {
 func NewTransport() *Transport {
 	return &Transport{
 		workers: make(map[int]*WorkerTransport),
-		series:  trace.New(SeriesHBAge, SeriesRTT, SeriesWireMB, SeriesInFlite),
+		series:  trace.New(SeriesHBAge, SeriesRTT, SeriesWireMB, SeriesRawMB, SeriesInFlite),
 	}
 }
 
@@ -107,15 +113,19 @@ func (t *Transport) ObserveDispatch(id int) {
 
 // ObserveCompletion records a completion: rtt is the dispatch→completion
 // round trip in seconds, wireBytes the shuffle payload bytes the worker
-// pulled over the wire to feed the monotask.
-func (t *Transport) ObserveCompletion(id int, rtt, wireBytes float64) {
+// pulled over the wire to feed the monotask, rawBytes their uncompressed
+// encoded size. Wire is what the network carried (and what rate feedback
+// should see); raw is what the job logically moved.
+func (t *Transport) ObserveCompletion(id int, rtt, wireBytes, rawBytes float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.completions++
 	t.wireBytes += wireBytes
+	t.rawBytes += rawBytes
 	w := t.worker(id)
 	w.Completions++
 	w.WireBytes += wireBytes
+	w.RawBytes += rawBytes
 	const alpha = 0.2
 	if w.RTTEWMA == 0 {
 		w.RTTEWMA = rtt
@@ -170,11 +180,13 @@ func (t *Transport) ObserveFailure(id int) {
 }
 
 // ObserveServedBytes records shuffle payload bytes the master's own fetch
-// server handed to workers.
-func (t *Transport) ObserveServedBytes(n float64) {
+// server handed to workers: wire is what crossed the network, raw the
+// uncompressed encoded size of the same blobs.
+func (t *Transport) ObserveServedBytes(wire, raw float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.servedBytes += n
+	t.servedBytes += wire
+	t.servedRawBytes += raw
 }
 
 // HeartbeatAges returns the age of each live worker's last heartbeat. A
@@ -217,6 +229,21 @@ func (t *Transport) WireBytes() float64 {
 	return t.wireBytes
 }
 
+// RawBytes returns the uncompressed encoded size of the payloads behind
+// WireBytes — equal to it unless compression is negotiated.
+func (t *Transport) RawBytes() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rawBytes
+}
+
+// ServedBytes returns the master fetch server's (wire, raw) served totals.
+func (t *Transport) ServedBytes() (wire, raw float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.servedBytes, t.servedRawBytes
+}
+
 // Failures returns the worker-failure count.
 func (t *Transport) Failures() int {
 	t.mu.Lock()
@@ -241,6 +268,7 @@ func (t *Transport) Sample(ts float64, now time.Time) {
 		SeriesHBAge:   maxAge,
 		SeriesRTT:     t.rttEWMA * 1e3,
 		SeriesWireMB:  t.wireBytes / 1e6,
+		SeriesRawMB:   t.rawBytes / 1e6,
 		SeriesInFlite: float64(t.dispatches - t.completions),
 	})
 	t.mu.Unlock()
@@ -278,8 +306,8 @@ func (t *Transport) StatsLine(now time.Time) string {
 		}
 	}
 	return fmt.Sprintf(
-		"transport: workers=%d/%d hb_age[%s] rtt=%.1fms wire=%.2fMB served=%.2fMB disp=%d comp=%d fail=%d retry=%d fallback=%d",
+		"transport: workers=%d/%d hb_age[%s] rtt=%.1fms wire=%.2fMB raw=%.2fMB served=%.2fMB disp=%d comp=%d fail=%d retry=%d fallback=%d",
 		alive, len(t.workers), hb.String(), t.rttEWMA*1e3,
-		t.wireBytes/1e6, t.servedBytes/1e6, t.dispatches, t.completions, t.failures,
+		t.wireBytes/1e6, t.rawBytes/1e6, t.servedBytes/1e6, t.dispatches, t.completions, t.failures,
 		t.fetchRetries, t.fetchFallbacks)
 }

@@ -34,9 +34,13 @@ type Benchmark struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	// Throughput is the scenario's natural rate (see Unit): placement
-	// ticks/s, timer events/s, or simulation runs/s.
+	// ticks/s, timer events/s, simulation runs/s, or rows/s for the wire
+	// scenarios.
 	Throughput float64 `json:"throughput"`
 	Unit       string  `json:"unit"`
+	// BytesPerSec is the payload byte rate for scenarios that move data
+	// (the wire report); 0 where not meaningful.
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
 	// Workers records the concurrency the scenario actually ran with, for
 	// scenarios whose result depends on it (omitted when not meaningful).
 	Workers int `json:"workers,omitempty"`

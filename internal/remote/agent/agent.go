@@ -33,6 +33,17 @@ type Config struct {
 	Cores int
 	// MaxFrame bounds control and shuffle frames. Default wire.DefaultMaxFrame.
 	MaxFrame int
+	// Compress offers per-contribution compression at registration; it is in
+	// effect only when the master also enables it (Welcome echoes the
+	// negotiated outcome). Off by default.
+	Compress bool
+	// ShuffleMemBudget bounds the bytes of pre-encoded contributions each
+	// job's store keeps in memory; beyond it, contributions spill to disk and
+	// are served by streaming reads. <= 0 disables spilling.
+	ShuffleMemBudget int64
+	// ShuffleSpillDir is where spill files are created; empty selects the
+	// system temp dir.
+	ShuffleSpillDir string
 	// Logf, if set, receives the agent's log lines.
 	Logf func(format string, args ...any)
 
@@ -157,6 +168,9 @@ type Agent struct {
 	id      int32
 	hb      time.Duration
 	shuffle *shuffle.Server
+	// compress is the negotiated compression outcome (offered by this agent
+	// AND enabled on the master); it configures every job runtime's codec.
+	compress bool
 	// masterShuffleAddr is the fallback fetch holder: the master's
 	// canonical checkpoint store (Welcome.MasterShuffleAddr).
 	masterShuffleAddr string
@@ -211,6 +225,7 @@ func Dial(cfg Config) (*Agent, error) {
 	a.id = w.WorkerID
 	a.hb = time.Duration(w.HeartbeatMicros) * time.Microsecond
 	a.masterShuffleAddr = w.MasterShuffleAddr
+	a.compress = w.Compress
 	a.logf("agent %d: joined master %s (hb=%v shuffle=%s)", a.id, cfg.MasterAddr, a.hb, srv.Addr())
 
 	a.wg.Add(2)
@@ -258,8 +273,11 @@ func (a *Agent) registerOnce(shuffleAddr string) (wire.Welcome, error) {
 		MaxFrame:      cfg.MaxFrame,
 		WriteDeadline: cfg.WriteDeadline,
 		DrainDeadline: cfg.DrainDeadline,
+		// Control-plane blobs (Prepare params) are consumed synchronously
+		// inside the read-loop handler, so pooled frames are safe here.
+		PooledReads: true,
 	})
-	if !conn.Send(wire.Register{ShuffleAddr: shuffleAddr, Cores: int32(cfg.Cores)}) {
+	if !conn.Send(wire.Register{ShuffleAddr: shuffleAddr, Cores: int32(cfg.Cores), Compress: cfg.Compress}) {
 		conn.Close()
 		return wire.Welcome{}, fmt.Errorf("agent: registration send failed")
 	}
@@ -322,6 +340,15 @@ func (a *Agent) shutdown(err error) {
 		for _, c := range clients {
 			c.Close()
 		}
+		// The shuffle server is down, so no connection can still be streaming
+		// from a spill file: safe to release them.
+		a.mu.Lock()
+		jobs := a.jobs
+		a.jobs = map[int64]*jobState{}
+		a.mu.Unlock()
+		for _, js := range jobs {
+			js.rt.Close()
+		}
 		go func() {
 			a.wg.Wait()
 			a.done <- err
@@ -362,8 +389,14 @@ func (a *Agent) readLoop() {
 			a.handleAbort(m)
 		case wire.JobDone:
 			a.mu.Lock()
+			js := a.jobs[m.JobID]
 			delete(a.jobs, m.JobID)
 			a.mu.Unlock()
+			if js != nil {
+				// Releases the job's spill file; the shuffle server can no
+				// longer resolve the job, so nothing serves from it.
+				js.rt.Close()
+			}
 		case wire.Shutdown:
 			return errClean
 		default:
@@ -429,6 +462,12 @@ func (a *Agent) prepare(p wire.Prepare) error {
 		return err
 	}
 	rt := localrt.New(bj.Plan)
+	// Encode-once: every committed contribution is serialized at commit time
+	// and served as cached bytes from then on.
+	rt.SetCodec(workload.Codec{Compress: a.compress})
+	if a.cfg.ShuffleMemBudget > 0 {
+		rt.SetSpill(a.cfg.ShuffleMemBudget, a.cfg.ShuffleSpillDir)
+	}
 	for _, in := range bj.Inputs {
 		rt.SetInput(in.Dataset, in.Rows)
 	}
@@ -498,7 +537,7 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 	mt := plan.Monotasks[d.MTID]
 
 	fetchStart := time.Now()
-	wireBytes, retries, fallbacks, err := a.ensureInputs(js, d)
+	wireBytes, rawBytes, retries, fallbacks, err := a.ensureInputs(js, d)
 	fetchDur := time.Since(fetchStart)
 	comp.FetchRetries = int32(retries)
 	comp.FetchFallbacks = int32(fallbacks)
@@ -533,15 +572,20 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 		comp.Seconds = 1e-6
 	}
 	comp.FetchedWireBytes = wireBytes
+	comp.FetchedRawBytes = rawBytes
+	// Encode-once: the commit above already serialized every write into the
+	// contribution store, so the completion ships those exact cached bytes —
+	// no second marshal, and the master checkpoints byte-identical blobs.
 	for _, w := range writes {
-		rows, err := workload.EncodeRows(w.Rows)
+		blob, flags, rawLen, err := js.rt.ContribBlob(w.Dataset, w.Part, int(d.MTID))
 		if err != nil {
 			comp.Err = err.Error()
 			comp.Writes = nil
 			break
 		}
 		comp.Writes = append(comp.Writes, wire.PartWrite{
-			DatasetID: int32(w.Dataset.ID), Part: int32(w.Part), Rows: rows,
+			DatasetID: int32(w.Dataset.ID), Part: int32(w.Part),
+			Flags: flags, RawLen: uint32(rawLen), Rows: blob,
 		})
 	}
 	a.finish(key, inf, comp)
@@ -555,7 +599,7 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 // retry/backoff; only once that budget is exhausted does the fetch degrade
 // to the master's canonical store (§4.3), and each such degradation is
 // counted so the master's transport metrics surface it.
-func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, retries, fallbacks int, err error) {
+func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes, rawBytes float64, retries, fallbacks int, err error) {
 	for _, f := range d.Fetches {
 		js.mu.Lock()
 		seen := js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}]
@@ -563,7 +607,25 @@ func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, 
 		if seen {
 			continue
 		}
-		contribs, n, r, err := a.client(f.Addr).Fetch(d.JobID, f.DatasetID, f.Part, f.Origin)
+		ds := js.rt.DatasetByID(int(f.DatasetID))
+		if ds == nil {
+			return wireBytes, rawBytes, retries, fallbacks, fmt.Errorf("agent: dispatch names unknown dataset %d", f.DatasetID)
+		}
+		// The sink copies each fetched blob out of the client's pooled frame
+		// and hands ownership to the contribution store as-is — still
+		// encoded, still compressed if it came that way. Decoding happens
+		// lazily at the store's single consumption site (gather), so a
+		// partition fetched for one monotask but consumed by none is never
+		// deserialized at all.
+		sink := func(resp *wire.FetchResp) error {
+			for i := range resp.Contribs {
+				pc := &resp.Contribs[i]
+				js.rt.InsertEncoded(ds, int(f.Part), int(pc.MTID),
+					append([]byte(nil), pc.Rows...), pc.Flags, int(pc.RawLen))
+			}
+			return nil
+		}
+		n, nr, r, err := a.client(f.Addr).FetchFunc(d.JobID, f.DatasetID, f.Part, f.Origin, sink)
 		retries += r
 		if err != nil && f.Origin >= 0 && a.masterShuffleAddr != "" {
 			// Peer unreachable after the full retry budget: the master's
@@ -572,29 +634,19 @@ func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes float64, 
 			fallbacks++
 			a.logf("agent %d: fetch ds%d/p%d from w%d failed (%v), falling back to master",
 				a.id, f.DatasetID, f.Part, f.Origin, err)
-			contribs, n, r, err = a.client(a.masterShuffleAddr).Fetch(d.JobID, f.DatasetID, f.Part, -1)
+			n, nr, r, err = a.client(a.masterShuffleAddr).FetchFunc(d.JobID, f.DatasetID, f.Part, -1, sink)
 			retries += r
 		}
 		if err != nil {
-			return wireBytes, retries, fallbacks, err
-		}
-		ds := js.rt.DatasetByID(int(f.DatasetID))
-		if ds == nil {
-			return wireBytes, retries, fallbacks, fmt.Errorf("agent: fetched unknown dataset %d", f.DatasetID)
-		}
-		for _, pc := range contribs {
-			rows, err := workload.DecodeRows(pc.Rows)
-			if err != nil {
-				return wireBytes, retries, fallbacks, err
-			}
-			js.rt.InsertContribution(ds, int(f.Part), int(pc.MTID), rows)
+			return wireBytes, rawBytes, retries, fallbacks, err
 		}
 		wireBytes += n
+		rawBytes += nr
 		js.mu.Lock()
 		js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}] = true
 		js.mu.Unlock()
 	}
-	return wireBytes, retries, fallbacks, nil
+	return wireBytes, rawBytes, retries, fallbacks, nil
 }
 
 func (a *Agent) client(addr string) *shuffle.Client {

@@ -55,6 +55,10 @@ func TestChaosMatrix(t *testing.T) {
 		cfg       faultinject.Config
 		partition bool // Block every agent shuffle address (master stays reachable)
 		retrying  bool // fault class fails fetch attempts → retries must surface
+		// dataPlane engages the full zero-copy data plane: negotiated
+		// compression plus a spill-everything memory budget, so faulted and
+		// retried fetches carry deflated blobs streamed off disk.
+		dataPlane bool
 	}{
 		{name: "drop",
 			cfg:      faultinject.Config{Seed: 11, Class: faultinject.Drop, Prob: 1, MaxFaults: 6},
@@ -73,12 +77,30 @@ func TestChaosMatrix(t *testing.T) {
 		{name: "wedge",
 			cfg:      faultinject.Config{Seed: 16, Class: faultinject.Wedge, Prob: 1, MaxFaults: 6},
 			retrying: true},
+		// The drop class again, but with compression negotiated and every
+		// contribution spilled: retried fetches must re-stream identical
+		// bytes from disk, and a mid-stream drop must never leave a torn
+		// frame visible as corrupt rows.
+		{name: "drop-spill-compress",
+			cfg:       faultinject.Config{Seed: 17, Class: faultinject.Drop, Prob: 1, MaxFaults: 6},
+			retrying:  true,
+			dataPlane: true},
 	}
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			inj := faultinject.New(tc.cfg)
-			lc := startClusterWith(t, 3, Config{}, chaosAgentCfg(inj))
+			cfg := Config{}
+			acfg := chaosAgentCfg(inj)
+			if tc.dataPlane {
+				cfg.Compress = true
+				cfg.ShuffleMemBudget = 1
+				cfg.ShuffleSpillDir = t.TempDir()
+				acfg.Compress = true
+				acfg.ShuffleMemBudget = 1
+				acfg.ShuffleSpillDir = t.TempDir()
+			}
+			lc := startClusterWith(t, 3, cfg, acfg)
 			wcJob, err := lc.Master.Submit(wcName, wcParams)
 			if err != nil {
 				t.Fatalf("submit wordcount: %v", err)
@@ -129,6 +151,10 @@ func TestChaosMatrix(t *testing.T) {
 			}
 			if tc.retrying && tr.FetchRetries() == 0 {
 				t.Fatalf("%s: faulted fetches completed with zero recorded retries", tc.name)
+			}
+			if tc.dataPlane && tr.RawBytes() <= tr.WireBytes() {
+				t.Fatalf("%s: compression negotiated but raw bytes (%v) do not exceed wire bytes (%v)",
+					tc.name, tr.RawBytes(), tr.WireBytes())
 			}
 			if tc.partition {
 				if tr.FetchFallbacks() == 0 {

@@ -95,8 +95,14 @@ func (e *remoteExecutor) setPending(name string, params []byte, bj *workload.Bui
 }
 
 // RegisterJob implements live.Backend: it binds the core job and canonical
-// runtime to the staged workload record.
+// runtime to the staged workload record, and configures the runtime as the
+// job's checkpoint store — encode-once codec (checkpointed blobs are served
+// to fallback fetches as stored) plus the optional spill budget.
 func (e *remoteExecutor) RegisterJob(j *core.Job, rt *localrt.Runtime) {
+	rt.SetCodec(workload.Codec{Compress: e.m.cfg.Compress})
+	if e.m.cfg.ShuffleMemBudget > 0 {
+		rt.SetSpill(e.m.cfg.ShuffleMemBudget, e.m.cfg.ShuffleSpillDir)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rec := e.pending
@@ -114,6 +120,18 @@ func (e *remoteExecutor) record(jobID int64) *jobRec {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.jobs[jobID]
+}
+
+// closeRuntimes releases every job's canonical store (spill files). Called
+// from Master.Close after the shuffle server is down.
+func (e *remoteExecutor) closeRuntimes() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rec := range e.jobs {
+		if rec.rt != nil {
+			rec.rt.Close()
+		}
+	}
 }
 
 // Close implements live.Backend: called after the driver exits, it
@@ -260,17 +278,15 @@ func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
 			e.sys.Fail(fmt.Errorf("remote: worker %d wrote unknown dataset %d", workerID, w.DatasetID))
 			return
 		}
-		rows, err := workload.DecodeRows(w.Rows)
-		if err != nil {
-			e.sys.Fail(fmt.Errorf("remote: worker %d: decoding writes: %w", workerID, err))
-			return
-		}
 		// Checkpoint at the master (§4.3): completed monotask outputs are
-		// durable here even if every producing agent later dies.
-		rec.rt.InsertContribution(ds, int(w.Part), int(c.MTID), rows)
+		// durable here even if every producing agent later dies. The blob is
+		// stored exactly as the worker encoded it — no decode, no re-encode —
+		// so fallback fetches serve byte-identical contributions, and the
+		// rows materialize lazily only if the master itself reads them.
+		rec.rt.InsertEncoded(ds, int(w.Part), int(c.MTID), w.Rows, w.Flags, int(w.RawLen))
 		e.noteOrigin(originKey{c.JobID, w.DatasetID, w.Part}, workerID)
 	}
-	e.m.Transport.ObserveCompletion(workerID, time.Since(st.sentAt).Seconds(), c.FetchedWireBytes)
+	e.m.Transport.ObserveCompletion(workerID, time.Since(st.sentAt).Seconds(), c.FetchedWireBytes, c.FetchedRawBytes)
 	e.m.Transport.ObserveFetchDegradation(workerID, int(c.FetchRetries), int(c.FetchFallbacks))
 	st.done(st.mt.InputBytes, c.Seconds)
 }

@@ -55,6 +55,17 @@ type Config struct {
 	SampleInterval eventloop.Duration
 	// MaxFrame bounds control and shuffle frames. Default wire.DefaultMaxFrame.
 	MaxFrame int
+	// Compress enables per-contribution compression for the master's own
+	// canonical store and — per worker — for workers that also offered it in
+	// Register (the Welcome echoes the negotiated outcome). Off by default.
+	Compress bool
+	// ShuffleMemBudget bounds the in-memory bytes of each job's canonical
+	// contribution store; beyond it, contributions spill to disk and are
+	// served by streaming reads. <= 0 disables spilling.
+	ShuffleMemBudget int64
+	// ShuffleSpillDir is where spill files are created; empty selects the
+	// system temp dir.
+	ShuffleSpillDir string
 	// Listen opens the control-plane and shuffle listeners; nil selects
 	// wire.NetListen. Tests compose fault injectors here.
 	Listen wire.ListenFunc
@@ -144,9 +155,14 @@ type RemoteJob struct {
 }
 
 // ResultRows returns the job's output rows (with the workload's Finish
-// post-processing applied) after the run completes.
+// post-processing applied) after the run completes. The canonical store
+// holds checkpointed completions as encoded (possibly spilled) blobs, so
+// the read itself can fail.
 func (j *RemoteJob) ResultRows() ([]localrt.Row, error) {
-	rows := j.Live.Rows(j.Built.Output)
+	rows, err := j.Live.RowsErr(j.Built.Output)
+	if err != nil {
+		return nil, err
+	}
 	if j.Built.Finish != nil {
 		return j.Built.Finish(rows)
 	}
@@ -288,6 +304,9 @@ func (m *Master) handshake(nc net.Conn) {
 		MaxFrame:      m.cfg.MaxFrame,
 		WriteDeadline: m.cfg.WriteDeadline,
 		DrainDeadline: m.cfg.DrainDeadline,
+		// Pooled frames: the readLoop's only blob-carrying message is
+		// Complete, whose writes are deep-copied before leaving the handler.
+		PooledReads: true,
 	})
 	// Bounded registration read: a connection that never sends its Register
 	// frame is cut loose instead of pinning this goroutine forever.
@@ -321,6 +340,9 @@ func (m *Master) handshake(nc net.Conn) {
 		HeartbeatMicros:   m.cfg.HeartbeatInterval.Microseconds(),
 		MaxFrame:          int64(m.cfg.MaxFrame),
 		MasterShuffleAddr: m.shuffleSrv.Addr(),
+		// Compression is in effect only when both sides want it; the flags
+		// byte on every blob keeps mixed outcomes interoperable regardless.
+		Compress: m.cfg.Compress && reg.Compress,
 	})
 	m.logf("master: worker %d registered from %v (cores=%d shuffle=%s)",
 		id, nc.RemoteAddr(), reg.Cores, reg.ShuffleAddr)
@@ -339,6 +361,14 @@ func (m *Master) readLoop(link *workerLink) {
 		case wire.Heartbeat:
 			m.Transport.ObserveHeartbeat(link.id, time.Now())
 		case wire.Complete:
+			// Pooled reads recycle the frame buffer on the connection's next
+			// read, while handleComplete runs later on the control loop: the
+			// write blobs must be copied out now. The copy is not overhead —
+			// it becomes the canonical store's owned checkpoint blob, inserted
+			// without further copying or re-encoding.
+			for i := range msg.Writes {
+				msg.Writes[i].Rows = append([]byte(nil), msg.Writes[i].Rows...)
+			}
 			m.Sys.Drv.Send(func() { m.exec.handleComplete(link.id, msg) })
 		case wire.JobReady:
 			if msg.Err != "" {
@@ -475,5 +505,8 @@ func (m *Master) Close() {
 			}
 		}
 		m.shuffleSrv.Close()
+		// With the fetch server down, nothing can still be streaming from the
+		// canonical stores' spill files: release them.
+		m.exec.closeRuntimes()
 	})
 }

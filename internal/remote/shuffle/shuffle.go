@@ -7,6 +7,14 @@
 // servers serve their locally produced contributions, which keeps the hot
 // path peer-to-peer.
 //
+// The data plane is zero-copy on the serve side: contributions are stored
+// pre-encoded (localrt's encode-once blob store), so serving a fetch is
+// slicing cached bytes into the outgoing frame — no marshalling — and
+// spilled contributions stream from disk in bounded chunks, so a served
+// partition never has to fit in memory. Both sides run their frame I/O
+// through pooled, connection-retained buffers: steady-state fetch traffic
+// performs no per-frame allocations.
+//
 // Every blocking operation here is bounded: servers apply a per-request read
 // deadline so a client that opens a connection and goes silent cannot pin a
 // serving goroutine forever, and clients apply a per-fetch response deadline
@@ -19,6 +27,8 @@
 package shuffle
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -27,7 +37,6 @@ import (
 	"time"
 
 	"ursa/internal/localrt"
-	"ursa/internal/remote/workload"
 	"ursa/internal/wire"
 )
 
@@ -54,6 +63,11 @@ type ServerConfig struct {
 // connections. Generous: it only needs to beat "forever".
 const DefaultServerReadIdle = 2 * time.Minute
 
+// spillChunk is the copy-buffer size for streaming spilled contributions:
+// large enough to amortize syscalls, small enough that a serving goroutine's
+// footprint stays bounded no matter how large the partition on disk is.
+const spillChunk = 256 << 10
+
 func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
@@ -74,9 +88,10 @@ type Server struct {
 	ln      net.Listener
 	cfg     ServerConfig
 	resolve Resolver
-	// onServed, if set, observes the payload bytes of every served
-	// partition (the master feeds its transport counters with this).
-	onServed func(bytes float64)
+	// onServed, if set, observes every served partition's wire bytes (what
+	// crossed the network) and raw bytes (the uncompressed encoded size) —
+	// the master feeds its transport counters with this.
+	onServed func(wireBytes, rawBytes float64)
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -86,7 +101,7 @@ type Server struct {
 
 // Serve starts a shuffle server on ln with cfg's framing and deadlines
 // (cfg.Listen is ignored — the listener already exists).
-func Serve(ln net.Listener, cfg ServerConfig, resolve Resolver, onServed func(float64)) *Server {
+func Serve(ln net.Listener, cfg ServerConfig, resolve Resolver, onServed func(wireBytes, rawBytes float64)) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		ln:       ln,
@@ -101,7 +116,7 @@ func Serve(ln net.Listener, cfg ServerConfig, resolve Resolver, onServed func(fl
 }
 
 // Listen opens a listener on addr via cfg.Listen and serves on it.
-func Listen(addr string, cfg ServerConfig, resolve Resolver, onServed func(float64)) (*Server, error) {
+func Listen(addr string, cfg ServerConfig, resolve Resolver, onServed func(wireBytes, rawBytes float64)) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ln, err := cfg.Listen(addr)
 	if err != nil {
@@ -151,6 +166,20 @@ func (s *Server) accept() {
 	}
 }
 
+// respMetaLen is the fixed per-contribution metadata inside a FetchResp:
+// i32 producer + flags byte + u32 raw length + u32 blob length prefix.
+const respMetaLen = 4 + 1 + 4 + 4
+
+// respHeadLen is the fixed FetchResp prefix: type byte + empty error string
+// prefix + u32 contribution count.
+const respHeadLen = 1 + 4 + 4
+
+// serveConn is the request/response loop of one client connection. It runs
+// on raw frames rather than a wire.Conn: responses are streamed (a spilled
+// partition is copied through a bounded chunk buffer, never materialized),
+// which a whole-frame send pump cannot express. Requests on a connection are
+// strictly serialized, so one read buffer and one scratch ref slice serve
+// the connection's lifetime — the steady-state serve path allocates nothing.
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -159,52 +188,196 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 		nc.Close()
 	}()
-	c := wire.NewConn(nc, s.cfg.MaxFrame)
-	defer c.Close()
+	r := bufio.NewReader(nc)
+	w := bufio.NewWriter(nc)
+	var (
+		rbuf      []byte
+		lastFrame int
+		rdShrink  wireShrinker
+		refs      []localrt.BlobRef
+	)
+	defer func() { wire.PutBuf(rbuf) }()
 	for {
 		// Bound the wait for the next request: a silent client is cut loose
 		// instead of pinning this goroutine until process exit.
-		m, err := c.ReadMsgTimeout(s.cfg.ReadIdle)
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.ReadIdle)); err != nil {
+			return
+		}
+		rbuf = rdShrink.next(rbuf, lastFrame)
+		typ, payload, nb, err := wire.ReadFrameInto(r, rbuf, s.cfg.MaxFrame)
+		rbuf = nb
 		if err != nil {
 			return
 		}
-		f, ok := m.(wire.Fetch)
-		if !ok {
+		lastFrame = len(payload) + 1
+		if typ != wire.TFetch {
 			return // protocol violation: drop the connection
 		}
-		if !c.Send(s.handle(f)) {
+		f, err := wire.DecodeFetch(payload)
+		if err != nil {
+			return
+		}
+		// Bound the response write symmetrically: a client that stops
+		// draining cannot wedge the server goroutine.
+		if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.ReadIdle)); err != nil {
+			return
+		}
+		refs = refs[:0]
+		if refs, err = s.writeResp(w, f, refs); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(f wire.Fetch) wire.FetchResp {
+// writeResp answers one fetch. Well-formed failures (unknown job, bad
+// partition, oversized partition, storage error) go back as FetchResp.Err
+// frames — the client classifies those as non-retryable protocol errors.
+// A transport or mid-stream spill failure returns an error and the caller
+// drops the connection (the torn frame surfaces client-side as a retryable
+// truncation).
+func (s *Server) writeResp(w *bufio.Writer, f wire.Fetch, refs []localrt.BlobRef) ([]localrt.BlobRef, error) {
+	fail := func(msg string) ([]localrt.BlobRef, error) {
+		return refs, writeErrResp(w, msg)
+	}
 	rt := s.resolve(f.JobID)
 	if rt == nil {
-		return wire.FetchResp{Err: fmt.Sprintf("shuffle: unknown job %d", f.JobID)}
+		return fail(fmt.Sprintf("shuffle: unknown job %d", f.JobID))
 	}
 	d := rt.DatasetByID(int(f.DatasetID))
 	if d == nil {
-		return wire.FetchResp{Err: fmt.Sprintf("shuffle: job %d has no dataset %d", f.JobID, f.DatasetID)}
+		return fail(fmt.Sprintf("shuffle: job %d has no dataset %d", f.JobID, f.DatasetID))
 	}
 	if f.Part < 0 || int(f.Part) >= d.Partitions {
-		return wire.FetchResp{Err: fmt.Sprintf("shuffle: dataset %d part %d out of range", f.DatasetID, f.Part)}
+		return fail(fmt.Sprintf("shuffle: dataset %d part %d out of range", f.DatasetID, f.Part))
 	}
-	contribs := rt.PartContribs(d, int(f.Part))
-	resp := wire.FetchResp{Contribs: make([]wire.PartContrib, 0, len(contribs))}
-	var served float64
-	for _, c := range contribs {
-		rows, err := workload.EncodeRows(c.Rows)
-		if err != nil {
-			return wire.FetchResp{Err: err.Error()}
+	var err error
+	refs, err = rt.PartBlobsAppend(refs, d, int(f.Part))
+	if err != nil {
+		return fail(err.Error())
+	}
+	// The frame length is computed from blob metadata alone — no blob needs
+	// to be resident to size the response.
+	frameLen := respHeadLen
+	var wireBytes, rawBytes float64
+	for i := range refs {
+		frameLen += respMetaLen + refs[i].Len
+		wireBytes += float64(refs[i].Len)
+		rawBytes += float64(refs[i].RawLen)
+	}
+	if frameLen > s.cfg.MaxFrame {
+		// Refusing cleanly beats writing a frame the client must reject:
+		// the requester gets a diagnosable failure instead of a torn stream.
+		return fail(fmt.Sprintf("shuffle: dataset %d part %d response (%d bytes) exceeds max frame %d",
+			f.DatasetID, f.Part, frameLen, s.cfg.MaxFrame))
+	}
+	var scratch [respMetaLen]byte
+	binary.BigEndian.PutUint32(scratch[:4], uint32(frameLen))
+	scratch[4] = wire.TFetchResp
+	binary.BigEndian.PutUint32(scratch[5:9], 0) // empty error string
+	if _, err := w.Write(scratch[:9]); err != nil {
+		return refs, err
+	}
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(refs)))
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return refs, err
+	}
+	for i := range refs {
+		ref := &refs[i]
+		binary.BigEndian.PutUint32(scratch[0:4], uint32(int32(ref.MTID)))
+		scratch[4] = ref.Flags
+		binary.BigEndian.PutUint32(scratch[5:9], uint32(ref.RawLen))
+		binary.BigEndian.PutUint32(scratch[9:13], uint32(ref.Len))
+		if _, err := w.Write(scratch[:respMetaLen]); err != nil {
+			return refs, err
 		}
-		served += float64(len(rows))
-		resp.Contribs = append(resp.Contribs, wire.PartContrib{MTID: int32(c.MTID), Rows: rows})
+		if ref.InMemory() {
+			// The zero-copy path: the cached encode-once blob is sliced
+			// straight into the socket buffer.
+			if _, err := w.Write(ref.Data); err != nil {
+				return refs, err
+			}
+			continue
+		}
+		if err := streamSpilled(w, ref); err != nil {
+			// The frame header is already on the wire: the connection is
+			// poisoned. The client sees a truncated frame and retries.
+			return refs, err
+		}
 	}
 	if s.onServed != nil {
-		s.onServed(served)
+		s.onServed(wireBytes, rawBytes)
 	}
-	return resp
+	return refs, nil
+}
+
+// streamSpilled copies one spilled blob from disk into the response through
+// a bounded pooled chunk buffer.
+func streamSpilled(w *bufio.Writer, ref *localrt.BlobRef) error {
+	n := ref.Len
+	if n > spillChunk {
+		n = spillChunk
+	}
+	buf := wire.GetBuf(n)
+	defer wire.PutBuf(buf)
+	for off := 0; off < ref.Len; {
+		end := off + len(buf)
+		if end > ref.Len {
+			end = ref.Len
+		}
+		if _, err := ref.ReadAt(buf[:end-off], int64(off)); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf[:end-off]); err != nil {
+			return err
+		}
+		off = end
+	}
+	return nil
+}
+
+// writeErrResp emits a FetchResp carrying only an error string.
+func writeErrResp(w *bufio.Writer, msg string) error {
+	frameLen := 1 + 4 + len(msg) + 4
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(frameLen))
+	hdr[4] = wire.TFetchResp
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(msg); err != nil {
+		return err
+	}
+	var count [4]byte
+	_, err := w.Write(count[:]) // zero contributions
+	return err
+}
+
+// wireShrinker mirrors the wire package's retained-buffer shrink policy for
+// this package's connection loops: release a buffer back to the pool after a
+// sustained run of much-smaller frames.
+type wireShrinker struct{ small int }
+
+const (
+	shrinkRetain = 64 << 10
+	shrinkRuns   = 32
+)
+
+func (s *wireShrinker) next(buf []byte, used int) []byte {
+	if cap(buf) <= shrinkRetain || used > cap(buf)/4 {
+		s.small = 0
+		return buf
+	}
+	s.small++
+	if s.small < shrinkRuns {
+		return buf
+	}
+	s.small = 0
+	wire.PutBuf(buf)
+	return nil
 }
 
 // ClientConfig shapes a fetch client's transport behaviour.
@@ -215,8 +388,8 @@ type ClientConfig struct {
 	// compose fault injectors here.
 	Dial wire.DialFunc
 	// ReadTimeout bounds each fetch's response wait — the deadline that
-	// turns a wedged peer into a retryable error. <= 0 selects
-	// DefaultFetchReadTimeout.
+	// turns a wedged peer into a retryable error. It also bounds the request
+	// write. <= 0 selects DefaultFetchReadTimeout.
 	ReadTimeout time.Duration
 	// Retries is how many times a transient transport error (dial failure,
 	// timeout, truncation, reset) is retried after the first attempt.
@@ -273,14 +446,23 @@ func (c ClientConfig) withDefaults(addr string) ClientConfig {
 
 // Client fetches partitions from one holder address over a lazily dialed,
 // cached connection. Requests are serialized; a transport error poisons the
-// connection so the next attempt redials.
+// connection so the next attempt redials. The client owns one pooled read
+// buffer and a reusable decoded response, so its steady-state fetch path
+// allocates nothing.
 type Client struct {
 	addr string
 	cfg  ClientConfig
 
 	mu  sync.Mutex
-	nc  *wire.Conn
+	nc  net.Conn
+	rd  *bufio.Reader
 	rng *rand.Rand
+
+	rbuf      []byte
+	lastFrame int
+	rdShrink  wireShrinker
+	reqBuf    []byte
+	resp      wire.FetchResp
 }
 
 // NewClient returns a client for the holder at addr (dialed on first use).
@@ -299,29 +481,49 @@ func (c *Client) backoff(k int) time.Duration {
 	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)))
 }
 
-// Fetch pulls one partition's contributions. wireBytes is the payload bytes
-// moved (the sum of encoded contribution sizes) — the number the agent
-// reports in Complete.FetchedWireBytes. retries is how many attempts beyond
-// the first were needed; err is non-nil only once the retry budget is
-// exhausted (transient transport faults — dial failures, response timeouts,
-// mid-frame truncations — are absorbed here). Protocol-level errors from a
-// healthy holder (unknown job, bad partition) are returned immediately and
-// keep the connection cached.
-func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.PartContrib, wireBytes float64, retries int, err error) {
+// FetchFunc pulls one partition's contributions and hands the decoded
+// response to sink. The response's contribution blobs alias the client's
+// retained read buffer: they are valid only for the duration of the sink
+// call, and a sink that keeps bytes must copy them (or hand ownership of a
+// copy to a store, as the agent does). wireBytes is the payload bytes that
+// crossed the network, rawBytes their uncompressed encoded size — the
+// numbers the agent reports in Complete. retries is how many attempts
+// beyond the first were needed; err is non-nil only once the retry budget
+// is exhausted (transient transport faults — dial failures, response
+// timeouts, mid-frame truncations — are absorbed here). Protocol-level
+// errors from a healthy holder (unknown job, bad partition) are returned
+// immediately and keep the connection cached. A sink error aborts without
+// retry: the transfer itself succeeded.
+func (c *Client) FetchFunc(jobID int64, dsID, part, origin int32, sink func(*wire.FetchResp) error) (wireBytes, rawBytes float64, retries int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for attempt := 0; ; attempt++ {
-		contribs, wireBytes, err = c.fetchOnce(jobID, dsID, part, origin)
+		wireBytes, rawBytes, err = c.fetchOnce(jobID, dsID, part, origin, sink)
 		if err == nil || !retryable(err) {
-			return contribs, wireBytes, retries, err
+			return wireBytes, rawBytes, retries, err
 		}
 		if attempt >= c.cfg.Retries {
-			return nil, 0, retries, fmt.Errorf(
+			return 0, 0, retries, fmt.Errorf(
 				"shuffle: fetch from %s failed after %d attempts: %w", c.addr, attempt+1, err)
 		}
 		retries++
 		time.Sleep(c.backoff(attempt))
 	}
+}
+
+// Fetch is FetchFunc with copying: the returned contributions own their
+// bytes and survive subsequent fetches. Convenience for tests and callers
+// off the hot path.
+func (c *Client) Fetch(jobID int64, dsID, part, origin int32) (contribs []wire.PartContrib, wireBytes, rawBytes float64, retries int, err error) {
+	wireBytes, rawBytes, retries, err = c.FetchFunc(jobID, dsID, part, origin, func(resp *wire.FetchResp) error {
+		contribs = make([]wire.PartContrib, len(resp.Contribs))
+		for i, pc := range resp.Contribs {
+			pc.Rows = append([]byte(nil), pc.Rows...)
+			contribs[i] = pc
+		}
+		return nil
+	})
+	return contribs, wireBytes, rawBytes, retries, err
 }
 
 // retryable classifies fetch errors: every transport-level failure (dial,
@@ -332,56 +534,88 @@ func retryable(err error) bool {
 	return !errors.As(err, &pe)
 }
 
-// protocolError marks a well-formed error response from a healthy holder.
-type protocolError struct{ msg string }
+// protocolError marks a well-formed error response from a healthy holder —
+// and a sink failure, which must not trigger a redundant re-transfer.
+type protocolError struct {
+	msg   string
+	cause error
+}
 
 func (e *protocolError) Error() string { return e.msg }
+func (e *protocolError) Unwrap() error { return e.cause }
 
 // fetchOnce performs one attempt over the cached connection (dialing if
 // needed). Transport errors poison the connection. Called with mu held.
-func (c *Client) fetchOnce(jobID int64, dsID, part, origin int32) ([]wire.PartContrib, float64, error) {
+func (c *Client) fetchOnce(jobID int64, dsID, part, origin int32, sink func(*wire.FetchResp) error) (float64, float64, error) {
 	if c.nc == nil {
 		nc, err := c.cfg.Dial(c.addr)
 		if err != nil {
-			return nil, 0, fmt.Errorf("shuffle: dial %s: %w", c.addr, err)
+			return 0, 0, fmt.Errorf("shuffle: dial %s: %w", c.addr, err)
 		}
-		c.nc = wire.NewConn(nc, c.cfg.MaxFrame)
+		c.nc = nc
+		c.rd = bufio.NewReader(nc)
 	}
-	fail := func(err error) ([]wire.PartContrib, float64, error) {
+	fail := func(err error) (float64, float64, error) {
 		c.nc.Close()
 		c.nc = nil
-		return nil, 0, err
+		c.rd = nil
+		return 0, 0, err
 	}
-	if !c.nc.Send(wire.Fetch{JobID: jobID, DatasetID: dsID, Part: part, Origin: origin}) {
-		return fail(fmt.Errorf("shuffle: send to %s failed", c.addr))
+	c.reqBuf = wire.AppendFetchFrame(c.reqBuf[:0], wire.Fetch{JobID: jobID, DatasetID: dsID, Part: part, Origin: origin})
+	// The write deadline bounds a wedged request write (full socket buffers
+	// on a dead peer); the read deadline turns a holder that read the
+	// request but never answers into a retryable timeout.
+	if err := c.nc.SetDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
+		return fail(fmt.Errorf("shuffle: fetch from %s: %w", c.addr, err))
 	}
-	// The response deadline: a wedged holder (read the request, never
-	// answers) surfaces here as a timeout instead of blocking forever.
-	m, err := c.nc.ReadMsgTimeout(c.cfg.ReadTimeout)
+	if _, err := c.nc.Write(c.reqBuf); err != nil {
+		return fail(fmt.Errorf("shuffle: send to %s: %w", c.addr, err))
+	}
+	c.rbuf = c.rdShrink.next(c.rbuf, c.lastFrame)
+	typ, payload, nb, err := wire.ReadFrameInto(c.rd, c.rbuf, c.cfg.MaxFrame)
+	c.rbuf = nb
 	if err != nil {
 		return fail(fmt.Errorf("shuffle: fetch from %s: %w", c.addr, err))
 	}
-	resp, ok := m.(wire.FetchResp)
-	if !ok {
-		return fail(fmt.Errorf("shuffle: unexpected %T from %s", m, c.addr))
+	c.lastFrame = len(payload) + 1
+	if err := c.nc.SetDeadline(time.Time{}); err != nil {
+		return fail(fmt.Errorf("shuffle: fetch from %s: %w", c.addr, err))
 	}
-	if resp.Err != "" {
+	if typ != wire.TFetchResp {
+		return fail(fmt.Errorf("shuffle: unexpected frame type %d from %s", typ, c.addr))
+	}
+	if err := wire.DecodeFetchRespInto(payload, &c.resp); err != nil {
+		return fail(fmt.Errorf("shuffle: fetch from %s: %w", c.addr, err))
+	}
+	if c.resp.Err != "" {
 		// Protocol-level error on a healthy connection: keep it cached.
-		return nil, 0, &protocolError{msg: fmt.Sprintf("shuffle: %s: %s", c.addr, resp.Err)}
+		return 0, 0, &protocolError{msg: fmt.Sprintf("shuffle: %s: %s", c.addr, c.resp.Err)}
 	}
-	var wireBytes float64
-	for _, pc := range resp.Contribs {
-		wireBytes += float64(len(pc.Rows))
+	var wireBytes, rawBytes float64
+	for i := range c.resp.Contribs {
+		wireBytes += float64(len(c.resp.Contribs[i].Rows))
+		rawBytes += float64(c.resp.Contribs[i].RawLen)
 	}
-	return resp.Contribs, wireBytes, nil
+	if sink != nil {
+		if err := sink(&c.resp); err != nil {
+			// The bytes arrived; failing to consume them is not a transport
+			// fault and a retry would re-fail identically.
+			return 0, 0, &protocolError{msg: fmt.Sprintf("shuffle: consuming fetch from %s: %v", c.addr, err), cause: err}
+		}
+	}
+	return wireBytes, rawBytes, nil
 }
 
-// Close drops the cached connection.
+// Close drops the cached connection and releases the retained read buffer.
 func (c *Client) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.nc != nil {
 		c.nc.Close()
 		c.nc = nil
+		c.rd = nil
 	}
+	wire.PutBuf(c.rbuf)
+	c.rbuf = nil
+	c.resp = wire.FetchResp{}
 }

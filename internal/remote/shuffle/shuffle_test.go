@@ -1,14 +1,18 @@
 package shuffle
 
 import (
+	"bytes"
 	"errors"
 	"net"
 	"os"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"ursa/internal/dag"
 	"ursa/internal/localrt"
+	"ursa/internal/resource"
 	"ursa/internal/wire"
 )
 
@@ -56,7 +60,7 @@ func (h *fakeHolder) serve(nc net.Conn) {
 		atomic.AddInt32(&h.requests, 1)
 		switch h.mode {
 		case "ok":
-			c.Send(wire.FetchResp{Contribs: []wire.PartContrib{{MTID: 7, Rows: []byte("rows")}}})
+			c.Send(wire.FetchResp{Contribs: []wire.PartContrib{{MTID: 7, Flags: wire.BlobRaw, RawLen: 4, Rows: []byte("rows")}}})
 		case "wedge":
 			// Read, never answer: the failure mode heartbeats cannot see.
 		case "protoerr":
@@ -85,7 +89,7 @@ func TestFetchRetryThenSuccess(t *testing.T) {
 		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond, Seed: 1,
 	})
 	defer cl.Close()
-	contribs, wireBytes, retries, err := cl.Fetch(1, 2, 0, 0)
+	contribs, wireBytes, rawBytes, retries, err := cl.Fetch(1, 2, 0, 0)
 	if err != nil {
 		t.Fatalf("fetch should have succeeded after retries: %v", err)
 	}
@@ -95,8 +99,8 @@ func TestFetchRetryThenSuccess(t *testing.T) {
 	if len(contribs) != 1 || contribs[0].MTID != 7 || string(contribs[0].Rows) != "rows" {
 		t.Fatalf("unexpected contribs: %+v", contribs)
 	}
-	if wireBytes != 4 {
-		t.Fatalf("wireBytes = %v, want 4", wireBytes)
+	if wireBytes != 4 || rawBytes != 4 {
+		t.Fatalf("wireBytes, rawBytes = %v, %v, want 4, 4", wireBytes, rawBytes)
 	}
 }
 
@@ -115,7 +119,7 @@ func TestFetchExhaustedRetries(t *testing.T) {
 	})
 	defer cl.Close()
 	start := time.Now()
-	_, _, retries, err := cl.Fetch(1, 2, 0, 0)
+	_, _, _, retries, err := cl.Fetch(1, 2, 0, 0)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("expected an error once retries were exhausted")
@@ -143,7 +147,7 @@ func TestFetchWedgedPeerTimesOut(t *testing.T) {
 	})
 	defer cl.Close()
 	start := time.Now()
-	_, _, retries, err := cl.Fetch(1, 2, 0, 0)
+	_, _, _, retries, err := cl.Fetch(1, 2, 0, 0)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("expected a timeout error from the wedged peer")
@@ -175,7 +179,7 @@ func TestFetchProtocolErrorNotRetried(t *testing.T) {
 		Retries: 5, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond, Seed: 1,
 	})
 	defer cl.Close()
-	_, _, retries, err := cl.Fetch(1, 2, 0, 0)
+	_, _, _, retries, err := cl.Fetch(1, 2, 0, 0)
 	if err == nil {
 		t.Fatal("expected the holder's protocol error")
 	}
@@ -187,7 +191,7 @@ func TestFetchProtocolErrorNotRetried(t *testing.T) {
 	}
 	// The connection stays cached: a second fetch reuses it (no redial) and
 	// the holder sees it on the same serving loop.
-	if _, _, _, err = cl.Fetch(1, 2, 1, 0); err == nil {
+	if _, _, _, _, err = cl.Fetch(1, 2, 1, 0); err == nil {
 		t.Fatal("expected the holder's protocol error again")
 	}
 	if got := atomic.LoadInt32(&h.requests); got != 2 {
@@ -213,6 +217,135 @@ func TestBackoffBounds(t *testing.T) {
 			}
 		}
 	}
+}
+
+// storeRuntime builds a runtime around a minimal valid plan so contributions
+// can be inserted pre-encoded and served by a real Server.
+func storeRuntime(parts int) (*localrt.Runtime, *dag.Dataset) {
+	g := dag.NewGraph()
+	d := g.CreateData(parts)
+	out := g.CreateData(parts)
+	op := g.CreateOp(resource.CPU, "sink").Read(d).Create(out)
+	op.SetUDF(localrt.UDF(func(ins [][]localrt.Row) []localrt.Row { return ins[0] }))
+	return localrt.New(g.MustBuild()), d
+}
+
+// TestServerServesStoredBlobs pins the zero-copy serve path end to end: the
+// server answers from the encode-once store — bytes, flags and raw lengths
+// travel verbatim — and reports wire vs raw served bytes separately.
+func TestServerServesStoredBlobs(t *testing.T) {
+	rt, d := storeRuntime(1)
+	defer rt.Close()
+	big := bytes.Repeat([]byte("shuffle-bytes-"), 1<<10)
+	rt.InsertEncoded(d, 0, 1, append([]byte(nil), big...), wire.BlobRaw, len(big))
+	rt.InsertEncoded(d, 0, 2, []byte("tiny-compressed"), wire.BlobDeflate, 64)
+	var wireServed, rawServed float64
+	srv := Serve(mustListen(t), ServerConfig{},
+		func(jobID int64) *localrt.Runtime {
+			if jobID != 9 {
+				return nil
+			}
+			return rt
+		},
+		func(w, r float64) { wireServed += w; rawServed += r })
+	defer srv.Close()
+	cl := NewClient(srv.Addr(), ClientConfig{Retries: -1})
+	defer cl.Close()
+	contribs, wireBytes, rawBytes, _, err := cl.Fetch(9, int32(d.ID), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contribs) != 2 {
+		t.Fatalf("contribs = %d, want 2", len(contribs))
+	}
+	if contribs[0].MTID != 1 || !bytes.Equal(contribs[0].Rows, big) || contribs[0].Flags != wire.BlobRaw || int(contribs[0].RawLen) != len(big) {
+		t.Fatal("first contribution did not travel verbatim")
+	}
+	if contribs[1].MTID != 2 || string(contribs[1].Rows) != "tiny-compressed" || contribs[1].Flags != wire.BlobDeflate || contribs[1].RawLen != 64 {
+		t.Fatalf("second contribution mangled: %+v", contribs[1])
+	}
+	wantWire := float64(len(big) + len("tiny-compressed"))
+	wantRaw := float64(len(big) + 64)
+	if wireBytes != wantWire || rawBytes != wantRaw {
+		t.Fatalf("client observed wire=%v raw=%v, want %v/%v", wireBytes, rawBytes, wantWire, wantRaw)
+	}
+	if wireServed != wantWire || rawServed != wantRaw {
+		t.Fatalf("server observed wire=%v raw=%v, want %v/%v", wireServed, rawServed, wantWire, wantRaw)
+	}
+	// Unknown job: a clean protocol error, not a torn connection.
+	if _, _, _, retries, err := cl.Fetch(404, int32(d.ID), 0, 0); err == nil || retries != 0 {
+		t.Fatalf("unknown job: err=%v retries=%d, want protocol error without retries", err, retries)
+	}
+}
+
+// TestServerStreamsSpilledBlobs pins the spill path: contributions evicted to
+// disk are served byte-identically, streamed through a bounded chunk buffer
+// rather than re-materialized.
+func TestServerStreamsSpilledBlobs(t *testing.T) {
+	rt, d := storeRuntime(1)
+	defer rt.Close()
+	rt.SetSpill(1, t.TempDir()) // budget 1: everything spills
+	payloads := [][]byte{
+		bytes.Repeat([]byte("spilled-a-"), 40<<10), // ~400KiB: multiple spillChunks
+		[]byte("spilled-b"),
+	}
+	for i, p := range payloads {
+		rt.InsertEncoded(d, 0, i+1, append([]byte(nil), p...), wire.BlobRaw, len(p))
+	}
+	if err := rt.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.SpilledBytes() == 0 {
+		t.Fatal("nothing spilled; test is vacuous")
+	}
+	srv := Serve(mustListen(t), ServerConfig{},
+		func(int64) *localrt.Runtime { return rt }, nil)
+	defer srv.Close()
+	cl := NewClient(srv.Addr(), ClientConfig{Retries: -1})
+	defer cl.Close()
+	contribs, _, _, _, err := cl.Fetch(1, int32(d.ID), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contribs) != 2 {
+		t.Fatalf("contribs = %d, want 2", len(contribs))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(contribs[i].Rows, p) {
+			t.Fatalf("spilled contribution %d not byte-identical (%d vs %d bytes)", i, len(contribs[i].Rows), len(p))
+		}
+	}
+}
+
+// TestServerRefusesOversizedPartition pins the bound: a partition whose
+// response would exceed MaxFrame comes back as a diagnosable protocol error
+// instead of a torn frame.
+func TestServerRefusesOversizedPartition(t *testing.T) {
+	rt, d := storeRuntime(1)
+	defer rt.Close()
+	blob := bytes.Repeat([]byte("x"), 4096)
+	rt.InsertEncoded(d, 0, 1, blob, wire.BlobRaw, len(blob))
+	srv := Serve(mustListen(t), ServerConfig{MaxFrame: 1024},
+		func(int64) *localrt.Runtime { return rt }, nil)
+	defer srv.Close()
+	cl := NewClient(srv.Addr(), ClientConfig{Retries: -1})
+	defer cl.Close()
+	_, _, _, retries, err := cl.Fetch(1, int32(d.ID), 0, 0)
+	if err == nil || retries != 0 {
+		t.Fatalf("err=%v retries=%d, want immediate protocol error", err, retries)
+	}
+	if !strings.Contains(err.Error(), "exceeds max frame") {
+		t.Fatalf("error should name the bound, got: %v", err)
+	}
+}
+
+func mustListen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
 }
 
 // TestServerReadIdleCutsSilentClient pins the server-side bound: a client

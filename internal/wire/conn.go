@@ -24,6 +24,13 @@ type Conn struct {
 	closeOnce sync.Once
 	pumpDone  chan struct{}
 
+	// Pooled-read state (cfg.PooledReads): the retained frame buffer, the
+	// size of the last frame decoded into it, and its shrink tracker. Owned
+	// by the single reader goroutine.
+	rbuf      []byte
+	lastFrame int
+	rdShrink  bufShrinker
+
 	mu      sync.Mutex
 	sendErr error
 }
@@ -50,6 +57,14 @@ type Config struct {
 	// DrainDeadline bounds the graceful-close flush of already-queued frames
 	// (Shutdown broadcasts). <= 0 selects DefaultDrainDeadline.
 	DrainDeadline time.Duration
+	// PooledReads makes ReadMsg decode frames in a connection-retained buffer
+	// instead of allocating per frame. The aliasing contract: blob-carrying
+	// fields of a decoded message (Complete.Writes rows, FetchResp contribs,
+	// Prepare params) alias that buffer and are invalidated by the NEXT read
+	// on the connection. Handlers that process each message synchronously
+	// before the read loop continues are safe as-is; anything that retains a
+	// blob past its handler — or hands it to another goroutine — must copy.
+	PooledReads bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +110,8 @@ func (c *Conn) pump() {
 	defer close(c.pumpDone)
 	w := bufio.NewWriter(c.nc)
 	var buf []byte
+	var lastWrite int
+	var wrShrink bufShrinker
 	for {
 		select {
 		case <-c.quit:
@@ -116,7 +133,11 @@ func (c *Conn) pump() {
 				}
 			}
 		case m := <-c.out:
+			// Shrink before reuse: one giant frame must not pin its
+			// high-water-mark buffer for the connection's lifetime.
+			buf = wrShrink.next(buf, lastWrite)
 			buf = AppendFrame(buf[:0], m)
+			lastWrite = len(buf)
 			if len(buf) > c.cfg.MaxFrame+headerLen {
 				c.fail(fmt.Errorf("wire: outbound frame exceeds max %d", c.cfg.MaxFrame))
 				return
@@ -206,12 +227,26 @@ func (c *Conn) shutdown(graceful bool) {
 // ReadMsg reads and decodes one message. It shares the connection's buffered
 // reader with ReadLoop, so a handshake can read its reply directly and then
 // hand the connection to ReadLoop without losing buffered frames. Exactly
-// one goroutine may read at a time.
+// one goroutine may read at a time. With cfg.PooledReads the decoded
+// message's blob fields alias a connection-retained buffer and are valid
+// only until the next ReadMsg — see Config.PooledReads.
 func (c *Conn) ReadMsg() (Msg, error) {
-	typ, payload, err := ReadFrame(c.r, c.cfg.MaxFrame)
+	if !c.cfg.PooledReads {
+		typ, payload, err := ReadFrame(c.r, c.cfg.MaxFrame)
+		if err != nil {
+			return nil, err
+		}
+		return Decode(typ, payload)
+	}
+	// The previous message is dead by contract, so this is the first moment
+	// the retained buffer can be safely shrunk or replaced.
+	c.rbuf = c.rdShrink.next(c.rbuf, c.lastFrame)
+	typ, payload, buf, err := ReadFrameInto(c.r, c.rbuf, c.cfg.MaxFrame)
+	c.rbuf = buf
 	if err != nil {
 		return nil, err
 	}
+	c.lastFrame = len(payload) + 1
 	return Decode(typ, payload)
 }
 

@@ -18,16 +18,20 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Seed with one valid frame per message type plus structural edge
 	// cases; the checked-in corpus in testdata/ mirrors these.
 	seeds := []Msg{
-		Register{ShuffleAddr: "127.0.0.1:0", Cores: 4},
-		Welcome{WorkerID: 1, HeartbeatMicros: 250000, MaxFrame: 1 << 16},
+		Register{ShuffleAddr: "127.0.0.1:0", Cores: 4, Compress: true},
+		Welcome{WorkerID: 1, HeartbeatMicros: 250000, MaxFrame: 1 << 16, Compress: true},
 		Heartbeat{WorkerID: 1, SentUnixMicros: 42},
 		Prepare{JobID: 1, Workload: "wc", Params: []byte{9}},
 		JobReady{JobID: 1, Err: "e"},
 		Dispatch{JobID: 1, MTID: 2, Seq: 3, Fetches: []FetchSpec{{DatasetID: 1, Part: 0, Origin: -1, Addr: "a"}}},
-		Complete{JobID: 1, MTID: 2, Seq: 3, Seconds: 0.5, Writes: []PartWrite{{DatasetID: 1, Part: 0, Rows: []byte("r")}}},
+		Complete{JobID: 1, MTID: 2, Seq: 3, Seconds: 0.5, FetchedWireBytes: 1, FetchedRawBytes: 2, Writes: []PartWrite{{DatasetID: 1, Part: 0, Flags: BlobRaw, RawLen: 1, Rows: []byte("r")}}},
 		Abort{JobID: 1, MTID: 2, Seq: 3},
 		Fetch{JobID: 1, DatasetID: 2, Part: 3, Origin: 4},
-		FetchResp{Contribs: []PartContrib{{MTID: 1, Rows: []byte("x")}}},
+		FetchResp{Contribs: []PartContrib{{MTID: 1, Flags: BlobRaw, RawLen: 1, Rows: []byte("x")}}},
+		// Compressed contributions: DEFLATE flag with RawLen exceeding the
+		// stored blob, as real compressed frames have.
+		FetchResp{Contribs: []PartContrib{{MTID: 2, Flags: BlobDeflate, RawLen: 4096, Rows: []byte{0x78, 0x9c, 0x01}}}},
+		Complete{JobID: 2, MTID: 3, Seq: 4, Writes: []PartWrite{{DatasetID: 1, Part: 1, Flags: BlobDeflate, RawLen: 1 << 12, Rows: []byte{0x4b, 0x4c, 0x44, 0x04, 0x00}}}},
 		JobDone{JobID: 1},
 		Shutdown{},
 	}

@@ -19,6 +19,16 @@ const (
 	TShutdown  byte = 12 // master → worker: drain and exit
 )
 
+// Blob encoding flags carried per contribution. The flags byte is opaque to
+// the wire layer (any value round-trips verbatim); the remote layer's codec
+// interprets it. Carrying it per contribution — rather than per connection —
+// lets mixed clusters interoperate: a compressing worker's blobs stay valid
+// when relayed through a non-compressing master.
+const (
+	BlobRaw     byte = 0 // blob is the encoded rows as-is
+	BlobDeflate byte = 1 // blob is DEFLATE-compressed encoded rows
+)
+
 // Msg is one protocol message.
 type Msg interface {
 	Type() byte
@@ -74,15 +84,20 @@ type Register struct {
 	ShuffleAddr string
 	// Cores advertises the agent's local execution parallelism.
 	Cores int32
+	// Compress advertises that this worker can produce and consume
+	// compressed contributions; the master's Welcome decides whether the
+	// cluster actually uses them.
+	Compress bool
 }
 
 func (Register) Type() byte { return TRegister }
 func (m Register) encode(e *Encoder) {
 	e.Str(m.ShuffleAddr)
 	e.I32(m.Cores)
+	e.Bool(m.Compress)
 }
 func decodeRegister(d *Decoder) Msg {
-	return Register{ShuffleAddr: d.Str(), Cores: d.I32()}
+	return Register{ShuffleAddr: d.Str(), Cores: d.I32(), Compress: d.Bool()}
 }
 
 // Welcome assigns the worker its identity and protocol parameters.
@@ -93,6 +108,9 @@ type Welcome struct {
 	HeartbeatMicros   int64
 	MaxFrame          int64
 	MasterShuffleAddr string
+	// Compress is the negotiated outcome: true only when both the worker
+	// advertised support and the master enables compression.
+	Compress bool
 }
 
 func (Welcome) Type() byte { return TWelcome }
@@ -101,11 +119,12 @@ func (m Welcome) encode(e *Encoder) {
 	e.I64(m.HeartbeatMicros)
 	e.I64(m.MaxFrame)
 	e.Str(m.MasterShuffleAddr)
+	e.Bool(m.Compress)
 }
 func decodeWelcome(d *Decoder) Msg {
 	return Welcome{
 		WorkerID: d.I32(), HeartbeatMicros: d.I64(), MaxFrame: d.I64(),
-		MasterShuffleAddr: d.Str(),
+		MasterShuffleAddr: d.Str(), Compress: d.Bool(),
 	}
 }
 
@@ -210,22 +229,32 @@ func decodeDispatch(d *Decoder) Msg {
 }
 
 // PartWrite is one partition contribution produced by a completed monotask.
-// Rows is an opaque row payload (the remote layer's row codec).
+// Rows is an opaque row payload (the remote layer's row codec); Flags says
+// how it is encoded (BlobRaw/BlobDeflate) and RawLen is the uncompressed
+// encoded length — equal to len(Rows) when Flags is BlobRaw — so receivers
+// can bound decompression and account raw vs. wire bytes honestly.
 type PartWrite struct {
 	DatasetID int32
 	Part      int32
+	Flags     byte
+	RawLen    uint32
 	Rows      []byte
 }
 
-const partWriteMin = 4 + 4 + 4 // two i32s + empty blob prefix
+const partWriteMin = 4 + 4 + 1 + 4 + 4 // two i32s + flags + rawlen + empty blob prefix
 
 func (w PartWrite) encode(e *Encoder) {
 	e.I32(w.DatasetID)
 	e.I32(w.Part)
+	e.U8(w.Flags)
+	e.U32(w.RawLen)
 	e.Blob(w.Rows)
 }
 func decodePartWrite(d *Decoder) PartWrite {
-	return PartWrite{DatasetID: d.I32(), Part: d.I32(), Rows: d.Blob()}
+	return PartWrite{
+		DatasetID: d.I32(), Part: d.I32(),
+		Flags: d.U8(), RawLen: d.U32(), Rows: d.Blob(),
+	}
 }
 
 // Complete reports a monotask's measured execution: Seconds is the
@@ -234,11 +263,16 @@ func decodePartWrite(d *Decoder) PartWrite {
 // wire to feed it, and Writes the produced partition contributions
 // (checkpointed at the master for §4.3 recovery).
 type Complete struct {
-	JobID            int64
-	MTID             int32
-	Seq              uint64
-	Seconds          float64
+	JobID   int64
+	MTID    int32
+	Seq     uint64
+	Seconds float64
+	// FetchedWireBytes is what actually crossed the network; FetchedRawBytes
+	// is the uncompressed encoded size of the same payloads. They differ only
+	// when compression is negotiated — the rate monitors consume the wire
+	// number because that is the network cost §4.2.2 models.
 	FetchedWireBytes float64
+	FetchedRawBytes  float64
 	// FetchRetries counts shuffle fetch attempts beyond the first that this
 	// monotask's input pulls needed (transient peer faults absorbed by
 	// retry/backoff), and FetchFallbacks counts partitions that degraded to
@@ -257,6 +291,7 @@ func (m Complete) encode(e *Encoder) {
 	e.U64(m.Seq)
 	e.F64(m.Seconds)
 	e.F64(m.FetchedWireBytes)
+	e.F64(m.FetchedRawBytes)
 	e.I32(m.FetchRetries)
 	e.I32(m.FetchFallbacks)
 	e.Str(m.Err)
@@ -268,7 +303,7 @@ func (m Complete) encode(e *Encoder) {
 func decodeComplete(d *Decoder) Msg {
 	m := Complete{
 		JobID: d.I64(), MTID: d.I32(), Seq: d.U64(),
-		Seconds: d.F64(), FetchedWireBytes: d.F64(),
+		Seconds: d.F64(), FetchedWireBytes: d.F64(), FetchedRawBytes: d.F64(),
 		FetchRetries: d.I32(), FetchFallbacks: d.I32(), Err: d.Str(),
 	}
 	n := d.count(partWriteMin)
@@ -319,13 +354,16 @@ func decodeFetch(d *Decoder) Msg {
 // PartContrib is one producer monotask's contribution to a partition.
 // Carrying the producer ID lets every node assemble partitions in the same
 // canonical order (sorted by producer), which keeps ordinal-sensitive reads
-// identical across processes.
+// identical across processes. Flags/RawLen mirror PartWrite: Rows is the
+// pre-encoded blob exactly as the producer committed it.
 type PartContrib struct {
-	MTID int32
-	Rows []byte
+	MTID   int32
+	Flags  byte
+	RawLen uint32
+	Rows   []byte
 }
 
-const partContribMin = 4 + 4 // i32 + empty blob prefix
+const partContribMin = 4 + 1 + 4 + 4 // i32 + flags + rawlen + empty blob prefix
 
 // FetchResp answers a Fetch with the partition's contributions.
 type FetchResp struct {
@@ -338,17 +376,71 @@ func (m FetchResp) encode(e *Encoder) {
 	e.Str(m.Err)
 	e.U32(uint32(len(m.Contribs)))
 	for _, c := range m.Contribs {
-		e.I32(c.MTID)
-		e.Blob(c.Rows)
+		c.encode(e)
 	}
+}
+func (c PartContrib) encode(e *Encoder) {
+	e.I32(c.MTID)
+	e.U8(c.Flags)
+	e.U32(c.RawLen)
+	e.Blob(c.Rows)
+}
+func decodePartContrib(d *Decoder) PartContrib {
+	return PartContrib{MTID: d.I32(), Flags: d.U8(), RawLen: d.U32(), Rows: d.Blob()}
 }
 func decodeFetchResp(d *Decoder) Msg {
 	m := FetchResp{Err: d.Str()}
 	n := d.count(partContribMin)
 	for i := 0; i < n && d.Err() == nil; i++ {
-		m.Contribs = append(m.Contribs, PartContrib{MTID: d.I32(), Rows: d.Blob()})
+		m.Contribs = append(m.Contribs, decodePartContrib(d))
 	}
 	return m
+}
+
+// AppendFetchFrame appends the frame for f to dst without boxing f into the
+// Msg interface — the shuffle client's request path stays allocation-free.
+func AppendFetchFrame(dst []byte, f Fetch) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, TFetch)
+	e := Encoder{buf: dst}
+	f.encode(&e)
+	dst = e.buf
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// DecodeFetch decodes a TFetch payload without interface boxing.
+func DecodeFetch(payload []byte) (Fetch, error) {
+	d := NewDecoder(payload)
+	f := Fetch{JobID: d.I64(), DatasetID: d.I32(), Part: d.I32(), Origin: d.I32()}
+	if err := d.Err(); err != nil {
+		return Fetch{}, fmt.Errorf("wire: fetch: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return Fetch{}, fmt.Errorf("wire: fetch: %d trailing bytes", d.Remaining())
+	}
+	return f, nil
+}
+
+// DecodeFetchRespInto decodes a TFetchResp payload into m, reusing m's
+// Contribs capacity. The decoded contributions alias payload — they are valid
+// only as long as the caller keeps the payload buffer untouched.
+func DecodeFetchRespInto(payload []byte, m *FetchResp) error {
+	d := Decoder{buf: payload}
+	m.Err = d.Str()
+	m.Contribs = m.Contribs[:0]
+	n := d.count(partContribMin)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Contribs = append(m.Contribs, decodePartContrib(&d))
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("wire: fetch resp: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("wire: fetch resp: %d trailing bytes", d.Remaining())
+	}
+	return nil
 }
 
 // JobDone tells workers to release a finished job's state.

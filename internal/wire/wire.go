@@ -60,6 +60,45 @@ func ReadFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
 	return buf[0], buf[1:], nil
 }
 
+// ReadFrameInto reads one frame like ReadFrame but into a caller-retained
+// buffer, growing it from the frame pool when the frame doesn't fit. It
+// returns the message type, the payload — which aliases the returned buffer
+// and is valid only until the buffer's next use — and the (possibly
+// regrown) buffer the caller must keep for the next call. This is the
+// steady-state read path: after warm-up, a connection reading frames of
+// similar size performs zero allocations per frame.
+func ReadFrameInto(r io.Reader, buf []byte, max int) (typ byte, payload, newBuf []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	// The header is read into the retained buffer too (and overwritten by
+	// the body below): a stack-local header array would escape through the
+	// io.ReadFull interface call and cost one allocation per frame.
+	if cap(buf) < headerLen {
+		PutBuf(buf)
+		buf = GetBuf(headerLen)
+	}
+	if _, err := io.ReadFull(r, buf[:headerLen]); err != nil {
+		return 0, nil, buf[:0], err
+	}
+	n := int(binary.BigEndian.Uint32(buf[:headerLen]))
+	if n == 0 {
+		return 0, nil, buf, errors.New("wire: empty frame")
+	}
+	if n > max {
+		return 0, nil, buf, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	if cap(buf) < n {
+		PutBuf(buf)
+		buf = GetBuf(n)
+	}
+	b := buf[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, nil, buf[:0], err
+	}
+	return b[0], b[1:], buf[:0], nil
+}
+
 // AppendFrame appends the encoded frame for m to dst and returns it.
 func AppendFrame(dst []byte, m Msg) []byte {
 	start := len(dst)
@@ -68,8 +107,14 @@ func AppendFrame(dst []byte, m Msg) []byte {
 	e := Encoder{buf: dst}
 	m.encode(&e)
 	dst = e.buf
-	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerLen))
+	patchFrameLen(dst[start:])
 	return dst
+}
+
+// patchFrameLen back-patches a frame's length prefix once its payload is
+// fully appended. frame spans the whole frame including the 4-byte header.
+func patchFrameLen(frame []byte) {
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-headerLen))
 }
 
 // WriteFrame encodes m as one frame and writes it to w.
@@ -86,6 +131,15 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 
 // U8 appends one byte.
 func (e *Encoder) U8(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
 
 // U32 appends a big-endian uint32.
 func (e *Encoder) U32(v uint32) {
@@ -151,6 +205,23 @@ func (d *Decoder) U8() byte {
 	v := d.buf[d.off]
 	d.off++
 	return v
+}
+
+// Bool reads a bool. Only 0 and 1 are valid — any other byte is a decode
+// error, which keeps the canonical-encoding invariant (decode ∘ encode =
+// identity on payloads) intact.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = errors.New("wire: invalid bool byte")
+		}
+		return false
+	}
 }
 
 // U32 reads a big-endian uint32.
