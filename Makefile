@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke-dist chaos fuzz-wire bench bench-json bench-guard bench-wire bench-wire-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist chaos fuzz-wire bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
 
-ci: fmt-check vet build test race smoke-dist chaos bench-wire-guard
+ci: fmt-check vet build test race smoke-dist chaos bench-wire-guard bench-ingest-guard
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -73,6 +73,19 @@ bench-wire:
 # ns/op numbers with `make bench-wire`.
 bench-wire-guard:
 	$(GO) run ./cmd/ursa-bench -guard-wire BENCH_wire.json
+
+# Regenerate the checked-in submission front-door snapshot: 2000 concurrent
+# tenants' clients over loopback TCP against a 20000-job standing backlog,
+# batched admission vs the one-pass-per-submit baseline.
+bench-ingest:
+	$(GO) run ./cmd/ursa-bench -ingest BENCH_ingest.json
+
+# Fail if batched admission lost its >=3x margin over naive at guard scale,
+# p99 ack latency exceeded its 250ms bound, or throughput collapsed >35% vs
+# the checked-in snapshot. Both arms run fresh on the same box, so the margin
+# holds on any hardware; re-baseline with `make bench-ingest`.
+bench-ingest-guard:
+	$(GO) run ./cmd/ursa-bench -guard-ingest BENCH_ingest.json
 
 clean:
 	$(GO) clean ./...

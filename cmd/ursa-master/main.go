@@ -9,9 +9,19 @@
 //
 //	ursa-master -listen 127.0.0.1:7400 -workers 2 -workload wordcount
 //	ursa-master -workers 3 -workload sql_analytics -query 1
+//	ursa-master -workers 2 -serve -tenant-weights ops=3,batch=1
 //
-// SIGINT/SIGTERM drain the run: in-flight work aborts through the executor
-// seam, a final transport line is printed, and the process exits 0.
+// With -serve the master runs the multi-tenant submission front door
+// instead of a preset workload: clients (ursa-sql -master, or any
+// wire-protocol speaker) submit (workload, params) jobs over the same
+// control port, batched through the admission pipeline under weighted fair
+// sharing. The first SIGINT/SIGTERM drains gracefully — new submissions are
+// rejected, queued jobs are cancelled with a terminal status, admitted jobs
+// finish — and the process exits 0; a second forces a hard stop.
+//
+// Without -serve, SIGINT/SIGTERM drain the preset run: in-flight work
+// aborts through the executor seam, a final transport line is printed, and
+// the process exits 0.
 package main
 
 import (
@@ -21,6 +31,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +79,20 @@ func main() {
 			"max in-memory bytes per job's canonical contribution store before spilling to disk (0 = never spill)")
 		spillDir = flag.String("shuffle-spill-dir", "",
 			"directory for contribution spill files (empty = system temp dir)")
+
+		// Front-door knobs (see DESIGN.md §12).
+		serve = flag.Bool("serve", false,
+			"run the multi-tenant submission front door instead of a preset workload")
+		tenantWeights = flag.String("tenant-weights", "",
+			"weighted fair-share map as name=weight pairs, e.g. ops=3,batch=1 (unlisted tenants weigh 1)")
+		admissionInterval = flag.Duration("admission-interval", 0,
+			"batched admission flush period (0 = default)")
+		intakeCap = flag.Int("intake-cap", 0,
+			"max submissions parked in intake before rejection (0 = default)")
+		clientSendQueue = flag.Int("client-send-queue", 0,
+			"outbound frame queue per client connection; status updates drop when full (0 = default)")
+		naiveAdmission = flag.Bool("naive-admission", false,
+			"baseline mode: one full admission pass per submission (benchmarking only)")
 	)
 	flag.Parse()
 	if *list {
@@ -76,8 +102,17 @@ func main() {
 		return
 	}
 
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := remote.Config{
 		Addr:              *listen,
+		Serve:             *serve,
+		AdmissionInterval: *admissionInterval,
+		IntakeCap:         *intakeCap,
+		ClientSendQueue:   *clientSendQueue,
+		NaiveAdmission:    *naiveAdmission,
 		ShuffleAddr:       *shuffle,
 		Workers:           *workers,
 		CoresPerWorker:    *cores,
@@ -98,6 +133,7 @@ func main() {
 	if *policy == "srjf" {
 		cfg.Core.Policy = core.SRJF
 	}
+	cfg.Core.TenantWeights = weights
 	m, err := remote.NewMaster(cfg)
 	if err != nil {
 		fatal(err)
@@ -105,6 +141,11 @@ func main() {
 	defer m.Close()
 	fmt.Printf("ursa-master: control %s shuffle %s — waiting for %d workers\n",
 		m.Addr(), m.ShuffleAddr(), *workers)
+
+	if *serve {
+		runServe(m)
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -146,6 +187,37 @@ func main() {
 	fmt.Printf("\nfinal %s\n", m.Transport.StatsLine(time.Now()))
 }
 
+// runServe runs the submission front door until a drain completes. The first
+// SIGINT/SIGTERM starts a graceful drain (reject new submissions, cancel
+// queued jobs with a terminal status, let admitted jobs finish); a second
+// signal hard-cancels the run.
+func runServe(m *remote.Master) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigC := make(chan os.Signal, 2)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	go func() {
+		<-sigC
+		fmt.Fprintln(os.Stderr, "ursa-master: draining — new submissions rejected (^C again to force quit)")
+		m.Drain()
+		<-sigC
+		cancel()
+	}()
+
+	fmt.Println("ursa-master: front door open — submit with ursa-sql -master or a wire client")
+	wallStart := time.Now()
+	runErr := m.Run(ctx)
+	wall := time.Since(wallStart)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		fatal(runErr)
+	}
+	if ing := m.Ingest(); ing != nil {
+		fmt.Printf("\nursa-master: drained after %.1fs — %s\n", wall.Seconds(), ing.StatsLine())
+	}
+	fmt.Printf("final %s\n", m.Transport.StatsLine(time.Now()))
+}
+
 func jobSpec(wl string, lines, parts, query, sales int) (string, []byte) {
 	switch wl {
 	case "wordcount":
@@ -177,6 +249,27 @@ func printResults(m *remote.Master, limit int) {
 			fmt.Printf("  %v\n", r)
 		}
 	}
+}
+
+// parseTenantWeights parses "-tenant-weights ops=3,batch=1" into the
+// scheduler's fair-share map.
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant-weights: %q is not name=weight", kv)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant-weights: %q needs a positive weight", kv)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 func fatal(err error) {

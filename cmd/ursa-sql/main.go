@@ -5,6 +5,14 @@
 // Usage:
 //
 //	ursa-sql -q "SELECT region, SUM(amount) FROM sales GROUP BY region" sales.csv
+//
+// With -master the query is not run locally: it is submitted to a running
+// `ursa-master -serve` cluster through the wire-protocol front door as a
+// "sql" workload job (the CSV text ships inside the job params), tagged
+// with -tenant for weighted fair sharing, and the command streams the job's
+// status transitions until it reaches a terminal state.
+//
+//	ursa-sql -master 127.0.0.1:7400 -tenant analytics -q "SELECT …" sales.csv
 package main
 
 import (
@@ -15,36 +23,41 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"ursa/internal/remote"
+	"ursa/internal/remote/workload"
 	"ursa/internal/sqlmini"
+	"ursa/internal/wire"
 )
 
 func main() {
 	query := flag.String("q", "", "SQL query to run (required)")
+	master := flag.String("master", "", "submit to a running `ursa-master -serve` at this address instead of running locally")
+	tenant := flag.String("tenant", "", "tenant name for fair-share accounting on remote submission")
 	flag.Parse()
 	if *query == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ursa-sql -q <query> <table.csv>...")
+		fmt.Fprintln(os.Stderr, "usage: ursa-sql [-master addr [-tenant name]] -q <query> <table.csv>...")
 		os.Exit(2)
+	}
+	if *master != "" {
+		runRemote(*master, *tenant, *query, flag.Args())
+		return
 	}
 	db := sqlmini.NewDB()
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ursa-sql: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		tbl, err := sqlmini.LoadCSV(name, f)
+		tbl, err := sqlmini.LoadCSV(tableName(path), f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ursa-sql: %s: %v\n", path, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 		db.Add(tbl)
 	}
 	res, err := sqlmini.Run(db, *query)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ursa-sql: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, strings.Join(res.Cols, "\t"))
@@ -56,4 +69,64 @@ func main() {
 		fmt.Fprintln(w, strings.Join(cells, "\t"))
 	}
 	w.Flush()
+}
+
+// runRemote ships the query and its tables to the front door as one "sql"
+// workload job and follows its status stream to a terminal state.
+func runRemote(addr, tenant, query string, paths []string) {
+	p := workload.SQLCSVParams{Query: query}
+	for _, path := range paths {
+		csv, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		p.Tables = append(p.Tables, workload.CSVTable{Name: tableName(path), CSV: string(csv)})
+	}
+	name, params := workload.SQLCSV(p)
+
+	statusC := make(chan wire.JobStatus, 16)
+	cl, err := remote.DialClient(remote.ClientConfig{
+		Addr:     addr,
+		Tenant:   tenant,
+		OnStatus: func(st wire.JobStatus) { statusC <- st },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	jobID, err := cl.Submit(name, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ursa-sql: submitted job %d to %s\n", jobID, addr)
+	for {
+		var st wire.JobStatus
+		select {
+		case st = <-statusC:
+		case <-cl.Done():
+			fatal(fmt.Errorf("connection to %s closed before the job finished", addr))
+		}
+		if st.JobID != jobID {
+			continue
+		}
+		switch st.State {
+		case wire.StateAdmitted:
+			fmt.Println("ursa-sql: admitted")
+		case wire.StateFinished:
+			fmt.Printf("ursa-sql: finished (%s)\n", st.Detail)
+			return
+		case wire.StateCancelled:
+			fmt.Fprintf(os.Stderr, "ursa-sql: cancelled (%s)\n", st.Detail)
+			os.Exit(1)
+		}
+	}
+}
+
+func tableName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ursa-sql: %v\n", err)
+	os.Exit(1)
 }

@@ -94,6 +94,12 @@ type Config struct {
 	// Placer optionally replaces Algorithm 1 (used for the Tetris and
 	// Capacity comparisons in §5.1.2). Nil selects Algorithm 1.
 	Placer Placer
+
+	// TenantWeights sets per-tenant fair-share weights for admission: the
+	// scheduler feeds tryAdmit from the queue of the tenant with the lowest
+	// reserved/weight deficit. Tenants not listed here — including the empty
+	// default tenant — weigh 1. Nil keeps every tenant at weight 1.
+	TenantWeights map[string]float64
 }
 
 // withDefaults fills unset fields with the paper's configuration.

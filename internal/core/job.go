@@ -10,6 +10,9 @@ import (
 type JobSpec struct {
 	Name  string
 	Graph *dag.Graph
+	// Tenant names the submitting tenant for weighted fair admission; the
+	// empty string is the default tenant (weight 1 unless configured).
+	Tenant string
 	// MemEstimate is the user-specified job memory estimate M(j) (§4.2.1),
 	// in bytes. Users tend to over-estimate; Ursa clamps per-task requests
 	// with m2i·I(t).
@@ -28,7 +31,25 @@ const (
 	JobQueued JobState = iota
 	JobAdmitted
 	JobFinished
+	// JobCancelled marks a job aborted while still queued; it never held a
+	// reservation and never ran. Admitted jobs cannot be cancelled.
+	JobCancelled
 )
+
+// String names the state for logs and status streams.
+func (st JobState) String() string {
+	switch st {
+	case JobQueued:
+		return "queued"
+	case JobAdmitted:
+		return "admitted"
+	case JobFinished:
+		return "finished"
+	case JobCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
 
 // Job is a submitted job instance.
 type Job struct {

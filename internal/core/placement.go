@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"ursa/internal/dag"
@@ -202,10 +202,10 @@ func anyVec(v *dVec) bool {
 }
 
 // smallSortThreshold is the candidate-pool size above which ranking switches
-// from insertion sort to sort.SliceStable. Insertion sort wins on the small
-// pools of steady-state ticks (no indirect calls, no reflection) but is
-// O(n²); deep pending pools take the O(n log n) path. Both orders are
-// stable descending, so the tie-break order is identical.
+// from insertion sort to slices.SortStableFunc. Insertion sort wins on the
+// small pools of steady-state ticks (no indirect calls) but is O(n²); deep
+// pending pools take the O(n log n) path. Both orders are stable descending,
+// so the tie-break order is identical.
 const smallSortThreshold = 32
 
 func (Algorithm1) Place(ctx *PlaceContext) []Placement {
@@ -239,8 +239,17 @@ func (Algorithm1) Place(ctx *PlaceContext) []Placement {
 	ctx.rankPass(d)
 	cands := ctx.cands
 	if len(cands) > smallSortThreshold {
-		sort.SliceStable(cands, func(i, j int) bool {
-			return cands[i].score > cands[j].score
+		// slices.SortStableFunc keeps the concrete []stageCand type through
+		// the sort — sort.SliceStable boxes the slice into an interface and
+		// allocates a closure header, the last allocations on this path.
+		slices.SortStableFunc(cands, func(a, b stageCand) int {
+			switch {
+			case a.score > b.score:
+				return -1
+			case a.score < b.score:
+				return 1
+			}
+			return 0
 		})
 	} else {
 		for i := 1; i < len(cands); i++ { // insertion sort: pools are small

@@ -12,11 +12,22 @@ import (
 // Scheduler is Ursa's centralized scheduler (§4.2.2): it admits jobs under a
 // cluster-wide memory reservation to prevent memory deadlock, and places
 // ready tasks onto workers in batches at the scheduling interval.
+//
+// Admission is multi-tenant: each tenant has its own queue ordered by the
+// paper's intra-queue policy (EJF submission order or SRJF priority), and a
+// deficit-weighted pick — the tenant with the lowest reserved/weight — decides
+// whose head job is offered to the reservation check next. With a single
+// tenant this degenerates to exactly the paper's single-queue discipline.
 type Scheduler struct {
 	sys *System
 
-	// admissionQueue holds submitted jobs waiting for memory reservation.
-	admissionQueue []*Job
+	// tenants maps tenant name → its admission queue; tenantSeq holds the
+	// same queues in first-submission order for deterministic iteration.
+	tenants   map[string]*tenantQueue
+	tenantSeq []*tenantQueue
+	// nqueued counts live (non-cancelled) queued jobs across all tenants.
+	nqueued int
+
 	// admitted are running jobs.
 	admitted []*Job
 	// reservedMem is the cluster-wide memory reserved for admitted jobs.
@@ -36,6 +47,79 @@ type Scheduler struct {
 
 	ticking  bool
 	stopTick func()
+}
+
+// tenantQueue is one tenant's admission queue plus its fair-share
+// accounting. jobs[head:] are the waiting entries in policy order; cancelled
+// jobs are removed lazily (skipped when the head is read, dropped wholesale
+// before an SRJF re-sort) so a cancel storm against a deep backlog stays O(1)
+// per cancel.
+type tenantQueue struct {
+	name   string
+	weight float64
+	jobs   []*Job
+	head   int
+	// waiting counts live queued jobs (excludes lazily cancelled entries).
+	waiting int
+	// reserved is the admission reservation currently held by this tenant's
+	// admitted jobs — the deficit counter of the weighted pick. It is
+	// corrected downward as jobs finish, so quota accounting tracks actual
+	// holdings rather than historical grants.
+	reserved float64
+}
+
+// skipCancelled advances head past lazily cancelled entries.
+func (tq *tenantQueue) skipCancelled() {
+	for tq.head < len(tq.jobs) && tq.jobs[tq.head].State == JobCancelled {
+		tq.jobs[tq.head] = nil
+		tq.head++
+	}
+	tq.maybeCompact()
+}
+
+// maybeCompact reclaims the consumed prefix once it dominates the slice, so
+// queue memory is bounded by the live backlog, amortized O(1) per pop.
+func (tq *tenantQueue) maybeCompact() {
+	if tq.head > 32 && tq.head > len(tq.jobs)-tq.head {
+		n := copy(tq.jobs, tq.jobs[tq.head:])
+		clear(tq.jobs[n:])
+		tq.jobs = tq.jobs[:n]
+		tq.head = 0
+	}
+}
+
+// pop removes and returns the head job. Callers must have ensured via
+// skipCancelled that the head is live.
+func (tq *tenantQueue) pop() *Job {
+	j := tq.jobs[tq.head]
+	tq.jobs[tq.head] = nil
+	tq.head++
+	tq.waiting--
+	tq.maybeCompact()
+	return j
+}
+
+// sortByPriority compacts out cancelled entries and stable-sorts the live
+// region by priority, descending — the SRJF intra-queue order.
+func (tq *tenantQueue) sortByPriority() {
+	live := tq.jobs[:0]
+	for _, j := range tq.jobs[tq.head:] {
+		if j.State != JobCancelled {
+			live = append(live, j)
+		}
+	}
+	clear(tq.jobs[len(live):])
+	tq.jobs = live
+	tq.head = 0
+	slices.SortStableFunc(tq.jobs, func(a, b *Job) int {
+		switch {
+		case a.priority > b.priority:
+			return -1
+		case a.priority < b.priority:
+			return 1
+		}
+		return 0
+	})
 }
 
 // PendingStage is a stage with ready, not yet placed tasks, the placement
@@ -68,16 +152,71 @@ func (ps *PendingStage) remove(t *dag.Task) {
 	t.SchedIdx = -1
 }
 
-func newScheduler(sys *System) *Scheduler { return &Scheduler{sys: sys} }
+func newScheduler(sys *System) *Scheduler {
+	return &Scheduler{sys: sys, tenants: make(map[string]*tenantQueue)}
+}
 
-// submit runs at a job's submission time: create the JM and try admission.
-func (s *Scheduler) submit(j *Job) {
+// tenantFor returns (creating on first use) the tenant's queue. Weights come
+// from Config.TenantWeights; unlisted tenants — including the empty default
+// tenant — weigh 1.
+func (s *Scheduler) tenantFor(name string) *tenantQueue {
+	if tq, ok := s.tenants[name]; ok {
+		return tq
+	}
+	w := 1.0
+	if cw, ok := s.sys.Cfg.TenantWeights[name]; ok && cw > 0 {
+		w = cw
+	}
+	tq := &tenantQueue{name: name, weight: w}
+	s.tenants[name] = tq
+	s.tenantSeq = append(s.tenantSeq, tq)
+	return tq
+}
+
+// enqueue stamps a submitted job and parks it on its tenant's queue without
+// running admission. The batch path enqueues many jobs and then runs one
+// flushAdmission, amortizing the admission pass — priority refresh, queue
+// sort, reservation checks — over the whole batch.
+func (s *Scheduler) enqueue(j *Job) {
 	j.Submitted = s.sys.Loop.Now()
 	j.State = JobQueued
 	j.jm = newJobManager(s.sys, j)
-	s.admissionQueue = append(s.admissionQueue, j)
+	tq := s.tenantFor(j.Spec.Tenant)
+	tq.jobs = append(tq.jobs, j)
+	tq.waiting++
+	s.nqueued++
+	s.sys.noteJobState(j)
+}
+
+// flushAdmission runs one admission pass over everything queued and makes
+// sure the placement tick is live.
+func (s *Scheduler) flushAdmission() {
 	s.tryAdmit()
 	s.ensureTicking()
+}
+
+// submit runs at a job's submission time: create the JM and try admission.
+func (s *Scheduler) submit(j *Job) {
+	s.enqueue(j)
+	s.flushAdmission()
+}
+
+// cancel aborts a queued job: it is marked cancelled, removed lazily from
+// its tenant queue, and counted as done. Jobs already admitted are past the
+// point of no return here — their monotasks may be running on workers — so
+// cancel reports false and leaves them alone.
+func (s *Scheduler) cancel(j *Job) bool {
+	if j.State != JobQueued {
+		return false
+	}
+	j.State = JobCancelled
+	j.Finished = s.sys.Loop.Now()
+	tq := s.tenantFor(j.Spec.Tenant)
+	tq.waiting--
+	s.nqueued--
+	s.sys.noteJobState(j)
+	s.sys.jobDone(j)
+	return true
 }
 
 // memEstimate returns M(j) clamped to cluster capacity so a single
@@ -90,46 +229,71 @@ func (s *Scheduler) memEstimate(j *Job) float64 {
 	return m
 }
 
+// pickTenant returns the queue that feeds the next admission attempt: among
+// tenants with a live waiting job, the one with the smallest reserved/weight
+// deficit (ties broken by first-submission order, deterministically). This is
+// the weighted-fair layer above the paper's intra-queue ordering.
+func (s *Scheduler) pickTenant() *tenantQueue {
+	var best *tenantQueue
+	var bestKey float64
+	for _, tq := range s.tenantSeq {
+		tq.skipCancelled()
+		if tq.head >= len(tq.jobs) {
+			continue
+		}
+		key := tq.reserved / tq.weight
+		if best == nil || key < bestKey {
+			best, bestKey = tq, key
+		}
+	}
+	return best
+}
+
 // tryAdmit admits queued jobs while the cluster-wide memory reservation
-// allows (§4.2.2 "Job admission"). Under SRJF the queue is examined in
-// priority order; under EJF in submission order.
+// allows (§4.2.2 "Job admission"). Each step offers the head job of the most
+// underserved tenant; within a tenant the queue is examined in priority order
+// under SRJF, submission order under EJF. Once a head job does not fit, the
+// pass stops: later jobs wait behind it (starvation is handled by this strict
+// ordering, as in existing schedulers).
 func (s *Scheduler) tryAdmit() {
-	if len(s.admissionQueue) == 0 {
+	if s.nqueued == 0 {
 		return
 	}
 	if s.sys.Cfg.Policy == SRJF {
 		s.refreshPriorities()
-		sort.SliceStable(s.admissionQueue, func(i, j int) bool {
-			return s.admissionQueue[i].priority > s.admissionQueue[j].priority
-		})
+		for _, tq := range s.tenantSeq {
+			tq.sortByPriority()
+		}
 	}
 	total := s.sys.Cluster.TotalMem()
-	var still []*Job
-	for i, j := range s.admissionQueue {
-		m := s.memEstimate(j)
-		if s.reservedMem+m <= total {
-			s.reservedMem += m
-			// Snapshot the reserved amount on the job: the release at
-			// finish must return exactly what admission took, even if
-			// cluster capacity (and hence the memEstimate clamp) changed
-			// in between, e.g. after a worker failure.
-			j.reservedMem = m
-			s.admit(j)
-			continue
+	for s.nqueued > 0 {
+		tq := s.pickTenant()
+		if tq == nil {
+			break // only lazily cancelled entries remained
 		}
-		// Keep admission ordered: once a job does not fit, later jobs wait
-		// behind it (starvation is handled by this strict ordering, as in
-		// existing schedulers).
-		still = append(still, s.admissionQueue[i:]...)
-		break
+		j := tq.jobs[tq.head]
+		m := s.memEstimate(j)
+		if s.reservedMem+m > total {
+			break
+		}
+		s.reservedMem += m
+		// Snapshot the reserved amount on the job: the release at finish
+		// must return exactly what admission took, even if cluster capacity
+		// (and hence the memEstimate clamp) changed in between, e.g. after a
+		// worker failure.
+		j.reservedMem = m
+		tq.reserved += m
+		tq.pop()
+		s.nqueued--
+		s.admit(j)
 	}
-	s.admissionQueue = still
 }
 
 func (s *Scheduler) admit(j *Job) {
 	j.State = JobAdmitted
 	j.Admitted = s.sys.Loop.Now()
 	s.admitted = append(s.admitted, j)
+	s.sys.noteJobState(j)
 	j.jm.onAdmit()
 }
 
@@ -165,23 +329,95 @@ func (s *Scheduler) taskFinished(j *Job, t *dag.Task, w *Worker) {
 // admission. The release uses the reservation snapshotted at admission, not
 // a recomputed estimate: recomputing against the current cluster capacity
 // would leak (or over-release) reservation whenever capacity changed between
-// admit and finish, e.g. under worker failures.
+// admit and finish, e.g. under worker failures. The tenant's deficit counter
+// releases the same snapshot, keeping quota accounting honest as jobs
+// complete.
 func (s *Scheduler) jobFinished(j *Job) {
 	j.State = JobFinished
 	j.Finished = s.sys.Loop.Now()
 	s.reservedMem -= j.reservedMem
-	j.reservedMem = 0
 	if s.reservedMem < 0 {
 		s.reservedMem = 0
 	}
+	tq := s.tenantFor(j.Spec.Tenant)
+	tq.reserved -= j.reservedMem
+	if tq.reserved < 0 {
+		tq.reserved = 0
+	}
+	j.reservedMem = 0
 	for i, a := range s.admitted {
 		if a == j {
 			s.admitted = append(s.admitted[:i], s.admitted[i+1:]...)
 			break
 		}
 	}
+	s.sys.noteJobState(j)
 	s.tryAdmit()
 	s.sys.jobDone(j)
+}
+
+// TenantShare is one tenant's fair-share accounting snapshot.
+type TenantShare struct {
+	Tenant   string  // tenant name ("" = default)
+	Weight   float64 // configured fair-share weight
+	Reserved float64 // admission reservation currently held, bytes
+	Queued   int     // live jobs waiting in the tenant's queue
+}
+
+// TenantShares snapshots per-tenant accounting in first-submission order.
+// Loop-owned state: call on the control loop.
+func (s *Scheduler) TenantShares() []TenantShare {
+	out := make([]TenantShare, 0, len(s.tenantSeq))
+	for _, tq := range s.tenantSeq {
+		out = append(out, TenantShare{
+			Tenant: tq.name, Weight: tq.weight,
+			Reserved: tq.reserved, Queued: tq.waiting,
+		})
+	}
+	return out
+}
+
+// QueuedCount returns the number of live queued (not yet admitted) jobs.
+// Loop-owned state: call on the control loop.
+func (s *Scheduler) QueuedCount() int { return s.nqueued }
+
+// AdmittedCount returns the number of currently admitted jobs. Loop-owned
+// state: call on the control loop.
+func (s *Scheduler) AdmittedCount() int { return len(s.admitted) }
+
+// ShareError measures how far reservation holdings sit from the weighted
+// fair point: the maximum over demanding tenants of |share_i − fairShare_i|,
+// where share_i is the tenant's fraction of all reserved memory and
+// fairShare_i its fraction of the demanding tenants' total weight. Tenants
+// with neither a reservation nor waiting jobs are not demanding and are
+// excluded (DRF charges no one for resources nobody wants). Returns 0 when
+// nothing is reserved.
+func ShareError(shares []TenantShare) float64 {
+	var sumW, sumR float64
+	for _, ts := range shares {
+		if ts.Reserved <= 0 && ts.Queued == 0 {
+			continue
+		}
+		sumW += ts.Weight
+		sumR += ts.Reserved
+	}
+	if sumR <= 0 || sumW <= 0 {
+		return 0
+	}
+	var worst float64
+	for _, ts := range shares {
+		if ts.Reserved <= 0 && ts.Queued == 0 {
+			continue
+		}
+		d := ts.Reserved/sumR - ts.Weight/sumW
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 // ensureTicking starts the periodic placement tick when there is work.
@@ -245,9 +481,9 @@ func (s *Scheduler) refreshPriorities() {
 		for _, j := range s.admitted {
 			j.priority = -j.Submitted.Seconds()
 		}
-		for _, j := range s.admissionQueue {
+		s.eachQueued(func(j *Job) {
 			j.priority = -j.Submitted.Seconds()
-		}
+		})
 	case SRJF:
 		var load resource.Vector // L: total remaining work of admitted jobs
 		for _, j := range s.admitted {
@@ -270,12 +506,21 @@ func (s *Scheduler) refreshPriorities() {
 		for _, j := range s.admitted {
 			j.priority = score(j)
 		}
-		for _, j := range s.admissionQueue {
-			// Queued jobs rank by their remaining hint against the same L.
-			j.priority = score(j)
-		}
+		// Queued jobs rank by their remaining hint against the same L.
+		s.eachQueued(func(j *Job) { j.priority = score(j) })
 	}
 	s.computeRanks()
+}
+
+// eachQueued visits every live queued job across all tenant queues.
+func (s *Scheduler) eachQueued(fn func(*Job)) {
+	for _, tq := range s.tenantSeq {
+		for _, j := range tq.jobs[tq.head:] {
+			if j != nil && j.State != JobCancelled {
+				fn(j)
+			}
+		}
+	}
 }
 
 // computeRanks caches every admitted job's ordering rank — the number of

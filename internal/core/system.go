@@ -28,6 +28,12 @@ type System struct {
 
 	// OnJobFinished, if set, is invoked as each job completes.
 	OnJobFinished func(*Job)
+
+	// OnJobStateChange, if set, fires on the loop at every job state
+	// transition (queued, admitted, finished, cancelled) — the front door
+	// uses it to stream JobStatus and to prepare workers at admission time.
+	// On admission it fires before any monotask of the job can dispatch.
+	OnJobStateChange func(*Job)
 }
 
 // NewSystem builds an Ursa system over the given cluster, using the
@@ -72,6 +78,32 @@ func (s *System) SubmitPlan(spec JobSpec, plan *dag.Plan, at eventloop.Time) *Jo
 	s.jobs = append(s.jobs, j)
 	s.Loop.At(at, func() { s.Sched.submit(j) })
 	return j
+}
+
+// SubmitPlanNow registers a job and enqueues it on its tenant's admission
+// queue immediately, without running an admission pass. Loop-owned: call
+// from a loop callback. Pair with FlushAdmission — the batch path enqueues
+// many jobs, then runs one admission pass over all of them, so per-job cost
+// is queue append + stamp instead of a full reservation/rank/sort pass.
+func (s *System) SubmitPlanNow(spec JobSpec, plan *dag.Plan) *Job {
+	j := &Job{ID: len(s.jobs), Spec: spec, Plan: plan}
+	j.remaining = planWorkHint(plan)
+	s.jobs = append(s.jobs, j)
+	s.Sched.enqueue(j)
+	return j
+}
+
+// FlushAdmission runs one admission pass over everything queued. Loop-owned.
+func (s *System) FlushAdmission() { s.Sched.flushAdmission() }
+
+// CancelJob aborts a queued job and reports whether it was cancelled.
+// Admitted, finished, and already-cancelled jobs report false. Loop-owned.
+func (s *System) CancelJob(j *Job) bool { return s.Sched.cancel(j) }
+
+func (s *System) noteJobState(j *Job) {
+	if s.OnJobStateChange != nil {
+		s.OnJobStateChange(j)
+	}
 }
 
 // MustSubmit is Submit for statically known-good specs.

@@ -60,6 +60,12 @@ type Config struct {
 	// dispatches monotasks to worker agent processes over TCP while the
 	// control plane above stays byte-for-byte identical.
 	NewBackend func(*System) Backend
+	// Serve keeps the driver running after all currently submitted jobs
+	// finish: the system is a long-lived service accepting submissions (the
+	// master's front door) rather than a run-to-completion batch. Stop it
+	// with Shutdown (or ctx cancellation); Run does not treat an empty job
+	// table as an error in this mode.
+	Serve bool
 }
 
 // Backend is a live System's execution back-end: the MonotaskExecutor the
@@ -214,6 +220,63 @@ func (s *System) SubmitPlan(spec core.JobSpec, plan *dag.Plan, inputs []localrt.
 	return j, nil
 }
 
+// Submission is one entry of a SubmitBatch: a pre-built plan plus its
+// inputs, with an optional callback fired on the control loop once the job
+// is queued (before the batch's single admission pass runs).
+type Submission struct {
+	Spec   core.JobSpec
+	Plan   *dag.Plan
+	Inputs []localrt.PlanInput
+	// OnQueued runs on the control loop right after this job is enqueued
+	// and registered with the back-end, before any job in the batch can be
+	// admitted — the window where a caller can bind job-tracking state
+	// without racing the admission hooks.
+	OnQueued func(*Job)
+}
+
+// SubmitBatch submits many jobs in one driver crossing: the whole batch is
+// enqueued on the tenant admission queues and then a single admission pass
+// runs, so per-job cost is an append instead of a full reservation/rank/sort
+// pass and a lock round-trip each. It does not block on the loop; after (if
+// set) runs on the loop once the admission pass completes. Before Run it
+// executes synchronously.
+func (s *System) SubmitBatch(subs []Submission, after func()) {
+	run := func() {
+		for i := range subs {
+			sub := &subs[i]
+			rt := localrt.New(sub.Plan)
+			for _, in := range sub.Inputs {
+				rt.SetInput(in.Dataset, in.Rows)
+			}
+			j := &Job{rt: rt}
+			j.Core = s.Core.SubmitPlanNow(sub.Spec, sub.Plan)
+			s.mu.Lock()
+			s.jobs = append(s.jobs, j)
+			s.mu.Unlock()
+			s.exec.RegisterJob(j.Core, rt)
+			if sub.OnQueued != nil {
+				sub.OnQueued(j)
+			}
+		}
+		s.Core.FlushAdmission()
+		if after != nil {
+			after()
+		}
+	}
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		s.Drv.Send(run)
+	} else {
+		run()
+	}
+}
+
+// Shutdown stops the driver loop from any goroutine; Run returns after the
+// loop drains. Serve-mode callers use it once the front door has drained.
+func (s *System) Shutdown() { s.Drv.Stop() }
+
 // Jobs returns the submitted live jobs in submission order.
 func (s *System) Jobs() []*Job {
 	s.mu.Lock()
@@ -251,7 +314,7 @@ func (s *System) Run(ctx context.Context) error {
 		if cb := s.OnJobFinished; cb != nil {
 			cb(j)
 		}
-		if s.Core.AllDone() {
+		if s.Core.AllDone() && !s.cfg.Serve {
 			if s.Sampler != nil {
 				s.Sampler.Stop()
 			}
@@ -266,7 +329,7 @@ func (s *System) Run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	if !s.Core.AllDone() {
+	if !s.Core.AllDone() && !s.cfg.Serve {
 		return errors.New("live: driver stopped before all jobs finished")
 	}
 	return nil

@@ -40,7 +40,7 @@ type remoteExecutor struct {
 	origins map[originKey][]int
 
 	mu      sync.Mutex
-	pending *jobRec
+	pending []*jobRec // FIFO, consumed in RegisterJob order
 	jobs    map[int64]*jobRec
 	byCore  map[*core.Job]*jobRec
 }
@@ -86,12 +86,21 @@ func newRemoteExecutor(m *Master, sys *live.System) *remoteExecutor {
 }
 
 // setPending stages the workload identity for the RegisterJob callback that
-// the imminent SubmitPlan will trigger (Master.Submit is serialized and
-// precedes Run, so at most one submission is in flight).
+// the imminent SubmitPlan will trigger.
 func (e *remoteExecutor) setPending(name string, params []byte, bj *workload.BuiltJob) {
+	e.stagePending(&jobRec{name: name, params: params, built: bj})
+}
+
+// stagePending appends workload records to the FIFO that RegisterJob pops.
+// Callers must stage records in the exact order the matching submissions
+// reach the control loop: Master.Submit stages one and submits synchronously
+// before Run, and the front door stages a whole batch then ships it in a
+// single SubmitBatch closure — both keep staging and submission atomic, so
+// the queues can never interleave out of order.
+func (e *remoteExecutor) stagePending(recs ...*jobRec) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.pending = &jobRec{name: name, params: params, built: bj}
+	e.pending = append(e.pending, recs...)
 }
 
 // RegisterJob implements live.Backend: it binds the core job and canonical
@@ -105,11 +114,11 @@ func (e *remoteExecutor) RegisterJob(j *core.Job, rt *localrt.Runtime) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	rec := e.pending
-	if rec == nil {
-		panic("remote: job submitted without Master.Submit (use Submit, not Sys.Submit)")
+	if len(e.pending) == 0 {
+		panic("remote: job submitted without a staged workload record (use Master.Submit or the front door, not Sys.Submit)")
 	}
-	e.pending = nil
+	rec := e.pending[0]
+	e.pending = e.pending[1:]
 	rec.core = j
 	rec.rt = rt
 	e.jobs[int64(j.ID)] = rec
@@ -120,6 +129,12 @@ func (e *remoteExecutor) record(jobID int64) *jobRec {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.jobs[jobID]
+}
+
+func (e *remoteExecutor) recordByCore(j *core.Job) *jobRec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.byCore[j]
 }
 
 // closeRuntimes releases every job's canonical store (spill files). Called

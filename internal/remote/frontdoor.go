@@ -1,0 +1,468 @@
+package remote
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ursa/internal/core"
+	"ursa/internal/live"
+	"ursa/internal/metrics"
+	"ursa/internal/remote/workload"
+	"ursa/internal/wire"
+)
+
+// frontDoor is the master's multi-tenant job submission path (serve mode):
+// client connections feed SubmitJob frames into sharded intake queues, and a
+// single pump goroutine drains them in batches through live.SubmitBatch —
+// one driver crossing and one admission pass per batch, so the scheduler's
+// per-submission cost (reservation check, SRJF rank refresh, queue insert)
+// is amortized to O(batch) instead of O(backlog) per job. Acks flow back on
+// the submitting connection; job lifecycle transitions stream as JobStatus
+// frames through the bounded client send queue, dropped (and counted) when a
+// slow subscriber's queue is full.
+type frontDoor struct {
+	m      *Master
+	Ingest *metrics.Ingest
+
+	shards  []intakeShard
+	queued  atomic.Int64 // intake entries accepted but not yet flushed
+	notify  chan struct{}
+	started chan struct{} // closed on the loop once the driver is running
+
+	draining atomic.Bool
+	naive    atomic.Bool // per-submit admission (baseline mode); see Master.SetNaiveAdmission
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	// submitMu serializes stagePending+SubmitBatch pairs so the executor's
+	// pending-record FIFO always matches submission order, and fences the
+	// drain flag: once drain() has held and released it, no further batch
+	// can slip into the scheduler.
+	submitMu sync.Mutex
+
+	mu      sync.Mutex
+	clients map[*clientLink]struct{}
+	byID    map[int64]*feJob
+	byCore  map[*core.Job]*feJob
+}
+
+// nIntakeShards spreads intake contention across tenant-hashed locks; a
+// tenant always lands on one shard, so its submissions stay FIFO.
+const nIntakeShards = 8
+
+// maxAdmissionBatch caps jobs per scheduler pass so one flush cannot occupy
+// the control loop unboundedly; the pump immediately collects the next batch.
+const maxAdmissionBatch = 4096
+
+type intakeShard struct {
+	mu   sync.Mutex
+	subs []intakeSub
+}
+
+type intakeSub struct {
+	link     *clientLink
+	submitID int64
+	tenant   string
+	workload string
+	params   []byte
+}
+
+// clientLink is one client connection. The wire.Conn's send queue is bounded
+// by Config.ClientSendQueue; acks use Send (a client that stops draining its
+// own acks is a dead peer), status updates use TrySend (drop, don't kill).
+type clientLink struct {
+	conn *wire.Conn
+}
+
+// feJob tracks one client-submitted job from ack to terminal status.
+type feJob struct {
+	link     *clientLink
+	submitID int64
+	job      *live.Job
+}
+
+func newFrontDoor(m *Master) *frontDoor {
+	fd := &frontDoor{
+		m:       m,
+		Ingest:  metrics.NewIngest(),
+		shards:  make([]intakeShard, nIntakeShards),
+		notify:  make(chan struct{}, 1),
+		started: make(chan struct{}),
+		quit:    make(chan struct{}),
+		clients: make(map[*clientLink]struct{}),
+		byID:    make(map[int64]*feJob),
+		byCore:  make(map[*core.Job]*feJob),
+	}
+	fd.naive.Store(m.cfg.NaiveAdmission)
+	m.Sys.Core.OnJobStateChange = fd.onJobState
+	go fd.pump()
+	return fd
+}
+
+// markStarted runs on the control loop as the driver's first inbox event
+// (Master.Run sends it right before Sys.Run), releasing the pump and any
+// naive-mode submitters.
+func (fd *frontDoor) markStarted() {
+	select {
+	case <-fd.started:
+	default:
+		close(fd.started)
+	}
+}
+
+func (fd *frontDoor) close() {
+	fd.quitOnce.Do(func() { close(fd.quit) })
+	fd.mu.Lock()
+	links := make([]*clientLink, 0, len(fd.clients))
+	for l := range fd.clients {
+		links = append(links, l)
+	}
+	fd.mu.Unlock()
+	for _, l := range links {
+		l.conn.Close()
+	}
+}
+
+// serveClient owns one client connection's inbound path; runs on the
+// connection's handshake goroutine until the peer hangs up.
+func (fd *frontDoor) serveClient(c *wire.Conn, first wire.Msg) {
+	link := &clientLink{conn: c}
+	fd.mu.Lock()
+	fd.clients[link] = struct{}{}
+	fd.mu.Unlock()
+	fd.Ingest.ObserveClient()
+	fd.handleClientMsg(link, first)
+	c.ReadLoop(func(msg wire.Msg) error {
+		fd.handleClientMsg(link, msg)
+		return nil
+	})
+	c.Close()
+	fd.mu.Lock()
+	delete(fd.clients, link)
+	fd.mu.Unlock()
+}
+
+func (fd *frontDoor) handleClientMsg(link *clientLink, msg wire.Msg) {
+	switch msg := msg.(type) {
+	case wire.SubmitJob:
+		fd.submit(link, msg)
+	case wire.CancelJob:
+		fd.cancelJob(msg.JobID)
+	}
+}
+
+func (fd *frontDoor) reject(link *clientLink, submitID int64, reason string) {
+	fd.Ingest.ObserveRejection()
+	link.conn.Send(wire.SubmitAck{SubmitID: submitID, Err: reason})
+}
+
+// submit runs on the client's read goroutine: admission control on the
+// intake (drain, cap), then an O(1) sharded append — the scheduler is not
+// touched here.
+func (fd *frontDoor) submit(link *clientLink, msg wire.SubmitJob) {
+	if fd.draining.Load() {
+		fd.reject(link, msg.SubmitID, "draining")
+		return
+	}
+	if int(fd.queued.Load()) >= fd.m.cfg.IntakeCap {
+		fd.reject(link, msg.SubmitID, "intake full")
+		return
+	}
+	sub := intakeSub{
+		link: link, submitID: msg.SubmitID,
+		tenant: msg.Tenant, workload: msg.Workload, params: msg.Params,
+	}
+	if fd.naive.Load() {
+		fd.submitNaive(sub)
+		return
+	}
+	fd.queued.Add(1)
+	sh := &fd.shards[shardFor(msg.Tenant)]
+	sh.mu.Lock()
+	sh.subs = append(sh.subs, sub)
+	sh.mu.Unlock()
+	select {
+	case fd.notify <- struct{}{}:
+	default:
+	}
+}
+
+func shardFor(tenant string) int {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return int(h.Sum32() % nIntakeShards)
+}
+
+// pump is the batched admission pipeline: wait for intake, let one
+// AdmissionInterval of submissions accumulate, flush them through the
+// scheduler in one pass, repeat.
+func (fd *frontDoor) pump() {
+	select {
+	case <-fd.started:
+	case <-fd.quit:
+		return
+	}
+	for {
+		select {
+		case <-fd.quit:
+			return
+		case <-fd.notify:
+		}
+		select {
+		case <-fd.quit:
+			return
+		case <-time.After(fd.m.cfg.AdmissionInterval):
+		}
+		fd.flush()
+	}
+}
+
+// flush drains the intake in batches. Each batch waits for the previous
+// admission pass to complete on the loop before the next is shipped, so the
+// driver inbox holds at most one front-door batch at a time.
+func (fd *frontDoor) flush() {
+	for {
+		fd.submitMu.Lock()
+		if fd.draining.Load() {
+			fd.submitMu.Unlock()
+			fd.rejectIntake("draining")
+			return
+		}
+		batch := fd.collect(maxAdmissionBatch)
+		if len(batch) == 0 {
+			fd.submitMu.Unlock()
+			return
+		}
+		done := make(chan struct{})
+		n := fd.submitBatch(batch, func() { close(done) })
+		fd.submitMu.Unlock()
+		if n > 0 {
+			select {
+			case <-done:
+			case <-fd.quit:
+				return
+			}
+		}
+	}
+}
+
+// collect takes up to max intake entries across the shards, FIFO per shard.
+func (fd *frontDoor) collect(max int) []intakeSub {
+	var out []intakeSub
+	for i := range fd.shards {
+		sh := &fd.shards[i]
+		sh.mu.Lock()
+		take := len(sh.subs)
+		if len(out)+take > max {
+			take = max - len(out)
+		}
+		out = append(out, sh.subs[:take]...)
+		if take == len(sh.subs) {
+			sh.subs = nil
+		} else {
+			rest := make([]intakeSub, len(sh.subs)-take)
+			copy(rest, sh.subs[take:])
+			sh.subs = rest
+		}
+		sh.mu.Unlock()
+		if len(out) >= max {
+			break
+		}
+	}
+	fd.queued.Add(-int64(len(out)))
+	return out
+}
+
+// submitBatch builds each submission's workload off the loop, stages the
+// executor records in submission order, and ships the whole batch in one
+// driver crossing. Returns how many submissions were shipped (build failures
+// are acked with the error and skipped). Caller holds submitMu.
+func (fd *frontDoor) submitBatch(batch []intakeSub, after func()) int {
+	recs := make([]*jobRec, 0, len(batch))
+	subs := make([]live.Submission, 0, len(batch))
+	for i := range batch {
+		in := batch[i]
+		bj, err := workload.Build(in.workload, in.params)
+		if err != nil {
+			fd.reject(in.link, in.submitID, err.Error())
+			continue
+		}
+		spec := bj.Spec
+		spec.Tenant = in.tenant
+		recs = append(recs, &jobRec{name: in.workload, params: in.params, built: bj})
+		subs = append(subs, live.Submission{
+			Spec: spec, Plan: bj.Plan, Inputs: bj.Inputs,
+			OnQueued: func(j *live.Job) { fd.bindJob(in.link, in.submitID, j) },
+		})
+	}
+	if len(subs) == 0 {
+		if after != nil {
+			after()
+		}
+		return 0
+	}
+	fd.m.exec.stagePending(recs...)
+	fd.Ingest.ObserveBatch(len(subs))
+	fd.m.Sys.SubmitBatch(subs, after)
+	return len(subs)
+}
+
+// submitNaive is the benchmark baseline: one driver crossing and one full
+// admission pass per submission, serialized on submitMu.
+func (fd *frontDoor) submitNaive(sub intakeSub) {
+	select {
+	case <-fd.started:
+	case <-fd.quit:
+		return
+	}
+	fd.submitMu.Lock()
+	if fd.draining.Load() {
+		fd.submitMu.Unlock()
+		fd.reject(sub.link, sub.submitID, "draining")
+		return
+	}
+	fd.submitBatch([]intakeSub{sub}, nil)
+	fd.submitMu.Unlock()
+}
+
+// rejectIntake acks everything still parked on the intake with a terminal
+// rejection (drain path).
+func (fd *frontDoor) rejectIntake(reason string) {
+	for {
+		batch := fd.collect(maxAdmissionBatch)
+		if len(batch) == 0 {
+			return
+		}
+		for i := range batch {
+			fd.reject(batch[i].link, batch[i].submitID, reason)
+		}
+	}
+}
+
+// bindJob runs on the control loop via Submission.OnQueued: the job is in
+// the scheduler's tenant queue and registered with the executor, so its ID
+// is durable — ack it and index it for status streaming and cancellation.
+func (fd *frontDoor) bindJob(link *clientLink, submitID int64, j *live.Job) {
+	fe := &feJob{link: link, submitID: submitID, job: j}
+	fd.mu.Lock()
+	fd.byID[int64(j.Core.ID)] = fe
+	fd.byCore[j.Core] = fe
+	fd.mu.Unlock()
+	fd.Ingest.ObserveSubmission()
+	link.conn.Send(wire.SubmitAck{SubmitID: submitID, JobID: int64(j.Core.ID)})
+}
+
+// onJobState is the core's job-state hook (control loop). For front-door
+// jobs it streams lifecycle transitions to the owning client and — on
+// admission — broadcasts the job's Prepare to the worker agents. The hook
+// fires before the scheduler dispatches any of the job's monotasks, and each
+// worker connection is FIFO, so Prepare precedes every Dispatch exactly as
+// in the batch path's upfront broadcast.
+func (fd *frontDoor) onJobState(j *core.Job) {
+	fd.mu.Lock()
+	fe := fd.byCore[j]
+	fd.mu.Unlock()
+	if fe == nil {
+		return // not a front-door job (pre-submitted batch job)
+	}
+	jobID := int64(j.ID)
+	switch j.State {
+	case core.JobAdmitted:
+		rec := fd.m.exec.recordByCore(j)
+		p := wire.Prepare{JobID: jobID, Workload: rec.name, Params: rec.params}
+		for _, link := range fd.m.workers {
+			if link != nil && !link.failed {
+				link.conn.Send(p)
+			}
+		}
+		fd.sendStatus(fe, wire.StateAdmitted, "")
+	case core.JobFinished:
+		fd.sendStatus(fe, wire.StateFinished,
+			fmt.Sprintf("jct=%.3fs", float64(j.Finished-j.Submitted)/1e6))
+		fd.forget(fe)
+	case core.JobCancelled:
+		fd.sendStatus(fe, wire.StateCancelled, "cancelled")
+		fd.forget(fe)
+	}
+}
+
+// sendStatus streams one lifecycle update; a full client queue drops the
+// frame (counted) instead of buffering or failing the link.
+func (fd *frontDoor) sendStatus(fe *feJob, state byte, detail string) {
+	ok := fe.link.conn.TrySend(wire.JobStatus{
+		SubmitID: fe.submitID, JobID: int64(fe.job.Core.ID),
+		State: state, Detail: detail,
+	})
+	if !ok {
+		fd.Ingest.ObserveStatusDrop(1)
+	}
+}
+
+func (fd *frontDoor) forget(fe *feJob) {
+	fd.mu.Lock()
+	delete(fd.byID, int64(fe.job.Core.ID))
+	delete(fd.byCore, fe.job.Core)
+	fd.mu.Unlock()
+}
+
+// cancelJob relays a client cancellation onto the loop; lazy cancellation in
+// the scheduler makes it O(1). The terminal status flows from onJobState.
+func (fd *frontDoor) cancelJob(jobID int64) {
+	fd.m.Sys.Drv.Send(func() {
+		fd.mu.Lock()
+		fe := fd.byID[jobID]
+		fd.mu.Unlock()
+		if fe == nil {
+			return
+		}
+		if fd.m.Sys.Core.CancelJob(fe.job.Core) {
+			fd.Ingest.ObserveCancel()
+		}
+	})
+}
+
+// drain begins the graceful shutdown: refuse new submissions, terminally ack
+// everything still on the intake, cancel queued-but-unadmitted front-door
+// jobs, and stop the loop once the last admitted job finishes.
+func (fd *frontDoor) drain() {
+	// The submitMu round-trip fences in-flight flushes: once it is released,
+	// every later batch sees draining and rejects instead of submitting.
+	fd.submitMu.Lock()
+	fd.draining.Store(true)
+	fd.submitMu.Unlock()
+	fd.rejectIntake("draining")
+	fd.m.Sys.Drv.Send(func() {
+		fd.mu.Lock()
+		queued := make([]*feJob, 0, len(fd.byCore))
+		for j, fe := range fd.byCore {
+			if j.State == core.JobQueued {
+				queued = append(queued, fe)
+			}
+		}
+		fd.mu.Unlock()
+		for _, fe := range queued {
+			if fd.m.Sys.Core.CancelJob(fe.job.Core) {
+				fd.Ingest.ObserveCancel()
+			}
+		}
+		fd.maybeFinishDrain()
+	})
+}
+
+// maybeFinishDrain stops the driver once a drain has emptied the scheduler.
+// Runs on the control loop (Master's OnJobFinished wrapper and the drain
+// closure). Pre-submitted batch jobs still queued keep the loop alive until
+// they run to completion — drain refuses new work, it does not abandon
+// accepted work.
+func (fd *frontDoor) maybeFinishDrain() {
+	if !fd.draining.Load() {
+		return
+	}
+	sched := fd.m.Sys.Core.Sched
+	if sched.AdmittedCount() == 0 && sched.QueuedCount() == 0 {
+		fd.m.Sys.Shutdown()
+	}
+}

@@ -12,6 +12,7 @@
 package remote
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -85,6 +86,32 @@ type Config struct {
 	// the next request on an open connection (default
 	// shuffle.DefaultServerReadIdle).
 	ShuffleReadIdle time.Duration
+	// Serve opens the job front door: the master accepts client connections
+	// (SubmitJob/CancelJob frames) alongside worker registrations and keeps
+	// running after pre-submitted jobs finish, until Drain. Off by default —
+	// the classic submit-then-run batch mode.
+	Serve bool
+	// AdmissionInterval paces the front door's batched admission flushes:
+	// submissions arriving within one interval are queued on the intake
+	// shards and admitted together in a single scheduler pass, so the
+	// reservation check, SRJF rank refresh and queue insert are paid once
+	// per batch instead of once per job. Default 2ms — the p99 ack-latency
+	// floor a submission pays for batching. Serve mode only.
+	AdmissionInterval time.Duration
+	// IntakeCap bounds submissions queued at the intake ahead of admission;
+	// beyond it new SubmitJobs are rejected ("intake full") instead of
+	// growing an unbounded buffer. Default 65536.
+	IntakeCap int
+	// ClientSendQueue bounds each client connection's outbound frame queue
+	// (acks and JobStatus updates). A slow status subscriber has this many
+	// frames of buffer; further JobStatus frames are dropped and counted
+	// (Ingest.StatusDrops) rather than buffered or fatal. Default 256.
+	ClientSendQueue int
+	// NaiveAdmission disables intake batching: every submission takes its
+	// own driver crossing and full admission pass. The one-lock-per-submit
+	// baseline the ingest benchmark compares against; never set in real
+	// deployments.
+	NaiveAdmission bool
 	// Core configures the scheduling core (defaults as in live.Config).
 	Core core.Config
 	// Logf, if set, receives the master's log lines.
@@ -121,6 +148,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if c.AdmissionInterval <= 0 {
+		c.AdmissionInterval = 2 * time.Millisecond
+	}
+	if c.IntakeCap <= 0 {
+		c.IntakeCap = 1 << 16
+	}
+	if c.ClientSendQueue <= 0 {
+		c.ClientSendQueue = 256
 	}
 	if c.WriteDeadline == 0 {
 		c.WriteDeadline = DefaultWriteDeadline
@@ -180,6 +216,7 @@ type Master struct {
 	ln         net.Listener
 	shuffleSrv *shuffle.Server
 	exec       *remoteExecutor
+	fd         *frontDoor // non-nil iff cfg.Serve
 
 	ready chan struct{} // closed when cfg.Workers agents have registered
 
@@ -224,13 +261,46 @@ func NewMaster(cfg Config) (*Master, error) {
 		MemPerWorker:   cfg.MemPerWorker,
 		Core:           cfg.Core,
 		SampleInterval: cfg.SampleInterval,
+		Serve:          cfg.Serve,
 		NewBackend: func(s *live.System) live.Backend {
 			m.exec = newRemoteExecutor(m, s)
 			return m.exec
 		},
 	})
+	if cfg.Serve {
+		m.fd = newFrontDoor(m)
+	}
 	go m.accept()
 	return m, nil
+}
+
+// Ingest exposes the front-door counters (nil unless Config.Serve).
+func (m *Master) Ingest() *metrics.Ingest {
+	if m.fd == nil {
+		return nil
+	}
+	return m.fd.Ingest
+}
+
+// SetNaiveAdmission switches the front door between the batched admission
+// pipeline and the per-submit baseline at runtime. The benchmark harness uses
+// this to build an identical standing backlog through the fast path before
+// measuring either arm. No-op outside serve mode.
+func (m *Master) SetNaiveAdmission(naive bool) {
+	if m.fd != nil {
+		m.fd.naive.Store(naive)
+	}
+}
+
+// Drain starts a graceful front-door shutdown: new submissions are rejected,
+// queued-but-unadmitted jobs are cancelled with a terminal JobStatus, and
+// once every admitted job has finished the control loop stops and Run
+// returns nil. No-op outside serve mode. Safe to call from any goroutine
+// (signal handlers); idempotent.
+func (m *Master) Drain() {
+	if m.fd != nil {
+		m.fd.drain()
+	}
 }
 
 // Addr is the control-plane address agents dial.
@@ -299,8 +369,51 @@ func (m *Master) accept() {
 	}
 }
 
+// handshake classifies one inbound connection by its first frame — Register
+// opens a worker link, SubmitJob/CancelJob a client link — and only then
+// wraps it in a wire.Conn, because the two kinds want different configs
+// (pooled reads and a deep send queue for workers; a shallow, droppable
+// status queue for clients). The sniff reads through the same bufio.Reader
+// the Conn adopts, so frames the peer pipelined behind the first are kept.
 func (m *Master) handshake(nc net.Conn) {
-	c := wire.NewConnConfig(nc, wire.Config{
+	br := bufio.NewReader(nc)
+	// Bounded first read: a connection that never identifies itself is cut
+	// loose instead of pinning this goroutine forever.
+	nc.SetReadDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
+	typ, payload, err := wire.ReadFrame(br, m.cfg.MaxFrame)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	first, err := wire.Decode(typ, payload)
+	if err != nil {
+		nc.Close()
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	switch msg := first.(type) {
+	case wire.Register:
+		m.registerWorker(nc, br, msg)
+	case wire.SubmitJob, wire.CancelJob:
+		if m.fd == nil {
+			m.logf("master: rejecting client from %v (serve mode off)", nc.RemoteAddr())
+			nc.Close()
+			return
+		}
+		c := wire.NewConnFrom(nc, br, wire.Config{
+			MaxFrame:      m.cfg.MaxFrame,
+			WriteDeadline: m.cfg.WriteDeadline,
+			DrainDeadline: m.cfg.DrainDeadline,
+			SendQueue:     m.cfg.ClientSendQueue,
+		})
+		m.fd.serveClient(c, first)
+	default:
+		nc.Close()
+	}
+}
+
+func (m *Master) registerWorker(nc net.Conn, br *bufio.Reader, reg wire.Register) {
+	c := wire.NewConnFrom(nc, br, wire.Config{
 		MaxFrame:      m.cfg.MaxFrame,
 		WriteDeadline: m.cfg.WriteDeadline,
 		DrainDeadline: m.cfg.DrainDeadline,
@@ -308,18 +421,6 @@ func (m *Master) handshake(nc net.Conn) {
 		// Complete, whose writes are deep-copied before leaving the handler.
 		PooledReads: true,
 	})
-	// Bounded registration read: a connection that never sends its Register
-	// frame is cut loose instead of pinning this goroutine forever.
-	msg, err := c.ReadMsgTimeout(m.cfg.HandshakeTimeout)
-	if err != nil {
-		c.Close()
-		return
-	}
-	reg, ok := msg.(wire.Register)
-	if !ok {
-		c.Close()
-		return
-	}
 	m.mu.Lock()
 	if m.nreg >= m.cfg.Workers {
 		m.mu.Unlock()
@@ -469,22 +570,43 @@ func (m *Master) Run(ctx context.Context) error {
 			now := time.Now()
 			m.Transport.Sample(now.Sub(m.start).Seconds(), now)
 			m.logf("master: %s", m.Transport.StatsLine(now))
+			if m.fd != nil {
+				// Sample tenant fairness on the loop, where the scheduler's
+				// share accounting is consistent.
+				m.fd.Ingest.ObserveShareError(core.ShareError(m.Sys.Core.Sched.TenantShares()))
+				m.logf("master: %s", m.fd.Ingest.StatsLine())
+			}
 		})
 		defer stopStats()
 	}
 	userCB := m.Sys.OnJobFinished
 	m.Sys.OnJobFinished = func(j *core.Job) {
-		done := wire.JobDone{JobID: int64(j.ID)}
-		for _, link := range m.workers {
-			if !link.failed {
-				link.conn.Send(done)
+		// Cancelled jobs were never prepared on the agents — no JobDone to
+		// broadcast for them.
+		if j.State != core.JobCancelled {
+			done := wire.JobDone{JobID: int64(j.ID)}
+			for _, link := range m.workers {
+				if link != nil && !link.failed {
+					link.conn.Send(done)
+				}
 			}
 		}
 		if userCB != nil {
 			userCB(j)
 		}
+		if m.fd != nil {
+			m.fd.maybeFinishDrain()
+		}
 	}
 
+	if m.fd != nil {
+		// Unblock the front door's admission pump from inside the driver's
+		// inbox: the first drained event runs strictly after Sys.Run marked
+		// the system started, so every batch the pump submits takes the
+		// thread-safe Send path rather than SubmitBatch's synchronous
+		// pre-start fallback.
+		m.Sys.Drv.Send(m.fd.markStarted)
+	}
 	err := m.Sys.Run(ctx)
 	now := time.Now()
 	m.Transport.Sample(now.Sub(m.start).Seconds(), now)
@@ -496,6 +618,9 @@ func (m *Master) Run(ctx context.Context) error {
 func (m *Master) Close() {
 	m.closeOnce.Do(func() {
 		m.ln.Close()
+		if m.fd != nil {
+			m.fd.close()
+		}
 		m.mu.Lock()
 		links := append([]*workerLink(nil), m.workers...)
 		m.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"ursa/internal/core"
 	"ursa/internal/dataset"
@@ -22,6 +23,82 @@ func init() {
 	sqlmini.RegisterWireTypes()
 	Register("wordcount", buildWordCount)
 	Register("sql_analytics", buildSQLAnalytics)
+	Register("micro", buildMicro)
+	Register("sql", buildSQL)
+}
+
+// MicroParams shapes the "micro" workload: a tiny two-stage map/reduce used
+// by the ingest benchmark and multi-tenant tests, where thousands of jobs
+// must be built cheaply. MemEstimate is the admission reservation M(j) the
+// job claims — the knob that makes a backlog queue behind the memory gate.
+type MicroParams struct {
+	Rows     int
+	InParts  int
+	OutParts int
+	Keys     int
+	// MemEstimate is the job's claimed memory (scheduler units).
+	MemEstimate float64
+	// HoldMs makes the map stage take at least this long (the partition
+	// holding row 0 sleeps) — the ingest bench's stand-in for real job
+	// runtime, so admitted jobs occupy their reservations for a realistic
+	// duration instead of finishing in microseconds.
+	HoldMs int
+}
+
+// Micro encodes params for the "micro" workload.
+func Micro(p MicroParams) (string, []byte) {
+	b, _ := json.Marshal(p)
+	return "micro", b
+}
+
+func buildMicro(params []byte) (*BuiltJob, error) {
+	var p MicroParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("workload: micro params: %w", err)
+		}
+	}
+	// Unset (or nonsensical) shape fields default individually, so callers
+	// can set just the knobs they care about (Rows, MemEstimate).
+	if p.Rows <= 0 {
+		p.Rows = 64
+	}
+	if p.InParts <= 0 {
+		p.InParts = 2
+	}
+	if p.OutParts <= 0 {
+		p.OutParts = 2
+	}
+	if p.Keys <= 0 {
+		p.Keys = 8
+	}
+	vals := make([]int, p.Rows)
+	for i := range vals {
+		vals[i] = i
+	}
+	sess := dataset.NewSession()
+	ds := dataset.Parallelize(sess, vals, p.InParts)
+	keys := p.Keys
+	holdMs := p.HoldMs
+	pairs := dataset.FlatMap(ds, "key", func(v int) []dataset.Pair[string, int] {
+		if holdMs > 0 && v == 0 {
+			// Row 0 exists exactly once per job: one partition pays the hold.
+			time.Sleep(time.Duration(holdMs) * time.Millisecond)
+		}
+		return []dataset.Pair[string, int]{{Key: fmt.Sprintf("k%d", v%keys), Val: v}}
+	})
+	sums := dataset.ReduceByKey(pairs, "sum", p.OutParts, func(a, b int) int { return a + b })
+	plan, err := sess.Graph().Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: micro: %w", err)
+	}
+	return &BuiltJob{
+		Spec:   core.JobSpec{Name: "micro", Graph: sess.Graph(), MemEstimate: p.MemEstimate},
+		Plan:   plan,
+		Inputs: sess.InputBindings(),
+		Output: sums.Dag(),
+		Cols:   []string{"key", "sum"},
+	}, nil
 }
 
 // WordCountParams shapes the "wordcount" workload: Lines synthetic input
@@ -149,6 +226,93 @@ func buildSQLAnalytics(params []byte) (*BuiltJob, error) {
 		return nil, fmt.Errorf("workload: sql_analytics: %w", err)
 	}
 	name := sql
+	if len(name) > 40 {
+		name = name[:40] + "…"
+	}
+	return &BuiltJob{
+		Spec:   core.JobSpec{Name: "sql: " + name, Graph: c.Sess.Graph()},
+		Plan:   plan,
+		Inputs: c.Sess.InputBindings(),
+		Output: c.Out.Dag(),
+		Cols:   c.Cols,
+		Finish: finish,
+	}, nil
+}
+
+// CSVTable is one input table of the "sql" workload, shipped as CSV text in
+// the params so a remote submission can query the client's own data.
+type CSVTable struct {
+	Name string
+	CSV  string
+}
+
+// SQLCSVParams shapes the "sql" workload: an arbitrary query over tables
+// shipped as CSV in the params. Unlike "sql_analytics" (generated inputs),
+// the CSV text IS part of the job identity: every process parses the same
+// bytes, so the builder stays deterministic.
+type SQLCSVParams struct {
+	Query  string
+	Tables []CSVTable
+}
+
+// SQLCSV encodes params for the "sql" workload.
+func SQLCSV(p SQLCSVParams) (string, []byte) {
+	b, _ := json.Marshal(p)
+	return "sql", b
+}
+
+func buildSQL(params []byte) (*BuiltJob, error) {
+	// Default: a tiny self-contained query, so Build("sql", nil) works and
+	// registry-wide smoke tests cover this builder too.
+	p := SQLCSVParams{
+		Query:  "SELECT k, SUM(v) AS total FROM t GROUP BY k ORDER BY total DESC",
+		Tables: []CSVTable{{Name: "t", CSV: "k,v\na,1\nb,2\na,3\n"}},
+	}
+	if len(params) > 0 {
+		p = SQLCSVParams{}
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("workload: sql params: %w", err)
+		}
+	}
+	if p.Query == "" {
+		return nil, fmt.Errorf("workload: sql params need a query")
+	}
+	db := sqlmini.NewDB()
+	for _, ct := range p.Tables {
+		t, err := sqlmini.LoadCSV(ct.Name, strings.NewReader(ct.CSV))
+		if err != nil {
+			return nil, fmt.Errorf("workload: sql table %q: %w", ct.Name, err)
+		}
+		db.Add(t)
+	}
+	q, err := sqlmini.Parse(p.Query)
+	if err != nil {
+		return nil, fmt.Errorf("workload: sql: %w", err)
+	}
+	c, err := sqlmini.Compile(db, q)
+	if err != nil {
+		return nil, fmt.Errorf("workload: sql: %w", err)
+	}
+	finish := func(rows []localrt.Row) ([]localrt.Row, error) {
+		typed := make([][]sqlmini.Value, len(rows))
+		for i, r := range rows {
+			typed[i] = r.([]sqlmini.Value)
+		}
+		res, err := c.Finish(typed)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]localrt.Row, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = r
+		}
+		return out, nil
+	}
+	plan, err := c.Sess.Graph().Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: sql: %w", err)
+	}
+	name := p.Query
 	if len(name) > 40 {
 		name = name[:40] + "…"
 	}

@@ -57,6 +57,10 @@ type Config struct {
 	// DrainDeadline bounds the graceful-close flush of already-queued frames
 	// (Shutdown broadcasts). <= 0 selects DefaultDrainDeadline.
 	DrainDeadline time.Duration
+	// SendQueue bounds the outbound queue; <= 0 selects the default
+	// (sendBuffer). Client-facing links on the master size this explicitly
+	// so a slow status subscriber has a stated, bounded footprint.
+	SendQueue int
 	// PooledReads makes ReadMsg decode frames in a connection-retained buffer
 	// instead of allocating per frame. The aliasing contract: blob-carrying
 	// fields of a decoded message (Complete.Writes rows, FetchResp contribs,
@@ -74,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainDeadline <= 0 {
 		c.DrainDeadline = DefaultDrainDeadline
 	}
+	if c.SendQueue <= 0 {
+		c.SendQueue = sendBuffer
+	}
 	return c
 }
 
@@ -87,12 +94,21 @@ func NewConn(nc net.Conn, maxFrame int) *Conn {
 // NewConnConfig starts the write pump over nc with explicit framing and
 // deadline configuration.
 func NewConnConfig(nc net.Conn, cfg Config) *Conn {
+	return NewConnFrom(nc, bufio.NewReader(nc), cfg)
+}
+
+// NewConnFrom is NewConnConfig adopting r as the connection's buffered
+// reader. Servers that sniff the first frame off a raw bufio.Reader to
+// classify a connection (worker vs client) before choosing its Config hand
+// the same reader over here; a fresh bufio.Reader over nc would silently
+// drop whatever the peer already sent into r's buffer.
+func NewConnFrom(nc net.Conn, r *bufio.Reader, cfg Config) *Conn {
 	cfg = cfg.withDefaults()
 	c := &Conn{
 		nc:       nc,
-		r:        bufio.NewReader(nc),
+		r:        r,
 		cfg:      cfg,
-		out:      make(chan Msg, sendBuffer),
+		out:      make(chan Msg, cfg.SendQueue),
 		quit:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
 	}
@@ -189,7 +205,29 @@ func (c *Conn) Send(m Msg) bool {
 	case <-c.quit:
 		return false
 	default:
-		c.fail(fmt.Errorf("wire: send queue full (%d) to %v", sendBuffer, c.nc.RemoteAddr()))
+		c.fail(fmt.Errorf("wire: send queue full (%d) to %v", c.cfg.SendQueue, c.nc.RemoteAddr()))
+		return false
+	}
+}
+
+// TrySend enqueues one message if the outbound queue has room and reports
+// whether it did. Unlike Send, a full queue is NOT a transport failure: the
+// frame is simply not sent and the connection stays up. This is the
+// drop-with-counter path for best-effort streams (JobStatus to a slow
+// subscriber) where dropping an update is better than either unbounded
+// buffering or killing the link.
+func (c *Conn) TrySend(m Msg) bool {
+	select {
+	case <-c.quit:
+		return false
+	default:
+	}
+	select {
+	case c.out <- m:
+		return true
+	case <-c.quit:
+		return false
+	default:
 		return false
 	}
 }

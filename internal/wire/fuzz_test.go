@@ -34,6 +34,14 @@ func FuzzDecodeFrame(f *testing.F) {
 		Complete{JobID: 2, MTID: 3, Seq: 4, Writes: []PartWrite{{DatasetID: 1, Part: 1, Flags: BlobDeflate, RawLen: 1 << 12, Rows: []byte{0x4b, 0x4c, 0x44, 0x04, 0x00}}}},
 		JobDone{JobID: 1},
 		Shutdown{},
+		// Front-door submission frames.
+		SubmitJob{SubmitID: 7, Tenant: "team-a", Workload: "micro", Params: []byte{1, 2}},
+		SubmitJob{SubmitID: 8}, // empty tenant/workload/params
+		SubmitAck{SubmitID: 7, JobID: 41},
+		SubmitAck{SubmitID: 9, Err: "draining"},
+		JobStatus{SubmitID: 7, JobID: 41, State: StateAdmitted},
+		JobStatus{SubmitID: 7, JobID: 41, State: StateCancelled, Detail: "drain"},
+		CancelJob{JobID: 41},
 	}
 	for _, m := range seeds {
 		f.Add(AppendFrame(nil, m))

@@ -17,6 +17,11 @@ const (
 	TFetchResp byte = 10 // holder → requester: partition contributions
 	TJobDone   byte = 11 // master → worker: job finished, release its state
 	TShutdown  byte = 12 // master → worker: drain and exit
+
+	TSubmitJob byte = 13 // client → master: submit a (workload, params) job
+	TSubmitAck byte = 14 // master → client: submission accepted (or rejected)
+	TJobStatus byte = 15 // master → client: job state transition stream
+	TCancelJob byte = 16 // client → master: cancel a queued job
 )
 
 // Blob encoding flags carried per contribution. The flags byte is opaque to
@@ -65,6 +70,14 @@ func Decode(typ byte, payload []byte) (Msg, error) {
 		m = decodeJobDone(d)
 	case TShutdown:
 		m = Shutdown{}
+	case TSubmitJob:
+		m = decodeSubmitJob(d)
+	case TSubmitAck:
+		m = decodeSubmitAck(d)
+	case TJobStatus:
+		m = decodeJobStatus(d)
+	case TCancelJob:
+		m = decodeCancelJob(d)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
@@ -455,3 +468,86 @@ type Shutdown struct{}
 
 func (Shutdown) Type() byte        { return TShutdown }
 func (Shutdown) encode(e *Encoder) {}
+
+// SubmitJob is a client's job submission: a (workload, params) reference
+// into the shared registry — the same cross-process plan identity Prepare
+// uses, so no plan bytes ship. SubmitID is a client-chosen correlation token
+// echoed in the SubmitAck and every JobStatus for this job.
+type SubmitJob struct {
+	SubmitID int64
+	Tenant   string
+	Workload string
+	Params   []byte
+}
+
+func (SubmitJob) Type() byte { return TSubmitJob }
+func (m SubmitJob) encode(e *Encoder) {
+	e.I64(m.SubmitID)
+	e.Str(m.Tenant)
+	e.Str(m.Workload)
+	e.Blob(m.Params)
+}
+func decodeSubmitJob(d *Decoder) Msg {
+	return SubmitJob{
+		SubmitID: d.I64(), Tenant: d.Str(),
+		Workload: d.Str(), Params: d.Blob(),
+	}
+}
+
+// SubmitAck answers a SubmitJob once the job is queued for admission (its
+// submission is durable on the master's scheduler). A non-empty Err means
+// the submission was rejected and JobID is meaningless.
+type SubmitAck struct {
+	SubmitID int64
+	JobID    int64
+	Err      string
+}
+
+func (SubmitAck) Type() byte { return TSubmitAck }
+func (m SubmitAck) encode(e *Encoder) {
+	e.I64(m.SubmitID)
+	e.I64(m.JobID)
+	e.Str(m.Err)
+}
+func decodeSubmitAck(d *Decoder) Msg {
+	return SubmitAck{SubmitID: d.I64(), JobID: d.I64(), Err: d.Str()}
+}
+
+// Job state bytes carried by JobStatus. They mirror core.JobState but are
+// pinned here so the wire contract cannot drift with internal enum edits.
+const (
+	StateQueued    byte = 0
+	StateAdmitted  byte = 1
+	StateFinished  byte = 2
+	StateCancelled byte = 3
+)
+
+// JobStatus streams a job's state transitions back to its submitter.
+// Terminal states are StateFinished and StateCancelled; Detail carries a
+// human-readable annotation (e.g. the drain reason for a cancellation).
+type JobStatus struct {
+	SubmitID int64
+	JobID    int64
+	State    byte
+	Detail   string
+}
+
+func (JobStatus) Type() byte { return TJobStatus }
+func (m JobStatus) encode(e *Encoder) {
+	e.I64(m.SubmitID)
+	e.I64(m.JobID)
+	e.U8(m.State)
+	e.Str(m.Detail)
+}
+func decodeJobStatus(d *Decoder) Msg {
+	return JobStatus{SubmitID: d.I64(), JobID: d.I64(), State: d.U8(), Detail: d.Str()}
+}
+
+// CancelJob asks the master to cancel a job this client submitted. Only
+// still-queued jobs can be cancelled; the outcome arrives as a JobStatus
+// (StateCancelled) or is implied by a later terminal state.
+type CancelJob struct{ JobID int64 }
+
+func (CancelJob) Type() byte          { return TCancelJob }
+func (m CancelJob) encode(e *Encoder) { e.I64(m.JobID) }
+func decodeCancelJob(d *Decoder) Msg  { return CancelJob{JobID: d.I64()} }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // netPipe returns a synchronous in-memory connection pair.
@@ -75,6 +76,13 @@ func TestRoundTripAllMessages(t *testing.T) {
 		},
 		JobDone{JobID: 7},
 		Shutdown{},
+		SubmitJob{SubmitID: 11, Tenant: "team-a", Workload: "micro", Params: []byte{4, 5}},
+		SubmitJob{}, // empty tenant/workload/params must survive
+		SubmitAck{SubmitID: 11, JobID: 3},
+		SubmitAck{SubmitID: 12, Err: "intake full"},
+		JobStatus{SubmitID: 11, JobID: 3, State: StateAdmitted},
+		JobStatus{SubmitID: 11, JobID: 3, State: StateCancelled, Detail: "drain"},
+		CancelJob{JobID: 3},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -122,8 +130,60 @@ func normalize(m Msg) Msg {
 			v.Contribs = nil
 		}
 		return v
+	case SubmitJob:
+		if len(v.Params) == 0 {
+			v.Params = nil
+		}
+		return v
 	}
 	return m
+}
+
+// TestTrySendDropsWithoutFailing pins the bounded-queue contract for
+// best-effort streams: when the outbound queue is full, TrySend reports
+// false and the connection stays healthy — unlike Send, which treats a full
+// queue as a transport failure and closes the link.
+func TestTrySendDropsWithoutFailing(t *testing.T) {
+	c1, c2 := netPipe(t)
+	defer c2.Close()
+	// net.Pipe is synchronous: with no reader on c2, nothing drains, so a
+	// 2-slot queue fills after the pump takes the first frame.
+	conn := NewConnConfig(c1, Config{SendQueue: 2})
+	defer conn.Close()
+	sent, dropped := 0, 0
+	for i := 0; i < 64; i++ {
+		if conn.TrySend(Heartbeat{WorkerID: int32(i)}) {
+			sent++
+		} else {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatalf("expected drops on a full 2-slot queue; sent=%d", sent)
+	}
+	if err := conn.SendErr(); err != nil {
+		t.Fatalf("TrySend poisoned the connection: %v", err)
+	}
+	// The link must still accept frames once there is room again.
+	go func() {
+		r := NewConn(c2, 0)
+		for {
+			if _, err := r.ReadMsg(); err != nil {
+				return
+			}
+		}
+	}()
+	ok := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok && time.Now().Before(deadline) {
+		ok = conn.TrySend(Heartbeat{WorkerID: 99})
+		if !ok {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatal("TrySend never succeeded after the queue drained")
+	}
 }
 
 func TestReadFrameRejectsOversized(t *testing.T) {
