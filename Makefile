@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke-dist chaos fuzz-wire bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist smoke-failover chaos fuzz-wire fuzz-events bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
 
-ci: fmt-check vet build test race smoke-dist chaos bench-wire-guard bench-ingest-guard
+ci: fmt-check vet build test race smoke-dist smoke-failover chaos bench-wire-guard bench-ingest-guard
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -38,6 +38,14 @@ race:
 smoke-dist:
 	$(GO) test -race -count=1 -run 'TestLoopback|TestMeasuredRates|TestAgentFailureRecovery' ./internal/remote
 
+# Failover smoke: kill a journaled primary mid-job, promote the standby off
+# the lease, replay snapshot + tail to byte-identical control-plane state,
+# re-attach the workers under generation 2, and finish with rows identical
+# to direct execution and zero duplicate commits — plus the offline
+# replay-determinism suite. Runs under the race detector.
+smoke-failover:
+	$(GO) test -race -count=1 -run 'TestFailover|TestReplayMatchesLiveState' ./internal/remote
+
 # Hostile-network matrix: the loopback cluster under every injected fault
 # class (drop, delay, partition, slow-reader, truncation, wedge) must finish
 # both jobs with rows byte-identical to direct execution, with no worker
@@ -49,6 +57,11 @@ chaos:
 # One-shot fuzz pass over the wire codec's seed corpus (no new inputs).
 fuzz-wire:
 	$(GO) test -run '^FuzzDecodeFrame$$' ./internal/wire
+
+# One-shot fuzz pass over the control-plane event codec's seed corpus. Add
+# -fuzz '^FuzzDecodeEvent$' to hunt for new crashers.
+fuzz-events:
+	$(GO) test -run '^FuzzDecodeEvent$$' ./internal/cpstate
 
 # Hot-path microbenchmarks with allocation counts.
 bench:

@@ -93,6 +93,20 @@ func main() {
 			"outbound frame queue per client connection; status updates drop when full (0 = default)")
 		naiveAdmission = flag.Bool("naive-admission", false,
 			"baseline mode: one full admission pass per submission (benchmarking only)")
+		tenantIntakeCap = flag.Int("tenant-intake-cap", 0,
+			"max queued submissions per tenant before rejection (0 = global cap only)")
+
+		// Journal / failover knobs (see DESIGN.md §13).
+		journalDir = flag.String("journal-dir", "",
+			"directory for the control-plane event journal, snapshots and lease (empty disables journaling)")
+		standby = flag.Bool("standby", false,
+			"run as a warm standby: watch -journal-dir's lease and take over when the primary dies")
+		lease = flag.Duration("lease", 0,
+			"primary lease TTL; a standby takes over after the lease expires unrenewed (0 = default 2s)")
+		snapshotEvery = flag.Int("snapshot-every", 0,
+			"journal snapshot/compaction cadence in events (0 = default)")
+		journalSync = flag.Duration("journal-sync", 0,
+			"journal fsync batching interval (0 = default)")
 	)
 	flag.Parse()
 	if *list {
@@ -107,25 +121,30 @@ func main() {
 		fatal(err)
 	}
 	cfg := remote.Config{
-		Addr:              *listen,
-		Serve:             *serve,
-		AdmissionInterval: *admissionInterval,
-		IntakeCap:         *intakeCap,
-		ClientSendQueue:   *clientSendQueue,
-		NaiveAdmission:    *naiveAdmission,
-		ShuffleAddr:       *shuffle,
-		Workers:           *workers,
-		CoresPerWorker:    *cores,
-		HeartbeatInterval: *hb,
-		StatsInterval:     *stats,
-		HandshakeTimeout:  *handshakeTO,
-		WriteDeadline:     *writeDL,
-		DrainDeadline:     *drainDL,
-		ShuffleReadIdle:   *shuffleIdle,
-		Compress:          *compress,
-		ShuffleMemBudget:  *memBudget,
-		ShuffleSpillDir:   *spillDir,
-		SampleInterval:    eventloop.Duration(50 * time.Millisecond / time.Microsecond),
+		Addr:                *listen,
+		Serve:               *serve,
+		AdmissionInterval:   *admissionInterval,
+		IntakeCap:           *intakeCap,
+		ClientSendQueue:     *clientSendQueue,
+		NaiveAdmission:      *naiveAdmission,
+		TenantIntakeCap:     *tenantIntakeCap,
+		JournalDir:          *journalDir,
+		LeaseTTL:            *lease,
+		SnapshotEvery:       *snapshotEvery,
+		JournalSyncInterval: *journalSync,
+		ShuffleAddr:         *shuffle,
+		Workers:             *workers,
+		CoresPerWorker:      *cores,
+		HeartbeatInterval:   *hb,
+		StatsInterval:       *stats,
+		HandshakeTimeout:    *handshakeTO,
+		WriteDeadline:       *writeDL,
+		DrainDeadline:       *drainDL,
+		ShuffleReadIdle:     *shuffleIdle,
+		Compress:            *compress,
+		ShuffleMemBudget:    *memBudget,
+		ShuffleSpillDir:     *spillDir,
+		SampleInterval:      eventloop.Duration(50 * time.Millisecond / time.Microsecond),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -134,6 +153,13 @@ func main() {
 		cfg.Core.Policy = core.SRJF
 	}
 	cfg.Core.TenantWeights = weights
+	if *standby {
+		if *journalDir == "" {
+			fatal(errors.New("-standby requires -journal-dir"))
+		}
+		runStandby(cfg, *serve, *showRows, *timeout)
+		return
+	}
 	m, err := remote.NewMaster(cfg)
 	if err != nil {
 		fatal(err)
@@ -216,6 +242,40 @@ func runServe(m *remote.Master) {
 		fmt.Printf("\nursa-master: drained after %.1fs — %s\n", wall.Seconds(), ing.StatsLine())
 	}
 	fmt.Printf("final %s\n", m.Transport.StatsLine(time.Now()))
+}
+
+// runStandby waits for the primary's lease to expire, takes over as the
+// next master generation, and drives the inherited backlog (or reopens the
+// front door in serve mode). Workers started with both addresses in -master
+// re-attach on their own once the takeover accepts registrations.
+func runStandby(cfg remote.Config, serve bool, showRows int, timeout time.Duration) {
+	s, err := remote.NewStandby(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	fmt.Printf("ursa-master: standby on %s — watching %s for lease expiry\n", s.Addr(), cfg.JournalDir)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	m, err := s.Takeover(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	defer m.Close()
+	fmt.Printf("ursa-master: took over as generation %d — waiting for workers to re-attach\n", m.Generation())
+	if serve {
+		runServe(m)
+		return
+	}
+	runCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	wallStart := time.Now()
+	if err := m.Run(runCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	fmt.Printf("\nursa-master: inherited backlog finished in %.1fs\n", time.Since(wallStart).Seconds())
+	printResults(m, showRows)
+	fmt.Printf("\nfinal %s\n", m.Transport.StatsLine(time.Now()))
 }
 
 func jobSpec(wl string, lines, parts, query, sales int) (string, []byte) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"ursa/internal/remote/agent"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		master  = flag.String("master", "127.0.0.1:7400", "master control-plane address")
+		master  = flag.String("master", "127.0.0.1:7400", "master control-plane address(es), comma-separated: primary first, then standbys")
 		shuffle = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
 		cores   = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("quiet", false, "suppress agent logs")
@@ -64,8 +65,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Multiple comma-separated addresses arm the failover path: on a lost
+	// master connection the agent re-registers round-robin across the list
+	// and re-attaches to whichever master holds the lease.
+	addrs := strings.Split(*master, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
 	cfg := agent.Config{
-		MasterAddr: *master, ShuffleAddr: *shuffle, Cores: *cores,
+		MasterAddrs: addrs, ShuffleAddr: *shuffle, Cores: *cores,
 		RegisterAttempts:   *regAttempts,
 		RegisterBackoff:    *regBackoff,
 		RegisterBackoffMax: *regBackoffMax,

@@ -90,6 +90,12 @@ type Job struct {
 // JM returns the job's manager; nil until the job is submitted.
 func (j *Job) JM() *JobManager { return j.jm }
 
+// ReservedMem returns the cluster-wide memory reservation snapshotted at
+// admission (0 before admission and after release). The control-plane event
+// log records it with JobAdmitted so a replayed state carries the exact
+// reservation the live scheduler granted.
+func (j *Job) ReservedMem() float64 { return j.reservedMem }
+
 // JCT returns the job completion time (finish − submit).
 func (j *Job) JCT() eventloop.Duration {
 	return eventloop.Duration(j.Finished - j.Submitted)

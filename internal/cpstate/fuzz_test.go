@@ -1,0 +1,46 @@
+package cpstate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEvent hammers the event codec with arbitrary bytes: it must
+// never panic, and any payload it accepts must re-encode byte-identically
+// (canonical encoding) and be safely appliable to a fresh state.
+func FuzzDecodeEvent(f *testing.F) {
+	for _, ev := range []Event{
+		Generation{Gen: 2},
+		JobSubmitted{JobID: 7, Tenant: "alice", Workload: "wordcount", Params: []byte(`{"n":4}`)},
+		JobAdmitted{JobID: 7, Reserved: 1 << 20},
+		JobFinished{JobID: 7},
+		JobCancelled{JobID: 8},
+		Placed{JobID: 7, MTID: 3, Worker: 1, Seq: 1<<32 | 5},
+		Commit{JobID: 7, MTID: 3, Worker: 1, Seq: 1<<32 | 5, Seconds: 0.25,
+			Writes: []CommitWrite{{DS: 10, Part: 0}, {DS: 10, Part: 1}}},
+		WorkerRegistered{Worker: 2, ShuffleAddr: "127.0.0.1:7001", Cores: 8},
+		WorkerFailed{Worker: 2},
+	} {
+		f.Add(AppendEvent(nil, ev))
+	}
+	// Adversarial seeds: empty, unknown type, truncated, oversized count.
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{99, 1, 2, 3})
+	f.Add([]byte{evCommit, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add(append(AppendEvent(nil, WorkerFailed{Worker: 1}), 0xff))
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		ev, err := DecodeEvent(p)
+		if err != nil {
+			return
+		}
+		p2 := AppendEvent(nil, ev)
+		if !bytes.Equal(p, p2) {
+			t.Fatalf("accepted payload is not canonical:\n in  %x\n out %x", p, p2)
+		}
+		st := New()
+		Apply(st, ev) // must not panic on any accepted event
+		st.AppendEncoded(nil)
+	})
+}

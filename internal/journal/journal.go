@@ -1,0 +1,503 @@
+// Package journal is an append-only, CRC-checksummed record log with
+// snapshots and compaction — the persistence layer under the control-plane
+// state machine (internal/cpstate). It follows the internal/wire codec
+// discipline: explicit length-prefixed binary records, defensive reads
+// (adversarial lengths cannot panic or balloon allocation), and a strict
+// distinction between the two corruption classes a crash can leave behind:
+//
+//   - a torn tail — the process died mid-append, the final record is
+//     incomplete. Open silently truncates it away: those bytes were never
+//     acknowledged as durable.
+//   - a corrupt body — a complete record whose CRC does not match. That is
+//     data loss in acknowledged history; Open refuses the journal.
+//
+// Layout on disk (all integers big-endian):
+//
+//	log-<index>.log:   "UJNL" u8(version) u64(firstIndex)   — segment header
+//	                   repeated records: u32(len) u32(crc32-IEEE of payload) payload
+//	snap-<index>.snap: "USNP" u8(version) u64(index) u32(len) u32(crc) payload
+//
+// A snapshot at index i captures the state after applying records [0, i);
+// Snapshot atomically writes the snap file (temp + rename + dir fsync),
+// rotates appends into a fresh log-<i> segment, and deletes segments and
+// snapshots that precede it — compaction bounded only by snapshot cadence.
+//
+// Appends are buffered; durability is batched. Either the owner calls Sync
+// explicitly, or a SyncInterval is configured and a background flusher
+// syncs dirty buffers at that cadence — one fsync absorbing every append
+// since the last, the classic group-commit trade: bounded loss window
+// (unsynced suffix re-executes, it was never acknowledged), full throughput.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	segMagic  = "UJNL"
+	snapMagic = "USNP"
+	version   = 1
+
+	segHeaderLen  = 4 + 1 + 8
+	recHeaderLen  = 4 + 4
+	snapHeaderLen = 4 + 1 + 8 + 4 + 4
+)
+
+// MaxRecord bounds one record's payload — far above any control-plane
+// event, low enough that a corrupt length prefix cannot force a huge
+// allocation.
+const MaxRecord = 16 << 20
+
+// ErrCorrupt marks acknowledged history that fails its checksum — unlike a
+// torn tail, this is not survivable by truncation.
+var ErrCorrupt = errors.New("journal: corrupt record (bad checksum)")
+
+// Options shape a journal.
+type Options struct {
+	// SyncInterval batches fsyncs: a background flusher syncs dirty appends
+	// at this cadence. 0 disables the flusher — the owner calls Sync.
+	SyncInterval time.Duration
+}
+
+// Replayed is what Open recovered: the newest valid snapshot (nil if none)
+// and every event payload appended after it, in order.
+type Replayed struct {
+	// Snapshot is the snapshot payload (cpstate encoding), nil if none.
+	Snapshot []byte
+	// SnapIndex is the record index the snapshot covers up to.
+	SnapIndex uint64
+	// Events are the record payloads after the snapshot, in append order.
+	Events [][]byte
+	// NextIndex is the index the next Append receives.
+	NextIndex uint64
+}
+
+// Journal is an open, writable journal. Methods are safe for one writer at
+// a time plus the background flusher.
+type Journal struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	f       *os.File
+	wbuf    []byte // appended but not yet written to the file
+	dirty   bool   // written but not yet fsynced
+	next    uint64 // index of the next record
+	segBase uint64 // first index of the current segment
+	err     error  // sticky write error
+
+	appends   uint64 // records appended over this Journal's lifetime
+	syncs     uint64
+	snapshots uint64
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Open opens (or creates) the journal in dir and replays it: the newest
+// valid snapshot plus every record after it. A torn final record is
+// truncated away; a checksum failure anywhere else returns ErrCorrupt.
+func Open(dir string, opt Options) (*Journal, Replayed, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Replayed{}, fmt.Errorf("journal: %w", err)
+	}
+	snapIdx, snap, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, Replayed{}, err
+	}
+	rep := Replayed{Snapshot: snap, SnapIndex: snapIdx, NextIndex: snapIdx}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, Replayed{}, err
+	}
+	var lastSeg uint64
+	haveSeg := false
+	for _, base := range segs {
+		if base < snapIdx {
+			continue // pre-snapshot segment awaiting compaction
+		}
+		events, n, err := replaySegment(filepath.Join(dir, segName(base)), base)
+		if err != nil {
+			return nil, Replayed{}, err
+		}
+		if base != rep.NextIndex {
+			return nil, Replayed{}, fmt.Errorf("journal: segment gap: have %d, next segment starts at %d", rep.NextIndex, base)
+		}
+		rep.Events = append(rep.Events, events...)
+		rep.NextIndex = base + n
+		lastSeg, haveSeg = base, true
+	}
+
+	j := &Journal{dir: dir, opt: opt, next: rep.NextIndex, quit: make(chan struct{})}
+	if haveSeg {
+		j.segBase = lastSeg
+		f, err := os.OpenFile(filepath.Join(dir, segName(lastSeg)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, Replayed{}, fmt.Errorf("journal: %w", err)
+		}
+		j.f = f
+	} else {
+		if err := j.openSegment(rep.NextIndex); err != nil {
+			return nil, Replayed{}, err
+		}
+	}
+	if opt.SyncInterval > 0 {
+		j.wg.Add(1)
+		go j.flusher()
+	}
+	return j, rep, nil
+}
+
+func segName(base uint64) string { return fmt.Sprintf("log-%016x.log", base) }
+func snapName(idx uint64) string { return fmt.Sprintf("snap-%016x.snap", idx) }
+func parseBase(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	return v, err == nil
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var out []uint64
+	for _, ent := range ents {
+		if base, ok := parseBase(ent.Name(), "log-", ".log"); ok {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// loadNewestSnapshot returns the newest snapshot that passes its checksum.
+// Snapshots are written atomically (temp + rename), so a half-written file
+// never carries the .snap name; a .snap that fails its CRC is corruption
+// and fails the open.
+func loadNewestSnapshot(dir string) (uint64, []byte, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("journal: %w", err)
+	}
+	var best uint64
+	var found bool
+	for _, ent := range ents {
+		if idx, ok := parseBase(ent.Name(), "snap-", ".snap"); ok {
+			if !found || idx > best {
+				best, found = idx, true
+			}
+		}
+	}
+	if !found {
+		return 0, nil, nil
+	}
+	payload, err := readSnapshot(filepath.Join(dir, snapName(best)), best)
+	if err != nil {
+		return 0, nil, err
+	}
+	return best, payload, nil
+}
+
+func readSnapshot(path string, want uint64) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if len(b) < snapHeaderLen || string(b[:4]) != snapMagic || b[4] != version {
+		return nil, fmt.Errorf("journal: %s: bad snapshot header", filepath.Base(path))
+	}
+	idx := binary.BigEndian.Uint64(b[5:])
+	n := binary.BigEndian.Uint32(b[13:])
+	crc := binary.BigEndian.Uint32(b[17:])
+	if idx != want {
+		return nil, fmt.Errorf("journal: %s: index %d != filename %d", filepath.Base(path), idx, want)
+	}
+	payload := b[snapHeaderLen:]
+	if uint32(len(payload)) != n {
+		return nil, fmt.Errorf("journal: %s: snapshot length %d != declared %d", filepath.Base(path), len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("%w: snapshot %s", ErrCorrupt, filepath.Base(path))
+	}
+	return payload, nil
+}
+
+// replaySegment reads one segment's records. A record that ends past EOF is
+// a torn tail: the file is truncated back to the last complete record and
+// replay succeeds with the prefix. A complete record with a bad CRC is
+// corruption: ErrCorrupt.
+func replaySegment(path string, base uint64) ([][]byte, uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	if len(b) < segHeaderLen {
+		// Torn during creation: header never completed, no records lost.
+		if err := os.Truncate(path, 0); err == nil {
+			err = writeSegHeader(path, base)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("journal: %w", err)
+		}
+		return nil, 0, nil
+	}
+	if string(b[:4]) != segMagic || b[4] != version {
+		return nil, 0, fmt.Errorf("journal: %s: bad segment header", filepath.Base(path))
+	}
+	if got := binary.BigEndian.Uint64(b[5:]); got != base {
+		return nil, 0, fmt.Errorf("journal: %s: base %d != filename %d", filepath.Base(path), got, base)
+	}
+	var events [][]byte
+	off := segHeaderLen
+	for off < len(b) {
+		if len(b)-off < recHeaderLen {
+			break // torn tail: header incomplete
+		}
+		n := binary.BigEndian.Uint32(b[off:])
+		crc := binary.BigEndian.Uint32(b[off+4:])
+		if n > MaxRecord {
+			return nil, 0, fmt.Errorf("journal: %s: record of %d bytes exceeds limit", filepath.Base(path), n)
+		}
+		if len(b)-off-recHeaderLen < int(n) {
+			break // torn tail: payload incomplete
+		}
+		payload := b[off+recHeaderLen : off+recHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, 0, fmt.Errorf("%w: %s record %d", ErrCorrupt, filepath.Base(path), base+uint64(len(events)))
+		}
+		events = append(events, append([]byte(nil), payload...))
+		off += recHeaderLen + int(n)
+	}
+	if off < len(b) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return nil, 0, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	return events, uint64(len(events)), nil
+}
+
+func writeSegHeader(path string, base uint64) error {
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	hdr[4] = version
+	binary.BigEndian.PutUint64(hdr[5:], base)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (j *Journal) openSegment(base uint64) error {
+	path := filepath.Join(j.dir, segName(base))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:], segMagic)
+	hdr[4] = version
+	binary.BigEndian.PutUint64(hdr[5:], base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.segBase = base
+	return nil
+}
+
+// Append buffers one record. Durability follows at the next Sync (explicit
+// or from the background flusher). Returns the record's index.
+func (j *Journal) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("journal: %d-byte record exceeds limit", len(payload))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return 0, j.err
+	}
+	var hdr [recHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	j.wbuf = append(j.wbuf, hdr[:]...)
+	j.wbuf = append(j.wbuf, payload...)
+	idx := j.next
+	j.next++
+	j.appends++
+	return idx, nil
+}
+
+// Sync flushes buffered appends and fsyncs the segment — the group commit.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if len(j.wbuf) > 0 {
+		if _, err := j.f.Write(j.wbuf); err != nil {
+			j.err = fmt.Errorf("journal: %w", err)
+			return j.err
+		}
+		j.wbuf = j.wbuf[:0]
+		j.dirty = true
+	}
+	if j.dirty {
+		if err := j.f.Sync(); err != nil {
+			j.err = fmt.Errorf("journal: %w", err)
+			return j.err
+		}
+		j.dirty = false
+		j.syncs++
+	}
+	return nil
+}
+
+// Snapshot records the state encoding as covering every record appended so
+// far, rotates appends into a fresh segment, and compacts: segments and
+// snapshots entirely covered by the new snapshot are deleted. The snapshot
+// file appears atomically (temp + rename).
+func (j *Journal) Snapshot(state []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	idx := j.next
+
+	hdr := make([]byte, snapHeaderLen, snapHeaderLen+len(state))
+	copy(hdr, snapMagic)
+	hdr[4] = version
+	binary.BigEndian.PutUint64(hdr[5:], idx)
+	binary.BigEndian.PutUint32(hdr[13:], uint32(len(state)))
+	binary.BigEndian.PutUint32(hdr[17:], crc32.ChecksumIEEE(state))
+	tmp := filepath.Join(j.dir, "snap.tmp")
+	if err := atomicWrite(tmp, filepath.Join(j.dir, snapName(idx)), append(hdr, state...)); err != nil {
+		j.err = err
+		return err
+	}
+
+	// Rotate: further appends land in the post-snapshot segment.
+	oldSeg := j.segBase
+	j.f.Close()
+	if err := j.openSegment(idx); err != nil {
+		j.err = err
+		return err
+	}
+	j.snapshots++
+
+	// Compact: everything the new snapshot covers is garbage. Best-effort —
+	// a leftover file is re-deleted at the next snapshot.
+	if segs, err := listSegments(j.dir); err == nil {
+		for _, base := range segs {
+			if base <= oldSeg && base != idx {
+				os.Remove(filepath.Join(j.dir, segName(base)))
+			}
+		}
+	}
+	if ents, err := os.ReadDir(j.dir); err == nil {
+		for _, ent := range ents {
+			if si, ok := parseBase(ent.Name(), "snap-", ".snap"); ok && si < idx {
+				os.Remove(filepath.Join(j.dir, ent.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// atomicWrite writes data to tmp, fsyncs, renames onto path and fsyncs the
+// directory — the file either exists complete or not at all.
+func atomicWrite(tmp, path string, data []byte) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// NextIndex returns the index the next Append will receive.
+func (j *Journal) NextIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Stats returns lifetime counters: records appended, fsyncs, snapshots,
+// and the current unsynced depth in records-worth of bytes.
+func (j *Journal) Stats() (appends, syncs, snapshots uint64, unsyncedBytes int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends, j.syncs, j.snapshots, len(j.wbuf)
+}
+
+func (j *Journal) flusher() {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.quit:
+			return
+		case <-t.C:
+			j.Sync()
+		}
+	}
+}
+
+// Close syncs and releases the journal. Idempotent.
+func (j *Journal) Close() error {
+	j.quitOnce.Do(func() { close(j.quit) })
+	j.wg.Wait()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	err := j.syncLocked()
+	j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,59 @@
+// Lease arbitration between a primary and its standbys. The lease is a tiny
+// text file next to the journal segments, rewritten atomically (temp +
+// rename) so readers never observe a torn lease. The primary renews it on a
+// sub-TTL cadence; a standby polls and takes over only after observing an
+// expired lease — the coarse-grained, storage-mediated failover handoff
+// (no consensus protocol: one journal directory, one legitimate writer).
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// LeaseName is the lease file's name inside the journal directory.
+const LeaseName = "LEASE"
+
+// Lease is one parsed lease file.
+type Lease struct {
+	// Gen is the generation of the master holding (or last holding) the lease.
+	Gen int64
+	// Holder describes the holder (its listen address), for logs only.
+	Holder string
+	// Expiry is when the lease lapses unless renewed.
+	Expiry time.Time
+}
+
+// ErrNoLease reports an absent lease file — a journal directory whose
+// master never started, or a pre-lease layout.
+var ErrNoLease = errors.New("journal: no lease file")
+
+// Expired reports whether the lease has lapsed at time now.
+func (l Lease) Expired(now time.Time) bool { return now.After(l.Expiry) }
+
+// WriteLease atomically replaces the lease file in dir.
+func WriteLease(dir string, l Lease) error {
+	body := fmt.Sprintf("%d %s %d\n", l.Gen, l.Holder, l.Expiry.UnixNano())
+	return atomicWrite(filepath.Join(dir, "lease.tmp"), filepath.Join(dir, LeaseName), []byte(body))
+}
+
+// ReadLease reads the lease file in dir, ErrNoLease if absent.
+func ReadLease(dir string) (Lease, error) {
+	b, err := os.ReadFile(filepath.Join(dir, LeaseName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Lease{}, ErrNoLease
+		}
+		return Lease{}, fmt.Errorf("journal: %w", err)
+	}
+	var l Lease
+	var nanos int64
+	if _, err := fmt.Sscanf(string(b), "%d %s %d", &l.Gen, &l.Holder, &nanos); err != nil {
+		return Lease{}, fmt.Errorf("journal: malformed lease: %w", err)
+	}
+	l.Expiry = time.Unix(0, nanos)
+	return l, nil
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,14 @@ import (
 type Config struct {
 	// MasterAddr is the master's control-plane address to dial.
 	MasterAddr string
+	// MasterAddrs optionally lists every control-plane address a master for
+	// this cluster may answer on (primary first, then standbys). With more
+	// than one entry, a lost master connection triggers re-registration
+	// round-robin across the list instead of exiting — the failover path: the
+	// agent re-attaches to whichever master holds the lease, keeping its
+	// worker ID under the new generation. Empty defaults to {MasterAddr},
+	// which preserves the single-master exit-on-disconnect behavior.
+	MasterAddrs []string
 	// ShuffleAddr is the address the agent's shuffle server listens on;
 	// empty picks an ephemeral 127.0.0.1 port (loopback clusters) — real
 	// deployments pass host:0 or host:port so peers can reach it.
@@ -100,6 +109,11 @@ const (
 )
 
 func (c Config) withDefaults() Config {
+	if len(c.MasterAddrs) == 0 {
+		c.MasterAddrs = []string{c.MasterAddr}
+	} else if c.MasterAddr == "" {
+		c.MasterAddr = c.MasterAddrs[0]
+	}
 	if c.Cores <= 0 {
 		c.Cores = runtime.GOMAXPROCS(0)
 	}
@@ -164,25 +178,35 @@ type inflight struct {
 type Agent struct {
 	cfg Config
 
-	conn    *wire.Conn
+	// conn is the live control connection; replaced atomically when the
+	// agent re-attaches to a standby master after a failover (readLoop
+	// swaps it while heartbeats and completions keep loading it).
+	conn    atomic.Pointer[wire.Conn]
 	id      int32
+	gen     atomic.Int64 // master generation from the latest Welcome
 	hb      time.Duration
 	shuffle *shuffle.Server
 	// compress is the negotiated compression outcome (offered by this agent
 	// AND enabled on the master); it configures every job runtime's codec.
+	// Written only on the Dial and readLoop goroutines, which also run every
+	// prepare — the one reader.
 	compress bool
-	// masterShuffleAddr is the fallback fetch holder: the master's
-	// canonical checkpoint store (Welcome.MasterShuffleAddr).
-	masterShuffleAddr string
+	// registered flips after the first Welcome: from then on the agent
+	// re-registers as its assigned worker ID instead of a fresh -1.
+	registered bool
 
 	sem  chan struct{}
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[int64]*jobState
-	clients  map[string]*shuffle.Client
-	inflight map[dispatchKey]*inflight
+	mu sync.Mutex
+	// masterShuffleAddr is the fallback fetch holder: the master's canonical
+	// checkpoint store (Welcome.MasterShuffleAddr). Under mu — rewritten at
+	// re-attach while execute goroutines read it.
+	masterShuffleAddr string
+	jobs              map[int64]*jobState
+	clients           map[string]*shuffle.Client
+	inflight          map[dispatchKey]*inflight
 
 	closeOnce sync.Once
 	done      chan error
@@ -223,10 +247,11 @@ func Dial(cfg Config) (*Agent, error) {
 		return nil, err
 	}
 	a.id = w.WorkerID
+	a.registered = true
 	a.hb = time.Duration(w.HeartbeatMicros) * time.Microsecond
-	a.masterShuffleAddr = w.MasterShuffleAddr
-	a.compress = w.Compress
-	a.logf("agent %d: joined master %s (hb=%v shuffle=%s)", a.id, cfg.MasterAddr, a.hb, srv.Addr())
+	a.applyWelcome(w)
+	a.logf("agent %d: joined master %s gen %d (hb=%v shuffle=%s)",
+		a.id, cfg.MasterAddr, w.Gen, a.hb, srv.Addr())
 
 	a.wg.Add(2)
 	go a.heartbeats()
@@ -237,7 +262,9 @@ func Dial(cfg Config) (*Agent, error) {
 // register performs the dial + Register + Welcome handshake, retrying
 // transient failures (refused dial, handshake timeout, torn connection) up
 // to RegisterAttempts with jittered exponential backoff capped at
-// RegisterBackoffMax. On success a.conn holds the registered connection.
+// RegisterBackoffMax. Attempts round-robin across MasterAddrs, so during a
+// failover the agent probes the standby as readily as the (dead) primary.
+// On success a.conn holds the registered connection.
 func (a *Agent) register(shuffleAddr string) (wire.Welcome, error) {
 	cfg := a.cfg
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -251,23 +278,27 @@ func (a *Agent) register(shuffleAddr string) (wire.Welcome, error) {
 			sleep := d/2 + time.Duration(rng.Int63n(int64(d/2)))
 			a.logf("agent: registration attempt %d failed (%v), retrying in %v",
 				attempt, lastErr, sleep)
-			time.Sleep(sleep)
+			select {
+			case <-a.quit:
+				return wire.Welcome{}, fmt.Errorf("agent: shutting down")
+			case <-time.After(sleep):
+			}
 		}
-		w, err := a.registerOnce(shuffleAddr)
+		w, err := a.registerOnce(cfg.MasterAddrs[attempt%len(cfg.MasterAddrs)], shuffleAddr)
 		if err == nil {
 			return w, nil
 		}
 		lastErr = err
 	}
 	return wire.Welcome{}, fmt.Errorf("agent: registration with %s failed after %d attempts: %w",
-		cfg.MasterAddr, cfg.RegisterAttempts, lastErr)
+		strings.Join(cfg.MasterAddrs, ","), cfg.RegisterAttempts, lastErr)
 }
 
-func (a *Agent) registerOnce(shuffleAddr string) (wire.Welcome, error) {
+func (a *Agent) registerOnce(addr, shuffleAddr string) (wire.Welcome, error) {
 	cfg := a.cfg
-	nc, err := cfg.Dial(cfg.MasterAddr)
+	nc, err := cfg.Dial(addr)
 	if err != nil {
-		return wire.Welcome{}, fmt.Errorf("agent: dial master %s: %w", cfg.MasterAddr, err)
+		return wire.Welcome{}, fmt.Errorf("agent: dial master %s: %w", addr, err)
 	}
 	conn := wire.NewConnConfig(nc, wire.Config{
 		MaxFrame:      cfg.MaxFrame,
@@ -277,7 +308,17 @@ func (a *Agent) registerOnce(shuffleAddr string) (wire.Welcome, error) {
 		// inside the read-loop handler, so pooled frames are safe here.
 		PooledReads: true,
 	})
-	if !conn.Send(wire.Register{ShuffleAddr: shuffleAddr, Cores: int32(cfg.Cores), Compress: cfg.Compress}) {
+	// A fresh worker registers as -1 and is assigned an ID; after the first
+	// Welcome the agent re-registers as that ID, which a takeover master
+	// matches against the replayed control-plane state to re-attach it.
+	workerID := int32(-1)
+	if a.registered {
+		workerID = a.id
+	}
+	if !conn.Send(wire.Register{
+		WorkerID: workerID, Gen: a.gen.Load(),
+		ShuffleAddr: shuffleAddr, Cores: int32(cfg.Cores), Compress: cfg.Compress,
+	}) {
 		conn.Close()
 		return wire.Welcome{}, fmt.Errorf("agent: registration send failed")
 	}
@@ -293,12 +334,39 @@ func (a *Agent) registerOnce(shuffleAddr string) (wire.Welcome, error) {
 		conn.Close()
 		return wire.Welcome{}, fmt.Errorf("agent: expected welcome, got %T", m)
 	}
-	a.conn = conn
+	select {
+	case <-a.quit: // Kill raced the re-registration; don't leak the conn
+		conn.Close()
+		return wire.Welcome{}, fmt.Errorf("agent: shutting down")
+	default:
+	}
+	a.conn.Store(conn)
 	return w, nil
+}
+
+// applyWelcome installs the negotiated per-master settings from a Welcome —
+// at first join and again at every re-attach.
+func (a *Agent) applyWelcome(w wire.Welcome) {
+	a.gen.Store(w.Gen)
+	a.compress = w.Compress
+	a.mu.Lock()
+	a.masterShuffleAddr = w.MasterShuffleAddr
+	a.mu.Unlock()
+}
+
+// masterAddr returns the master's canonical-store fetch address.
+func (a *Agent) masterAddr() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.masterShuffleAddr
 }
 
 // ID returns the worker ID the master assigned.
 func (a *Agent) ID() int { return int(a.id) }
+
+// Gen returns the master generation from the latest Welcome — it advances
+// when the agent re-attaches to a standby that took over.
+func (a *Agent) Gen() int64 { return a.gen.Load() }
 
 // ShuffleAddr returns the address this agent serves partitions on.
 func (a *Agent) ShuffleAddr() string { return a.shuffle.Addr() }
@@ -331,7 +399,7 @@ func (a *Agent) logf(format string, args ...any) {
 func (a *Agent) shutdown(err error) {
 	a.closeOnce.Do(func() {
 		close(a.quit)
-		a.conn.Close()
+		a.conn.Load().Close()
 		a.shuffle.Close()
 		a.mu.Lock()
 		clients := a.clients
@@ -369,7 +437,7 @@ func (a *Agent) heartbeats() {
 		case <-a.quit:
 			return
 		case now := <-t.C:
-			a.conn.Send(wire.Heartbeat{WorkerID: a.id, SentUnixMicros: now.UnixMicro()})
+			a.conn.Load().Send(wire.Heartbeat{WorkerID: a.id, SentUnixMicros: now.UnixMicro()})
 		}
 	}
 }
@@ -377,45 +445,80 @@ func (a *Agent) heartbeats() {
 // readLoop is the control-plane inbound path. Prepare is handled
 // synchronously so the per-connection FIFO guarantees every Dispatch for a
 // job arrives after its plan exists; Dispatch execution is asynchronous.
+// With standby masters configured (len(MasterAddrs) > 1), a lost connection
+// re-registers instead of exiting: in-flight work is aborted (the next
+// master re-schedules from its replayed state), then the agent re-attaches
+// as its existing worker ID under the new generation.
 func (a *Agent) readLoop() {
 	defer a.wg.Done()
-	err := a.conn.ReadLoop(func(m wire.Msg) error {
-		switch m := m.(type) {
-		case wire.Prepare:
-			a.handlePrepare(m)
-		case wire.Dispatch:
-			a.handleDispatch(m)
-		case wire.Abort:
-			a.handleAbort(m)
-		case wire.JobDone:
-			a.mu.Lock()
-			js := a.jobs[m.JobID]
-			delete(a.jobs, m.JobID)
-			a.mu.Unlock()
-			if js != nil {
-				// Releases the job's spill file; the shuffle server can no
-				// longer resolve the job, so nothing serves from it.
-				js.rt.Close()
-			}
-		case wire.Shutdown:
-			return errClean
-		default:
-			return fmt.Errorf("agent: unexpected %T on control connection", m)
+	for {
+		err := a.conn.Load().ReadLoop(a.handleMsg)
+		if err == errClean {
+			a.logf("agent %d: shutdown requested, draining", a.id)
+			a.drain()
+			a.shutdown(nil)
+			return
 		}
-		return nil
-	})
-	if err == errClean {
-		a.logf("agent %d: shutdown requested, draining", a.id)
-		a.drain()
-		a.shutdown(nil)
-		return
+		select {
+		case <-a.quit: // already shutting down (Kill or master gone)
+			a.shutdown(err)
+			return
+		default:
+		}
+		if len(a.cfg.MasterAddrs) <= 1 {
+			a.shutdown(fmt.Errorf("agent: master connection lost: %w", err))
+			return
+		}
+		a.logf("agent %d: master connection lost (%v), re-registering", a.id, err)
+		a.abortInflight()
+		w, rerr := a.register(a.shuffle.Addr())
+		if rerr != nil {
+			a.shutdown(fmt.Errorf("agent: master connection lost: %w (re-registration: %v)", err, rerr))
+			return
+		}
+		a.applyWelcome(w)
+		a.logf("agent %d: re-attached under generation %d", a.id, w.Gen)
 	}
-	select {
-	case <-a.quit: // already shutting down (Kill or master gone)
-		a.shutdown(err)
+}
+
+func (a *Agent) handleMsg(m wire.Msg) error {
+	switch m := m.(type) {
+	case wire.Prepare:
+		a.handlePrepare(m)
+	case wire.Dispatch:
+		a.handleDispatch(m)
+	case wire.Abort:
+		a.handleAbort(m)
+	case wire.JobDone:
+		a.mu.Lock()
+		js := a.jobs[m.JobID]
+		delete(a.jobs, m.JobID)
+		a.mu.Unlock()
+		if js != nil {
+			// Releases the job's spill file; the shuffle server can no
+			// longer resolve the job, so nothing serves from it.
+			js.rt.Close()
+		}
+	case wire.Shutdown:
+		return errClean
 	default:
-		a.shutdown(fmt.Errorf("agent: master connection lost: %w", err))
+		return fmt.Errorf("agent: unexpected %T on control connection", m)
 	}
+	return nil
+}
+
+// abortInflight marks every in-flight execution aborted so its completion
+// is swallowed: those dispatches belong to a dead master's generation, and
+// the successor re-dispatches from replayed state. Local execution still
+// runs to completion — its commit into the job runtime is idempotent, so a
+// re-dispatch of the same monotask to this agent reuses the work.
+func (a *Agent) abortInflight() {
+	a.mu.Lock()
+	for _, inf := range a.inflight {
+		inf.aborted.Store(true)
+	}
+	a.inflight = make(map[dispatchKey]*inflight)
+	a.mu.Unlock()
 }
 
 var errClean = fmt.Errorf("agent: clean shutdown")
@@ -450,13 +553,21 @@ func (a *Agent) handlePrepare(p wire.Prepare) {
 	} else {
 		a.logf("agent %d: prepared job %d (%s)", a.id, p.JobID, p.Workload)
 	}
-	a.conn.Send(wire.JobReady{JobID: p.JobID, Err: errStr})
+	a.conn.Load().Send(wire.JobReady{JobID: p.JobID, Err: errStr})
 }
 
 // prepare rebuilds the job's plan from the workload registry and seeds its
 // deterministic inputs — the cross-process identity contract: same builder,
 // same params, same IDs, so nothing but (name, params) crosses the wire.
+// Idempotent: a takeover master re-broadcasts Prepare for every live job,
+// and the existing runtime (plan, contributions, spill) must survive it.
 func (a *Agent) prepare(p wire.Prepare) error {
+	a.mu.Lock()
+	_, dup := a.jobs[p.JobID]
+	a.mu.Unlock()
+	if dup {
+		return nil
+	}
 	bj, err := workload.Build(p.Workload, p.Params)
 	if err != nil {
 		return err
@@ -473,9 +584,6 @@ func (a *Agent) prepare(p wire.Prepare) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, dup := a.jobs[p.JobID]; dup {
-		return fmt.Errorf("agent: job %d already prepared", p.JobID)
-	}
 	a.jobs[p.JobID] = &jobState{rt: rt, fetched: make(map[fetchKey]bool)}
 	return nil
 }
@@ -519,7 +627,7 @@ func (a *Agent) finish(key dispatchKey, inf *inflight, c wire.Complete) {
 	if inf.aborted.Load() {
 		return
 	}
-	a.conn.Send(c)
+	a.conn.Load().Send(c)
 }
 
 // execute runs one dispatched monotask: pull the named input partitions
@@ -600,6 +708,7 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 // to the master's canonical store (§4.3), and each such degradation is
 // counted so the master's transport metrics surface it.
 func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes, rawBytes float64, retries, fallbacks int, err error) {
+	masterStore := a.masterAddr()
 	for _, f := range d.Fetches {
 		js.mu.Lock()
 		seen := js.fetched[fetchKey{f.DatasetID, f.Part, f.Origin}]
@@ -627,14 +736,14 @@ func (a *Agent) ensureInputs(js *jobState, d wire.Dispatch) (wireBytes, rawBytes
 		}
 		n, nr, r, err := a.client(f.Addr).FetchFunc(d.JobID, f.DatasetID, f.Part, f.Origin, sink)
 		retries += r
-		if err != nil && f.Origin >= 0 && a.masterShuffleAddr != "" {
+		if err != nil && f.Origin >= 0 && masterStore != "" {
 			// Peer unreachable after the full retry budget: the master's
 			// checkpoint has every committed contribution (§4.3), so degrade
 			// to it — correct but no longer peer-to-peer, hence counted.
 			fallbacks++
 			a.logf("agent %d: fetch ds%d/p%d from w%d failed (%v), falling back to master",
 				a.id, f.DatasetID, f.Part, f.Origin, err)
-			n, nr, r, err = a.client(a.masterShuffleAddr).FetchFunc(d.JobID, f.DatasetID, f.Part, -1, sink)
+			n, nr, r, err = a.client(masterStore).FetchFunc(d.JobID, f.DatasetID, f.Part, -1, sink)
 			retries += r
 		}
 		if err != nil {

@@ -39,6 +39,11 @@ type Client struct {
 	mu      sync.Mutex
 	nextSub int64
 	waiters map[int64]chan wire.SubmitAck
+	// queries holds Status waiters by SubmitID. The shared nextSub counter
+	// keeps submission and query IDs disjoint, so a streamed lifecycle
+	// JobStatus (which echoes the original submission's SubmitID) can never
+	// collide with a pending query's reply.
+	queries map[int64]chan wire.JobStatus
 	readErr error
 
 	done chan struct{}
@@ -59,6 +64,7 @@ func DialClient(cfg ClientConfig) (*Client, error) {
 		tenant:   cfg.Tenant,
 		onStatus: cfg.OnStatus,
 		waiters:  make(map[int64]chan wire.SubmitAck),
+		queries:  make(map[int64]chan wire.JobStatus),
 		done:     make(chan struct{}),
 	}
 	go c.readLoop()
@@ -77,6 +83,14 @@ func (c *Client) readLoop() {
 				ch <- msg
 			}
 		case wire.JobStatus:
+			c.mu.Lock()
+			ch := c.queries[msg.SubmitID]
+			delete(c.queries, msg.SubmitID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- msg
+				return nil // a query reply, not a streamed lifecycle update
+			}
 			if c.onStatus != nil {
 				c.onStatus(msg)
 			}
@@ -129,9 +143,39 @@ func (c *Client) Cancel(jobID int64) error {
 	return nil
 }
 
+// Status queries a job's current state point-in-time. A job the master no
+// longer knows — never submitted, or lost across a master restart — comes
+// back as wire.StateNotFound with no error: a terminal answer, so pollers
+// of a lost job stop instead of waiting forever.
+func (c *Client) Status(jobID int64) (wire.JobStatus, error) {
+	c.mu.Lock()
+	c.nextSub++
+	id := c.nextSub
+	ch := make(chan wire.JobStatus, 1)
+	c.queries[id] = ch
+	c.mu.Unlock()
+	if !c.conn.Send(wire.JobQuery{SubmitID: id, JobID: jobID}) {
+		c.dropQuery(id)
+		return wire.JobStatus{}, fmt.Errorf("remote: front door connection lost: %w", c.err())
+	}
+	select {
+	case st := <-ch:
+		return st, nil
+	case <-c.done:
+		c.dropQuery(id)
+		return wire.JobStatus{}, fmt.Errorf("remote: front door connection lost: %w", c.err())
+	}
+}
+
 func (c *Client) dropWaiter(id int64) {
 	c.mu.Lock()
 	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+func (c *Client) dropQuery(id int64) {
+	c.mu.Lock()
+	delete(c.queries, id)
 	c.mu.Unlock()
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ursa/internal/core"
+	"ursa/internal/cpstate"
 	"ursa/internal/dag"
 	"ursa/internal/live"
 	"ursa/internal/localrt"
@@ -38,11 +39,17 @@ type remoteExecutor struct {
 	// are built from. Input partitions never appear: agents seed those
 	// locally from the deterministic builder.
 	origins map[originKey][]int
+	// precommits holds commits inherited from the previous generation whose
+	// outputs the takeover already pulled into the canonical store: when the
+	// scheduler re-places such a monotask, Start completes it immediately
+	// from the checkpoint instead of re-dispatching (§4.3 across masters).
+	precommits map[dispatchKey]cpstate.CommitState
 
-	mu      sync.Mutex
-	pending []*jobRec // FIFO, consumed in RegisterJob order
-	jobs    map[int64]*jobRec
-	byCore  map[*core.Job]*jobRec
+	mu         sync.Mutex
+	pending    []*jobRec // FIFO, consumed in RegisterJob order
+	jobs       map[int64]*jobRec
+	byCore     map[*core.Job]*jobRec
+	nextWireID int64
 }
 
 type dispatchKey struct {
@@ -65,8 +72,14 @@ type dispatchState struct {
 	sentAt  time.Time
 }
 
-// jobRec is the master's record of one submitted workload job.
+// jobRec is the master's record of one submitted workload job. wireID is
+// the job's stable wire-level identity — what Prepare/Dispatch frames and
+// control-plane events carry. It is decoupled from core.Job.ID (which is a
+// dense per-scheduler index) precisely so a takeover master resubmitting
+// the backlog keeps every ID the workers and the journal already hold.
+// 0 means unassigned; real IDs start at 1.
 type jobRec struct {
+	wireID int64
 	name   string
 	params []byte
 	built  *workload.BuiltJob
@@ -76,10 +89,16 @@ type jobRec struct {
 
 func newRemoteExecutor(m *Master, sys *live.System) *remoteExecutor {
 	return &remoteExecutor{
-		m:          m,
-		sys:        sys,
+		m:   m,
+		sys: sys,
+		// Sequence numbers are namespaced by generation (gen g starts at
+		// (g-1)<<32), so a commit token minted by a dead master can never
+		// collide with one minted after takeover — PR 4's at-most-once
+		// (jobID, mtID, seq) discipline extended across generations.
+		seq:        uint64(m.gen-1) << 32,
 		dispatches: make(map[dispatchKey]*dispatchState),
 		origins:    make(map[originKey][]int),
+		precommits: make(map[dispatchKey]cpstate.CommitState),
 		jobs:       make(map[int64]*jobRec),
 		byCore:     make(map[*core.Job]*jobRec),
 	}
@@ -100,6 +119,16 @@ func (e *remoteExecutor) setPending(name string, params []byte, bj *workload.Bui
 func (e *remoteExecutor) stagePending(recs ...*jobRec) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for _, rec := range recs {
+		if rec.wireID == 0 {
+			e.nextWireID++
+			rec.wireID = e.nextWireID
+		} else if rec.wireID > e.nextWireID {
+			// Takeover resubmission stages explicit inherited IDs; later fresh
+			// submissions must mint above them.
+			e.nextWireID = rec.wireID
+		}
+	}
 	e.pending = append(e.pending, recs...)
 }
 
@@ -121,7 +150,7 @@ func (e *remoteExecutor) RegisterJob(j *core.Job, rt *localrt.Runtime) {
 	e.pending = e.pending[1:]
 	rec.core = j
 	rec.rt = rt
-	e.jobs[int64(j.ID)] = rec
+	e.jobs[rec.wireID] = rec
 	e.byCore[j] = rec
 }
 
@@ -173,6 +202,27 @@ func (e *remoteExecutor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, do
 	if rec == nil {
 		panic(fmt.Sprintf("remote: job %d has no workload record", j.ID))
 	}
+	key := dispatchKey{rec.wireID, int32(mt.ID)}
+
+	// Precommit short-circuit: the previous generation already committed
+	// this monotask and the takeover pulled its outputs into the canonical
+	// store — complete it from the checkpoint instead of re-executing. The
+	// completion is posted (not run inline) so it lands outside the
+	// scheduler's placement pass, like any real completion; the worker-
+	// measured seconds re-feed the rate monitors as a normal sample.
+	if cs, ok := e.precommits[key]; ok {
+		delete(e.precommits, key)
+		cancelled := false
+		bytes, seconds := mt.InputBytes, cs.Seconds
+		e.sys.Drv.Loop().Post(func() {
+			if cancelled {
+				return
+			}
+			e.m.Journal.ObservePrecommit()
+			done(bytes, seconds)
+		})
+		return func() { cancelled = true }
+	}
 
 	var release func()
 	if mt.Kind == resource.CPU {
@@ -190,12 +240,14 @@ func (e *remoteExecutor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, do
 	}
 
 	e.seq++
-	key := dispatchKey{int64(j.ID), int32(mt.ID)}
 	st := &dispatchState{
 		seq: e.seq, worker: w.ID, mt: mt, done: done, release: release,
 		sentAt: time.Now(),
 	}
 	e.dispatches[key] = st
+	e.m.rec.record(cpstate.Placed{
+		JobID: key.job, MTID: key.mt, Worker: int32(w.ID), Seq: st.seq,
+	})
 
 	d := wire.Dispatch{JobID: key.job, MTID: key.mt, Seq: st.seq,
 		Fetches: e.buildFetches(rec, mt, w.ID)}
@@ -234,7 +286,7 @@ func (e *remoteExecutor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, do
 // peer-to-peer.
 func (e *remoteExecutor) buildFetches(rec *jobRec, mt *dag.Monotask, workerID int) []wire.FetchSpec {
 	var out []wire.FetchSpec
-	jobID := int64(rec.core.ID)
+	jobID := rec.wireID
 	for _, dp := range localrt.InputParts(rec.rt.Plan(), mt) {
 		key := originKey{jobID, int32(dp.Dataset.ID), int32(dp.Part)}
 		origins := e.origins[key]
@@ -276,7 +328,11 @@ func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
 	key := dispatchKey{c.JobID, c.MTID}
 	st := e.dispatches[key]
 	if st == nil || st.seq != c.Seq || st.worker != workerID {
-		return // stale: aborted, re-dispatched, or duplicate
+		// Stale: aborted, re-dispatched, duplicate, or minted by a previous
+		// generation (seq namespaces never collide across takeovers, so an
+		// old master's token can never match a new dispatch).
+		e.m.Journal.ObserveDupCommit()
+		return
 	}
 	delete(e.dispatches, key)
 	if st.release != nil {
@@ -301,6 +357,14 @@ func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
 		rec.rt.InsertEncoded(ds, int(w.Part), int(c.MTID), w.Rows, w.Flags, int(w.RawLen))
 		e.noteOrigin(originKey{c.JobID, w.DatasetID, w.Part}, workerID)
 	}
+	writes := make([]cpstate.CommitWrite, len(c.Writes))
+	for i, w := range c.Writes {
+		writes[i] = cpstate.CommitWrite{DS: w.DatasetID, Part: w.Part}
+	}
+	e.m.rec.record(cpstate.Commit{
+		JobID: c.JobID, MTID: c.MTID, Worker: int32(workerID), Seq: c.Seq,
+		Seconds: c.Seconds, Writes: writes,
+	})
 	e.m.Transport.ObserveCompletion(workerID, time.Since(st.sentAt).Seconds(), c.FetchedWireBytes, c.FetchedRawBytes)
 	e.m.Transport.ObserveFetchDegradation(workerID, int(c.FetchRetries), int(c.FetchFallbacks))
 	st.done(st.mt.InputBytes, c.Seconds)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ursa/internal/core"
+	"ursa/internal/cpstate"
 	"ursa/internal/live"
 	"ursa/internal/metrics"
 	"ursa/internal/remote/workload"
@@ -60,6 +61,10 @@ const maxAdmissionBatch = 4096
 type intakeShard struct {
 	mu   sync.Mutex
 	subs []intakeSub
+	// perTenant counts this shard's queued submissions by tenant. A tenant
+	// always hashes to one shard, so its count here is its global intake
+	// depth — the TenantIntakeCap check needs no cross-shard coordination.
+	perTenant map[string]int
 }
 
 type intakeSub struct {
@@ -77,10 +82,12 @@ type clientLink struct {
 	conn *wire.Conn
 }
 
-// feJob tracks one client-submitted job from ack to terminal status.
+// feJob tracks one client-submitted job from ack to terminal status. wireID
+// is the stable wire-level job ID acked to (and used by) the client.
 type feJob struct {
 	link     *clientLink
 	submitID int64
+	wireID   int64
 	job      *live.Job
 }
 
@@ -97,7 +104,8 @@ func newFrontDoor(m *Master) *frontDoor {
 		byCore:  make(map[*core.Job]*feJob),
 	}
 	fd.naive.Store(m.cfg.NaiveAdmission)
-	m.Sys.Core.OnJobStateChange = fd.onJobState
+	// The job-state hook is installed by the master (it records the
+	// control-plane event first, then delegates here for status streaming).
 	go fd.pump()
 	return fd
 }
@@ -151,6 +159,37 @@ func (fd *frontDoor) handleClientMsg(link *clientLink, msg wire.Msg) {
 		fd.submit(link, msg)
 	case wire.CancelJob:
 		fd.cancelJob(msg.JobID)
+	case wire.JobQuery:
+		fd.queryJob(link, msg)
+	}
+}
+
+// queryJob answers a point-in-time job-status read from the control-plane
+// state machine (thread-safe; no loop crossing). A job the state machine
+// has no record of — never submitted, or dropped across a restart whose
+// journal was compacted — gets a terminal StateNotFound, so a client
+// polling a lost job gets a definitive answer instead of waiting forever.
+func (fd *frontDoor) queryJob(link *clientLink, q wire.JobQuery) {
+	state := wire.StateNotFound
+	detail := "unknown job"
+	if phase, ok := fd.m.rec.JobPhase(q.JobID); ok {
+		switch phase {
+		case cpstate.PhaseQueued:
+			state, detail = wire.StateQueued, ""
+		case cpstate.PhaseAdmitted:
+			state, detail = wire.StateAdmitted, ""
+		case cpstate.PhaseFinished:
+			state, detail = wire.StateFinished, ""
+		case cpstate.PhaseCancelled:
+			state, detail = wire.StateCancelled, "cancelled"
+		}
+	} else {
+		fd.m.Journal.ObserveNotFound()
+	}
+	if !link.conn.TrySend(wire.JobStatus{
+		SubmitID: q.SubmitID, JobID: q.JobID, State: state, Detail: detail,
+	}) {
+		fd.Ingest.ObserveStatusDrop(1)
 	}
 }
 
@@ -179,11 +218,20 @@ func (fd *frontDoor) submit(link *clientLink, msg wire.SubmitJob) {
 		fd.submitNaive(sub)
 		return
 	}
-	fd.queued.Add(1)
 	sh := &fd.shards[shardFor(msg.Tenant)]
 	sh.mu.Lock()
+	if cap := fd.m.cfg.TenantIntakeCap; cap > 0 && sh.perTenant[msg.Tenant] >= cap {
+		sh.mu.Unlock()
+		fd.reject(link, msg.SubmitID, "tenant intake full")
+		return
+	}
+	if sh.perTenant == nil {
+		sh.perTenant = make(map[string]int)
+	}
+	sh.perTenant[msg.Tenant]++
 	sh.subs = append(sh.subs, sub)
 	sh.mu.Unlock()
+	fd.queued.Add(1)
 	select {
 	case fd.notify <- struct{}{}:
 	default:
@@ -259,6 +307,13 @@ func (fd *frontDoor) collect(max int) []intakeSub {
 		if len(out)+take > max {
 			take = max - len(out)
 		}
+		for i := 0; i < take; i++ {
+			if n := sh.perTenant[sh.subs[i].tenant] - 1; n > 0 {
+				sh.perTenant[sh.subs[i].tenant] = n
+			} else {
+				delete(sh.perTenant, sh.subs[i].tenant)
+			}
+		}
 		out = append(out, sh.subs[:take]...)
 		if take == len(sh.subs) {
 			sh.subs = nil
@@ -295,7 +350,7 @@ func (fd *frontDoor) submitBatch(batch []intakeSub, after func()) int {
 		recs = append(recs, &jobRec{name: in.workload, params: in.params, built: bj})
 		subs = append(subs, live.Submission{
 			Spec: spec, Plan: bj.Plan, Inputs: bj.Inputs,
-			OnQueued: func(j *live.Job) { fd.bindJob(in.link, in.submitID, j) },
+			OnQueued: func(j *live.Job) { fd.bindJob(in.link, in.submitID, in.tenant, j) },
 		})
 	}
 	if len(subs) == 0 {
@@ -343,16 +398,21 @@ func (fd *frontDoor) rejectIntake(reason string) {
 }
 
 // bindJob runs on the control loop via Submission.OnQueued: the job is in
-// the scheduler's tenant queue and registered with the executor, so its ID
-// is durable — ack it and index it for status streaming and cancellation.
-func (fd *frontDoor) bindJob(link *clientLink, submitID int64, j *live.Job) {
-	fe := &feJob{link: link, submitID: submitID, job: j}
+// the scheduler's tenant queue and registered with the executor, so its
+// stable wire ID is durable — record its submission in the control-plane
+// state machine, ack it, and index it for status streaming and cancellation.
+func (fd *frontDoor) bindJob(link *clientLink, submitID int64, tenant string, j *live.Job) {
+	rec := fd.m.exec.recordByCore(j.Core)
+	fd.m.rec.record(cpstate.JobSubmitted{
+		JobID: rec.wireID, Tenant: tenant, Workload: rec.name, Params: rec.params,
+	})
+	fe := &feJob{link: link, submitID: submitID, wireID: rec.wireID, job: j}
 	fd.mu.Lock()
-	fd.byID[int64(j.Core.ID)] = fe
+	fd.byID[rec.wireID] = fe
 	fd.byCore[j.Core] = fe
 	fd.mu.Unlock()
 	fd.Ingest.ObserveSubmission()
-	link.conn.Send(wire.SubmitAck{SubmitID: submitID, JobID: int64(j.Core.ID)})
+	link.conn.Send(wire.SubmitAck{SubmitID: submitID, JobID: rec.wireID})
 }
 
 // onJobState is the core's job-state hook (control loop). For front-door
@@ -368,11 +428,10 @@ func (fd *frontDoor) onJobState(j *core.Job) {
 	if fe == nil {
 		return // not a front-door job (pre-submitted batch job)
 	}
-	jobID := int64(j.ID)
 	switch j.State {
 	case core.JobAdmitted:
 		rec := fd.m.exec.recordByCore(j)
-		p := wire.Prepare{JobID: jobID, Workload: rec.name, Params: rec.params}
+		p := wire.Prepare{JobID: rec.wireID, Workload: rec.name, Params: rec.params}
 		for _, link := range fd.m.workers {
 			if link != nil && !link.failed {
 				link.conn.Send(p)
@@ -393,7 +452,7 @@ func (fd *frontDoor) onJobState(j *core.Job) {
 // frame (counted) instead of buffering or failing the link.
 func (fd *frontDoor) sendStatus(fe *feJob, state byte, detail string) {
 	ok := fe.link.conn.TrySend(wire.JobStatus{
-		SubmitID: fe.submitID, JobID: int64(fe.job.Core.ID),
+		SubmitID: fe.submitID, JobID: fe.wireID,
 		State: state, Detail: detail,
 	})
 	if !ok {
@@ -403,7 +462,7 @@ func (fd *frontDoor) sendStatus(fe *feJob, state byte, detail string) {
 
 func (fd *frontDoor) forget(fe *feJob) {
 	fd.mu.Lock()
-	delete(fd.byID, int64(fe.job.Core.ID))
+	delete(fd.byID, fe.wireID)
 	delete(fd.byCore, fe.job.Core)
 	fd.mu.Unlock()
 }

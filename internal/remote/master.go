@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"ursa/internal/core"
+	"ursa/internal/cpstate"
 	"ursa/internal/eventloop"
+	"ursa/internal/journal"
 	"ursa/internal/live"
 	"ursa/internal/localrt"
 	"ursa/internal/metrics"
@@ -102,6 +104,27 @@ type Config struct {
 	// beyond it new SubmitJobs are rejected ("intake full") instead of
 	// growing an unbounded buffer. Default 65536.
 	IntakeCap int
+	// TenantIntakeCap bounds one tenant's queued submissions at the intake,
+	// so a single bursty tenant cannot consume the whole global IntakeCap
+	// and starve the others' admission slots. 0 disables (global cap only).
+	TenantIntakeCap int
+	// JournalDir, when set, persists the control-plane event log there:
+	// every state-machine event is appended (CRC-checked, fsync-batched),
+	// snapshots are taken every SnapshotEvery events, and the lease file
+	// arbitrates primary/standby. Empty disables journaling — identical
+	// behavior, in-memory state machine only. NewMaster requires the
+	// directory to be empty (a fresh generation); recovering an existing
+	// journal is the standby's job (NewStandby + Takeover).
+	JournalDir string
+	// LeaseTTL is how long the primary's lease lasts between renewals
+	// (renewed at TTL/3); a standby takes over only after observing an
+	// expired lease. Default 2s. Journaled masters only.
+	LeaseTTL time.Duration
+	// SnapshotEvery is the journal's snapshot (and compaction) cadence in
+	// events. Default 1024.
+	SnapshotEvery int
+	// JournalSyncInterval batches journal fsyncs (group commit). Default 2ms.
+	JournalSyncInterval time.Duration
 	// ClientSendQueue bounds each client connection's outbound frame queue
 	// (acks and JobStatus updates). A slow status subscriber has this many
 	// frames of buffer; further JobStatus frames are dropped and counted
@@ -163,6 +186,15 @@ func (c Config) withDefaults() Config {
 	} else if c.WriteDeadline < 0 {
 		c.WriteDeadline = 0
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 2 * time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1024
+	}
+	if c.JournalSyncInterval <= 0 {
+		c.JournalSyncInterval = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -211,6 +243,10 @@ type Master struct {
 	// Transport aggregates the data-plane counters (satellite: per-worker
 	// heartbeat age, RTT, wire bytes, failures).
 	Transport *metrics.Transport
+	// Journal aggregates the control-plane state-machine counters:
+	// generation, events applied/journaled/replayed, snapshots, duplicate
+	// commits rejected, precommits short-circuited, worker re-attaches.
+	Journal *metrics.Journal
 
 	cfg        Config
 	ln         net.Listener
@@ -218,7 +254,21 @@ type Master struct {
 	exec       *remoteExecutor
 	fd         *frontDoor // non-nil iff cfg.Serve
 
-	ready chan struct{} // closed when cfg.Workers agents have registered
+	// gen is this master's generation: 1 for a fresh master, previous+1 at
+	// a standby takeover. Immutable after construction.
+	gen int64
+	// rec is the control-plane state machine's write path (always active;
+	// journaling optional within). takeover is non-nil on a promoted
+	// standby.
+	rec      *recorder
+	jnl      *journal.Journal
+	takeover *takeoverState
+
+	needed int           // registrations that close ready
+	ready  chan struct{} // closed when `needed` agents have registered
+
+	leaseStop chan struct{}
+	leaseWG   sync.WaitGroup
 
 	mu      sync.Mutex
 	workers []*workerLink
@@ -230,29 +280,112 @@ type Master struct {
 	closeOnce sync.Once
 }
 
+// takeoverState carries a promoted standby's inheritance into newMaster:
+// the replayed control-plane state, the open journal, the new generation,
+// and the standby's already-bound listener (workers were told to re-dial
+// its address, so the master adopts it instead of opening its own).
+type takeoverState struct {
+	st  *cpstate.State
+	jnl *journal.Journal
+	gen int64
+	ln  net.Listener
+}
+
 // NewMaster listens for agents and assembles the scheduling core. Submit
 // jobs, then Run — Run blocks until all Workers agents have registered.
 func NewMaster(cfg Config) (*Master, error) {
+	return newMaster(cfg, nil)
+}
+
+func newMaster(cfg Config, tk *takeoverState) (*Master, error) {
 	cfg = cfg.withDefaults()
+	if tk != nil {
+		// The registry size is inherited: worker IDs must keep meaning what
+		// they meant to the previous generation.
+		cfg.Workers = len(tk.st.Workers)
+	}
 	if cfg.Workers <= 0 {
 		return nil, errors.New("remote: Config.Workers must be positive")
 	}
 	m := &Master{
 		cfg:       cfg,
 		Transport: metrics.NewTransport(),
+		Journal:   metrics.NewJournal(),
 		ready:     make(chan struct{}),
 		workers:   make([]*workerLink, cfg.Workers),
+		takeover:  tk,
 	}
-	ln, err := cfg.Listen(cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("remote: listen %s: %w", cfg.Addr, err)
+
+	// Generation and state machine. A fresh master is generation 1 on an
+	// empty state; a promoted standby inherits the replayed state and an
+	// open journal, and bumps the generation. Either way the Generation
+	// event goes through the recorder first, so the journal's first record
+	// of this incarnation marks whose authority the tail belongs to.
+	st := cpstate.New()
+	if tk != nil {
+		st = tk.st
+		m.gen = tk.gen
+		m.jnl = tk.jnl
+	} else {
+		m.gen = 1
+		if cfg.JournalDir != "" {
+			jnl, rep, err := journal.Open(cfg.JournalDir, journal.Options{
+				SyncInterval: cfg.JournalSyncInterval,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rep.NextIndex > 0 || rep.Snapshot != nil {
+				jnl.Close()
+				return nil, fmt.Errorf(
+					"remote: journal dir %s is not empty; recover it with a standby takeover (-standby), not a fresh master",
+					cfg.JournalDir)
+			}
+			m.jnl = jnl
+		}
 	}
-	m.ln = ln
+	m.rec = newRecorder(st, m.jnl, m.Journal, cfg.SnapshotEvery)
+	m.rec.record(cpstate.Generation{Gen: m.gen})
+	m.Journal.SetGeneration(m.gen)
+
+	m.needed = cfg.Workers
+	if tk != nil {
+		m.needed = 0
+		for _, w := range tk.st.Workers {
+			if !w.Failed {
+				m.needed++
+			}
+		}
+		if m.needed == 0 {
+			close(m.ready) // every inherited slot is dead; don't wait on registrations
+		}
+		// Dead registry slots become failed placeholder links so worker IDs,
+		// origin lists and fetch routing keep their old meaning — buildFetches
+		// sees the slot failed and degrades the partition to the canonical
+		// store, exactly the §4.3 path.
+		for i, w := range tk.st.Workers {
+			if w.Failed {
+				m.workers[i] = &workerLink{
+					id: i, shuffleAddr: w.ShuffleAddr, cores: int(w.Cores), failed: true,
+				}
+			}
+		}
+	}
+
+	var err error
+	if tk != nil {
+		m.ln = tk.ln
+	} else {
+		m.ln, err = cfg.Listen(cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("remote: listen %s: %w", cfg.Addr, err)
+		}
+	}
 	m.shuffleSrv, err = shuffle.Listen(cfg.ShuffleAddr, shuffle.ServerConfig{
 		MaxFrame: cfg.MaxFrame, ReadIdle: cfg.ShuffleReadIdle, Listen: cfg.Listen,
 	}, m.resolveJob, m.Transport.ObserveServedBytes)
 	if err != nil {
-		ln.Close()
+		m.ln.Close()
 		return nil, err
 	}
 	m.Sys = live.NewSystem(live.Config{
@@ -270,9 +403,77 @@ func NewMaster(cfg Config) (*Master, error) {
 	if cfg.Serve {
 		m.fd = newFrontDoor(m)
 	}
-	go m.accept()
+	// The master owns the job-state hook: lifecycle transitions are recorded
+	// as control-plane events first, then relayed to the front door's status
+	// streaming. The front door no longer installs its own hook.
+	m.Sys.Core.OnJobStateChange = m.onJobState
+
+	if m.jnl != nil {
+		m.startLease()
+	}
+	if tk == nil {
+		// A promoted standby keeps its own accept loop (it owns the bound
+		// listener and already routes connections here).
+		go m.accept()
+	}
 	return m, nil
 }
+
+// startLease claims the lease for this generation and renews it at TTL/3
+// until Close — the heartbeat a standby watches for.
+func (m *Master) startLease() {
+	m.leaseStop = make(chan struct{})
+	renew := func() {
+		journal.WriteLease(m.cfg.JournalDir, journal.Lease{
+			Gen: m.gen, Holder: m.Addr(), Expiry: time.Now().Add(m.cfg.LeaseTTL),
+		})
+	}
+	renew()
+	m.leaseWG.Add(1)
+	go func() {
+		defer m.leaseWG.Done()
+		t := time.NewTicker(m.cfg.LeaseTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.leaseStop:
+				return
+			case <-t.C:
+				renew()
+			}
+		}
+	}()
+}
+
+// onJobState is the core's job-state hook (control loop): record the
+// lifecycle event in the state machine, then let the front door stream it.
+func (m *Master) onJobState(j *core.Job) {
+	if rec := m.exec.recordByCore(j); rec != nil {
+		switch j.State {
+		case core.JobAdmitted:
+			m.rec.record(cpstate.JobAdmitted{JobID: rec.wireID, Reserved: j.ReservedMem()})
+		case core.JobFinished:
+			m.rec.record(cpstate.JobFinished{JobID: rec.wireID})
+		case core.JobCancelled:
+			m.rec.record(cpstate.JobCancelled{JobID: rec.wireID})
+		}
+	}
+	if m.fd != nil {
+		m.fd.onJobState(j)
+	}
+}
+
+// Generation returns the master's generation (1 unless promoted from a
+// standby).
+func (m *Master) Generation() int64 { return m.gen }
+
+// StateBytes returns the canonical encoding of the control-plane state —
+// the bytes a journal replay must reproduce exactly.
+func (m *Master) StateBytes() []byte { return m.rec.StateBytes() }
+
+// CommitCount returns how many accepted commits the control-plane state
+// currently holds (terminal jobs compact theirs away).
+func (m *Master) CommitCount() int { return m.rec.CommitCount() }
 
 // Ingest exposes the front-door counters (nil unless Config.Serve).
 func (m *Master) Ingest() *metrics.Ingest {
@@ -350,6 +551,11 @@ func (m *Master) Submit(name string, params []byte) (*RemoteJob, error) {
 		return nil, err
 	}
 	rj := &RemoteJob{Name: name, Built: bj, Live: lj, params: params}
+	if rec := m.exec.recordByCore(lj.Core); rec != nil {
+		m.rec.record(cpstate.JobSubmitted{
+			JobID: rec.wireID, Tenant: bj.Spec.Tenant, Workload: name, Params: params,
+		})
+	}
 	m.mu.Lock()
 	m.jobs = append(m.jobs, rj)
 	m.mu.Unlock()
@@ -422,19 +628,50 @@ func (m *Master) registerWorker(nc net.Conn, br *bufio.Reader, reg wire.Register
 		PooledReads: true,
 	})
 	m.mu.Lock()
-	if m.nreg >= m.cfg.Workers {
+	if m.nreg >= m.needed {
 		m.mu.Unlock()
 		m.logf("master: rejecting extra agent from %v (cluster full)", nc.RemoteAddr())
 		c.Close()
 		return
 	}
-	id := m.nreg
+	var id int
+	reattach := reg.WorkerID >= 0
+	if reattach {
+		// Re-attach after a failover: the worker claims its previous slot so
+		// every ID in the replayed state (placements, origins, registry)
+		// still names it. Only a takeover master accepts these, and only for
+		// slots the replayed registry holds as live and unclaimed.
+		id = int(reg.WorkerID)
+		if m.takeover == nil || id >= len(m.workers) || m.workers[id] != nil {
+			m.mu.Unlock()
+			m.logf("master: rejecting re-attach for worker %d from %v (slot unavailable)",
+				id, nc.RemoteAddr())
+			c.Close()
+			return
+		}
+	} else {
+		if m.takeover != nil {
+			// Unknown worker joining mid-recovery: the replayed state has no
+			// slot for it, so it cannot carry any of the old generation's IDs.
+			m.mu.Unlock()
+			m.logf("master: rejecting fresh agent from %v (takeover recovers known workers only)", nc.RemoteAddr())
+			c.Close()
+			return
+		}
+		id = m.nreg
+	}
 	m.nreg++
 	link := &workerLink{id: id, conn: c, shuffleAddr: reg.ShuffleAddr, cores: int(reg.Cores)}
 	m.workers[id] = link
-	full := m.nreg == m.cfg.Workers
+	full := m.nreg == m.needed
 	m.mu.Unlock()
 
+	m.rec.record(cpstate.WorkerRegistered{
+		Worker: int32(id), ShuffleAddr: reg.ShuffleAddr, Cores: reg.Cores,
+	})
+	if reattach {
+		m.Journal.ObserveReattach()
+	}
 	m.Transport.ObserveRegister(id, time.Now())
 	c.Send(wire.Welcome{
 		WorkerID:          int32(id),
@@ -444,9 +681,10 @@ func (m *Master) registerWorker(nc net.Conn, br *bufio.Reader, reg wire.Register
 		// Compression is in effect only when both sides want it; the flags
 		// byte on every blob keeps mixed outcomes interoperable regardless.
 		Compress: m.cfg.Compress && reg.Compress,
+		Gen:      m.gen,
 	})
-	m.logf("master: worker %d registered from %v (cores=%d shuffle=%s)",
-		id, nc.RemoteAddr(), reg.Cores, reg.ShuffleAddr)
+	m.logf("master: worker %d registered from %v (cores=%d shuffle=%s gen=%d reattach=%v)",
+		id, nc.RemoteAddr(), reg.Cores, reg.ShuffleAddr, m.gen, reattach)
 	if full {
 		close(m.ready)
 	}
@@ -498,6 +736,7 @@ func (m *Master) failWorker(id int, cause error) {
 		return
 	}
 	link.failed = true
+	m.rec.record(cpstate.WorkerFailed{Worker: int32(id)})
 	m.Transport.ObserveFailure(id)
 	m.logf("master: worker %d failed: %v", id, cause)
 	link.conn.Close()
@@ -516,7 +755,7 @@ func (m *Master) WaitWorkers(ctx context.Context) error {
 	case <-m.ready:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("remote: waiting for %d workers: %w", m.cfg.Workers, ctx.Err())
+		return fmt.Errorf("remote: waiting for %d workers: %w", m.needed, ctx.Err())
 	}
 }
 
@@ -534,12 +773,18 @@ func (m *Master) Run(ctx context.Context) error {
 	m.mu.Unlock()
 
 	// Prepare precedes every Dispatch on each per-worker connection (FIFO),
-	// so agents build each plan before any of its monotasks arrive.
+	// so agents build each plan before any of its monotasks arrive. Frames
+	// carry the stable wire-level job ID, which survives takeovers (the
+	// core's own IDs renumber when a standby resubmits the backlog). On a
+	// takeover master the re-Prepare is idempotent on agents that already
+	// hold the plan, and failed placeholder slots have no connection.
 	for _, rj := range jobs {
-		jobID := int64(rj.Live.Core.ID)
-		p := wire.Prepare{JobID: jobID, Workload: rj.Name, Params: rj.params}
+		rec := m.exec.recordByCore(rj.Live.Core)
+		p := wire.Prepare{JobID: rec.wireID, Workload: rj.Name, Params: rj.params}
 		for _, link := range m.workers {
-			link.conn.Send(p)
+			if link != nil && !link.failed {
+				link.conn.Send(p)
+			}
 		}
 	}
 
@@ -576,6 +821,11 @@ func (m *Master) Run(ctx context.Context) error {
 				m.fd.Ingest.ObserveShareError(core.ShareError(m.Sys.Core.Sched.TenantShares()))
 				m.logf("master: %s", m.fd.Ingest.StatsLine())
 			}
+			if m.jnl != nil {
+				_, _, _, unsynced := m.jnl.Stats()
+				m.Journal.ObservePendingDepth(unsynced)
+			}
+			m.logf("master: %s", m.Journal.StatsLine())
 		})
 		defer stopStats()
 	}
@@ -583,8 +833,8 @@ func (m *Master) Run(ctx context.Context) error {
 	m.Sys.OnJobFinished = func(j *core.Job) {
 		// Cancelled jobs were never prepared on the agents — no JobDone to
 		// broadcast for them.
-		if j.State != core.JobCancelled {
-			done := wire.JobDone{JobID: int64(j.ID)}
+		if rec := m.exec.recordByCore(j); rec != nil && j.State != core.JobCancelled {
+			done := wire.JobDone{JobID: rec.wireID}
 			for _, link := range m.workers {
 				if link != nil && !link.failed {
 					link.conn.Send(done)
@@ -617,6 +867,11 @@ func (m *Master) Run(ctx context.Context) error {
 // after Run (the RemoteExecutor's Close already broadcast Shutdown).
 func (m *Master) Close() {
 	m.closeOnce.Do(func() {
+		// Fence the recorder before cutting anything: the dying links and
+		// failed dispatches this teardown causes must not be journaled as
+		// WorkerFailed, or a standby would replay an all-dead registry and
+		// reject every re-attach.
+		m.rec.fence()
 		m.ln.Close()
 		if m.fd != nil {
 			m.fd.close()
@@ -625,7 +880,7 @@ func (m *Master) Close() {
 		links := append([]*workerLink(nil), m.workers...)
 		m.mu.Unlock()
 		for _, link := range links {
-			if link != nil {
+			if link != nil && link.conn != nil { // placeholder slots have no conn
 				link.conn.Close()
 			}
 		}
@@ -633,5 +888,12 @@ func (m *Master) Close() {
 		// With the fetch server down, nothing can still be streaming from the
 		// canonical stores' spill files: release them.
 		m.exec.closeRuntimes()
+		if m.leaseStop != nil {
+			close(m.leaseStop)
+			m.leaseWG.Wait()
+		}
+		if m.jnl != nil {
+			m.jnl.Close()
+		}
 	})
 }

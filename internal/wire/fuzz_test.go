@@ -18,8 +18,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	// Seed with one valid frame per message type plus structural edge
 	// cases; the checked-in corpus in testdata/ mirrors these.
 	seeds := []Msg{
-		Register{ShuffleAddr: "127.0.0.1:0", Cores: 4, Compress: true},
-		Welcome{WorkerID: 1, HeartbeatMicros: 250000, MaxFrame: 1 << 16, Compress: true},
+		Register{ShuffleAddr: "127.0.0.1:0", Cores: 4, Compress: true, WorkerID: -1},
+		Register{ShuffleAddr: "127.0.0.1:0", Cores: 4, WorkerID: 2, Gen: 1}, // failover re-attach
+		Welcome{WorkerID: 1, HeartbeatMicros: 250000, MaxFrame: 1 << 16, Compress: true, Gen: 2},
 		Heartbeat{WorkerID: 1, SentUnixMicros: 42},
 		Prepare{JobID: 1, Workload: "wc", Params: []byte{9}},
 		JobReady{JobID: 1, Err: "e"},
@@ -42,6 +43,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		JobStatus{SubmitID: 7, JobID: 41, State: StateAdmitted},
 		JobStatus{SubmitID: 7, JobID: 41, State: StateCancelled, Detail: "drain"},
 		CancelJob{JobID: 41},
+		JobQuery{SubmitID: 10, JobID: 41},
+		JobStatus{SubmitID: 10, JobID: 99, State: StateNotFound, Detail: "unknown job"},
 	}
 	for _, m := range seeds {
 		f.Add(AppendFrame(nil, m))

@@ -22,6 +22,7 @@ const (
 	TSubmitAck byte = 14 // master → client: submission accepted (or rejected)
 	TJobStatus byte = 15 // master → client: job state transition stream
 	TCancelJob byte = 16 // client → master: cancel a queued job
+	TJobQuery  byte = 17 // client → master: ask for a job's current state
 )
 
 // Blob encoding flags carried per contribution. The flags byte is opaque to
@@ -78,6 +79,8 @@ func Decode(typ byte, payload []byte) (Msg, error) {
 		m = decodeJobStatus(d)
 	case TCancelJob:
 		m = decodeCancelJob(d)
+	case TJobQuery:
+		m = decodeJobQuery(d)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
@@ -101,6 +104,14 @@ type Register struct {
 	// compressed contributions; the master's Welcome decides whether the
 	// cluster actually uses them.
 	Compress bool
+	// WorkerID is -1 for a fresh registration. A worker re-attaching after a
+	// master failover sends the ID its previous master assigned, so the
+	// takeover master can rebind the journaled registry slot — the worker's
+	// committed contributions and prepared jobs stay keyed by it.
+	WorkerID int32
+	// Gen echoes the master generation the worker last served under (0 on a
+	// fresh registration); a takeover master uses it for sanity logging only.
+	Gen int64
 }
 
 func (Register) Type() byte { return TRegister }
@@ -108,9 +119,14 @@ func (m Register) encode(e *Encoder) {
 	e.Str(m.ShuffleAddr)
 	e.I32(m.Cores)
 	e.Bool(m.Compress)
+	e.I32(m.WorkerID)
+	e.I64(m.Gen)
 }
 func decodeRegister(d *Decoder) Msg {
-	return Register{ShuffleAddr: d.Str(), Cores: d.I32(), Compress: d.Bool()}
+	return Register{
+		ShuffleAddr: d.Str(), Cores: d.I32(), Compress: d.Bool(),
+		WorkerID: d.I32(), Gen: d.I64(),
+	}
 }
 
 // Welcome assigns the worker its identity and protocol parameters.
@@ -124,6 +140,11 @@ type Welcome struct {
 	// Compress is the negotiated outcome: true only when both the worker
 	// advertised support and the master enables compression.
 	Compress bool
+	// Gen is the master's generation number. It rises by one at every
+	// standby takeover; dispatch sequence numbers are namespaced by it, so
+	// the at-most-once (jobID, mtID, seq) commit discipline extends across
+	// failovers without any per-frame generation field.
+	Gen int64
 }
 
 func (Welcome) Type() byte { return TWelcome }
@@ -133,11 +154,12 @@ func (m Welcome) encode(e *Encoder) {
 	e.I64(m.MaxFrame)
 	e.Str(m.MasterShuffleAddr)
 	e.Bool(m.Compress)
+	e.I64(m.Gen)
 }
 func decodeWelcome(d *Decoder) Msg {
 	return Welcome{
 		WorkerID: d.I32(), HeartbeatMicros: d.I64(), MaxFrame: d.I64(),
-		MasterShuffleAddr: d.Str(), Compress: d.Bool(),
+		MasterShuffleAddr: d.Str(), Compress: d.Bool(), Gen: d.I64(),
 	}
 }
 
@@ -520,6 +542,11 @@ const (
 	StateAdmitted  byte = 1
 	StateFinished  byte = 2
 	StateCancelled byte = 3
+	// StateNotFound is the terminal answer to a JobQuery for a job this
+	// master does not know — never seen, or forgotten across a restart or
+	// journal compaction. Clients must treat it as final rather than waiting
+	// for further transitions.
+	StateNotFound byte = 4
 )
 
 // JobStatus streams a job's state transitions back to its submitter.
@@ -551,3 +578,24 @@ type CancelJob struct{ JobID int64 }
 func (CancelJob) Type() byte          { return TCancelJob }
 func (m CancelJob) encode(e *Encoder) { e.I64(m.JobID) }
 func decodeCancelJob(d *Decoder) Msg  { return CancelJob{JobID: d.I64()} }
+
+// JobQuery asks for a job's current state; the answer comes back as one
+// JobStatus echoing SubmitID. A job the master does not track — unknown ID,
+// or state dropped across a restart/compaction — answers StateNotFound, so a
+// client polling a job that outlived its master terminates instead of
+// waiting forever.
+type JobQuery struct {
+	// SubmitID is a client-chosen correlation token echoed in the JobStatus
+	// reply; it must be distinct from in-flight SubmitJob tokens.
+	SubmitID int64
+	JobID    int64
+}
+
+func (JobQuery) Type() byte { return TJobQuery }
+func (m JobQuery) encode(e *Encoder) {
+	e.I64(m.SubmitID)
+	e.I64(m.JobID)
+}
+func decodeJobQuery(d *Decoder) Msg {
+	return JobQuery{SubmitID: d.I64(), JobID: d.I64()}
+}

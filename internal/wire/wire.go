@@ -126,6 +126,11 @@ func WriteFrame(w io.Writer, m Msg) error {
 // Encoder appends fixed-width binary primitives to a buffer.
 type Encoder struct{ buf []byte }
 
+// NewEncoder returns an Encoder that appends to buf — callers outside this
+// package (the control-plane event codec, the journal) compose records from
+// the same primitives the frame codecs use.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
 // Bytes returns the encoded buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
@@ -286,3 +291,8 @@ func (d *Decoder) count(minElem int) int {
 	}
 	return int(n)
 }
+
+// Count is the exported form of count for codecs composed outside this
+// package (the control-plane event codec): it reads a u32 list length and
+// rejects counts the remaining payload cannot hold.
+func (d *Decoder) Count(minElem int) int { return d.count(minElem) }
