@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke-dist smoke-failover chaos fuzz-wire fuzz-events bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist smoke-failover smoke-elastic chaos fuzz-wire fuzz-events bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
 
-ci: fmt-check vet build test race smoke-dist smoke-failover chaos bench-wire-guard bench-ingest-guard
+ci: fmt-check vet build test race smoke-dist smoke-failover smoke-elastic chaos bench-wire-guard bench-ingest-guard
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -45,6 +45,14 @@ smoke-dist:
 # replay-determinism suite. Runs under the race detector.
 smoke-failover:
 	$(GO) test -race -count=1 -run 'TestFailover|TestReplayMatchesLiveState' ./internal/remote
+
+# Elastic smoke: a serve-mode loopback cluster scales 2→5 under admission
+# pressure and drains back to 2 when the backlog empties, plus the mid-job
+# graceful-drain test (zero drain-attributable fetch fallbacks) and the
+# drain+kill chaos test — rows byte-identical to direct execution, under
+# the race detector.
+smoke-elastic:
+	$(GO) test -race -count=1 -run 'TestElasticAutoscaleLoopback|TestDrainMidJobNoFallbacks|TestElasticDrainAndKillChaos' ./internal/remote
 
 # Hostile-network matrix: the loopback cluster under every injected fault
 # class (drop, delay, partition, slow-reader, truncation, wedge) must finish

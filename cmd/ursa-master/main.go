@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"ursa/internal/core"
+	"ursa/internal/elastic"
 	"ursa/internal/eventloop"
 	"ursa/internal/remote"
 	"ursa/internal/remote/workload"
@@ -96,6 +97,24 @@ func main() {
 		tenantIntakeCap = flag.Int("tenant-intake-cap", 0,
 			"max queued submissions per tenant before rejection (0 = global cap only)")
 
+		// Elastic-cluster knobs (see DESIGN.md §14).
+		elasticMode = flag.Bool("elastic", false,
+			"accept mid-run worker joins and graceful drains; losing every worker pauses admission instead of failing the run")
+		autoscale = flag.Bool("autoscale", false,
+			"run the utilization-driven autoscaler (implies -elastic): spawn -worker-bin on admission pressure, drain idle workers in troughs")
+		minWorkers = flag.Int("min-workers", 0,
+			"autoscaler lower bound on cluster size (0 = -workers)")
+		maxWorkers = flag.Int("max-workers", 0,
+			"autoscaler upper bound on cluster size (0 = -workers)")
+		autoscaleInterval = flag.Duration("autoscale-interval", 0,
+			"autoscaler policy tick period (0 = default 250ms)")
+		workerBin = flag.String("worker-bin", "ursa-worker",
+			"worker binary the autoscaler spawns on scale-up")
+		reserveCorrect = flag.Bool("reserve-correct", false,
+			"learn per-workload reservation corrections from observed memory peaks (DRESS-style dynamic reservation)")
+		drainID = flag.Int("drain", -1,
+			"gracefully drain this worker id once the cluster assembles (ops/demo; -1 disables)")
+
 		// Journal / failover knobs (see DESIGN.md §13).
 		journalDir = flag.String("journal-dir", "",
 			"directory for the control-plane event journal, snapshots and lease (empty disables journaling)")
@@ -144,10 +163,26 @@ func main() {
 		Compress:            *compress,
 		ShuffleMemBudget:    *memBudget,
 		ShuffleSpillDir:     *spillDir,
+		Elastic:             *elasticMode,
+		Autoscale:           *autoscale,
+		MinWorkers:          *minWorkers,
+		MaxWorkers:          *maxWorkers,
+		AutoscaleInterval:   *autoscaleInterval,
+		ReserveCorrect:      *reserveCorrect,
 		SampleInterval:      eventloop.Duration(50 * time.Millisecond / time.Microsecond),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+	}
+	if *autoscale {
+		// Scaled-up workers are spawned as processes pointed back at this
+		// master; -drain-on-signal gives them the graceful exit path, and the
+		// drain protocol (DrainDone) retires them on scale-down.
+		cfg.Provisioner = &elastic.ProcessProvisioner{
+			Binary: *workerBin,
+			Args:   []string{"-master", *listen, "-drain-on-signal", "-quiet"},
+			Logf:   cfg.Logf,
+		}
 	}
 	if *policy == "srjf" {
 		cfg.Core.Policy = core.SRJF
@@ -167,6 +202,15 @@ func main() {
 	defer m.Close()
 	fmt.Printf("ursa-master: control %s shuffle %s — waiting for %d workers\n",
 		m.Addr(), m.ShuffleAddr(), *workers)
+
+	if *drainID >= 0 {
+		id := *drainID
+		go func() {
+			if err := m.WaitWorkers(context.Background()); err == nil {
+				m.DrainWorker(id, "operator (-drain)")
+			}
+		}()
+	}
 
 	if *serve {
 		runServe(m)

@@ -26,10 +26,12 @@ import (
 
 func main() {
 	var (
-		master  = flag.String("master", "127.0.0.1:7400", "master control-plane address(es), comma-separated: primary first, then standbys")
-		shuffle = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
-		cores   = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("quiet", false, "suppress agent logs")
+		master        = flag.String("master", "127.0.0.1:7400", "master control-plane address(es), comma-separated: primary first, then standbys")
+		shuffle       = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
+		cores         = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
+		quiet         = flag.Bool("quiet", false, "suppress agent logs")
+		drainOnSignal = flag.Bool("drain-on-signal", false,
+			"on SIGINT/SIGTERM, request a graceful master-side drain (dispatch stops, fetch routing migrates, master answers DrainDone) instead of detaching immediately; a second signal forces the immediate path")
 
 		// Transport hardening knobs (see DESIGN.md §10).
 		regAttempts = flag.Int("register-attempts", agent.DefaultRegisterAttempts,
@@ -101,12 +103,33 @@ func main() {
 	}
 	fmt.Printf("ursa-worker: worker %d joined %s (shuffle %s)\n", a.ID(), *master, a.ShuffleAddr())
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- a.Wait() }()
 	select {
 	case <-sig:
+		if *drainOnSignal && a.RequestDrain("signal") {
+			// Graceful master-side drain: the master stops dispatching here,
+			// waits for in-flight monotasks to commit, migrates fetch routing
+			// to its canonical store, and answers DrainDone — the agent then
+			// exits cleanly through the done channel. No §4.3 failure
+			// recovery, no fetch fallbacks.
+			fmt.Fprintln(os.Stderr, "ursa-worker: signal received, requesting graceful drain (^C again to force)")
+			select {
+			case err := <-done:
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ursa-worker: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("ursa-worker: worker %d drained by master, exiting\n", a.ID())
+			case <-sig:
+				a.Stop()
+				<-done
+				fmt.Printf("ursa-worker: worker %d force-drained, exiting\n", a.ID())
+			}
+			return
+		}
 		fmt.Fprintln(os.Stderr, "ursa-worker: signal received, draining")
 		a.Stop()
 		<-done

@@ -87,6 +87,25 @@ func New(loop *eventloop.Loop, cfg Config) *Cluster {
 	return c
 }
 
+// AddMachine grows the cluster by one machine built from the same hardware
+// config, returning it. The elastic subsystem uses this to model a worker
+// joining mid-run; Cfg.Machines tracks the new size so capacity totals stay
+// consistent.
+func (c *Cluster) AddMachine() *Machine {
+	i := len(c.Machines)
+	m := &Machine{
+		ID:       i,
+		Cores:    NewPool(c.Loop, fmt.Sprintf("m%d.cores", i), float64(c.Cfg.CoresPerMachine)),
+		Mem:      NewPool(c.Loop, fmt.Sprintf("m%d.mem", i), float64(c.Cfg.MemPerMachine)),
+		Net:      NewDevice(c.Loop, float64(c.Cfg.NetBandwidth), c.Cfg.NetPerFlowFraction),
+		Disk:     NewDevice(c.Loop, float64(c.Cfg.DiskBandwidth), 0),
+		coreRate: float64(c.Cfg.CoreRate),
+	}
+	c.Machines = append(c.Machines, m)
+	c.Cfg.Machines = len(c.Machines)
+	return m
+}
+
 // TotalCores returns the cluster-wide core count.
 func (c *Cluster) TotalCores() float64 {
 	return float64(c.Cfg.Machines * c.Cfg.CoresPerMachine)

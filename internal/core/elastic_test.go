@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"ursa/internal/eventloop"
+	"ursa/internal/resource"
+)
+
+// TestDrainWorkerFinishesResidentTasks drains a worker mid-run: already
+// placed tasks must run to completion on it (nothing aborted), no new work
+// may land after the drain empties it, and OnWorkerDrained must fire
+// exactly once.
+func TestDrainWorkerFinishesResidentTasks(t *testing.T) {
+	loop, clus := testCluster(3)
+	sys := NewSystem(loop, clus, Config{})
+	jobs := submitN(t, sys, 4, eventloop.Second)
+	var drainedAt eventloop.Time
+	drained := 0
+	sys.OnWorkerDrained = func(id int) {
+		if id != 1 {
+			t.Errorf("OnWorkerDrained(%d), want worker 1", id)
+		}
+		drained++
+		drainedAt = loop.Now()
+	}
+	loop.After(2*eventloop.Second, func() {
+		if !sys.BeginDrain(1) {
+			t.Error("BeginDrain returned false for a live worker")
+		}
+		if sys.BeginDrain(1) {
+			t.Error("second BeginDrain on a draining worker returned true")
+		}
+	})
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("jobs did not finish with a worker draining")
+	}
+	for _, j := range jobs {
+		if j.State != JobFinished {
+			t.Errorf("job %d state = %v", j.ID, j.State)
+		}
+	}
+	if drained != 1 {
+		t.Fatalf("OnWorkerDrained fired %d times, want 1", drained)
+	}
+	w := sys.Workers[1]
+	if !w.Draining() || w.Failed() {
+		t.Error("drained worker should be draining, not failed")
+	}
+	if !w.Idle() {
+		t.Error("drained worker still holds work")
+	}
+	if drainedAt == 0 {
+		t.Error("drain completion time not recorded")
+	}
+	if got := w.Machine.Mem.Allocated(); got != 0 {
+		t.Errorf("drained worker still reserves %v memory", got)
+	}
+}
+
+// TestDrainIdleWorkerCompletesSynchronously drains a worker holding no
+// work: OnWorkerDrained must fire from within BeginDrain.
+func TestDrainIdleWorkerCompletesSynchronously(t *testing.T) {
+	loop, clus := testCluster(2)
+	sys := NewSystem(loop, clus, Config{})
+	drained := false
+	sys.OnWorkerDrained = func(id int) { drained = true }
+	loop.At(0, func() {
+		sys.BeginDrain(0)
+		if !drained {
+			t.Error("idle worker drain did not complete synchronously")
+		}
+	})
+	loop.Run()
+}
+
+// TestAdmissionPausesWithoutLiveWorkers is the regression test for the
+// all-drained/all-dead admission bug: with zero live capacity, submitted
+// jobs must stay queued with AdmissionPaused reporting true — not admit
+// against a zero total and spin on impossible placement. Capacity added
+// via AddWorker resumes admission and the jobs complete.
+func TestAdmissionPausesWithoutLiveWorkers(t *testing.T) {
+	loop, clus := testCluster(2)
+	sys := NewSystem(loop, clus, Config{})
+	sys.OnWorkerDrained = func(int) {}
+
+	loop.At(0, func() {
+		sys.BeginDrain(0)
+		sys.FailWorker(1)
+	})
+	jobs := submitN(t, sys, 2, eventloop.Second)
+	loop.After(3*eventloop.Second, func() {
+		for _, j := range jobs {
+			if j.State != JobQueued {
+				t.Errorf("job %d state = %v with no live workers, want queued", j.ID, j.State)
+			}
+		}
+		if !sys.Sched.AdmissionPaused() {
+			t.Error("AdmissionPaused() = false with jobs queued and zero live capacity")
+		}
+		if got := sys.Sched.QueuedCount(); got != 2 {
+			t.Errorf("QueuedCount() = %d, want 2", got)
+		}
+		w := sys.AddWorker()
+		if w.ID != 2 {
+			t.Errorf("AddWorker ID = %d, want 2", w.ID)
+		}
+		if sys.Sched.AdmissionPaused() {
+			t.Error("AdmissionPaused() still true after AddWorker")
+		}
+	})
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("jobs did not finish after capacity returned")
+	}
+	for _, j := range jobs {
+		if j.State != JobFinished {
+			t.Errorf("job %d state = %v", j.ID, j.State)
+		}
+	}
+}
+
+// TestAddWorkerMidRunTakesLoad grows the cluster mid-run and checks the
+// new worker actually receives placements.
+func TestAddWorkerMidRunTakesLoad(t *testing.T) {
+	loop, clus := testCluster(1)
+	sys := NewSystem(loop, clus, Config{})
+	submitN(t, sys, 4, 0)
+	var added *Worker
+	loop.After(eventloop.Second, func() { added = sys.AddWorker() })
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("jobs did not finish")
+	}
+	if added == nil {
+		t.Fatal("AddWorker never ran")
+	}
+	if added.Machine.Cores.UsedSeconds() == 0 && added.Machine.Net.BytesMoved() == 0 {
+		t.Error("joined worker never received any work")
+	}
+	if clus.Cfg.Machines != 2 || len(sys.Workers) != 2 {
+		t.Errorf("cluster size = %d machines / %d workers, want 2/2",
+			clus.Cfg.Machines, len(sys.Workers))
+	}
+}
+
+// TestDrainExcludedFromAdmissionCapacity checks the admission total drops
+// to the live subset when a worker drains: two jobs that would both admit
+// under the full cluster serialize under the halved live capacity.
+func TestDrainExcludedFromAdmissionCapacity(t *testing.T) {
+	loop, clus := testCluster(2) // 2 × 8 GB
+	sys := NewSystem(loop, clus, Config{})
+	loop.At(0, func() { sys.BeginDrain(1) })
+	spec := func() JobSpec {
+		return JobSpec{
+			Name:        "half",
+			Graph:       shuffleJob(8, 4, 400e6),
+			MemEstimate: 6 * float64(resource.GB), // two fit in 16 GB, not in 8 GB
+		}
+	}
+	a := sys.MustSubmit(spec(), eventloop.Time(eventloop.Second))
+	b := sys.MustSubmit(spec(), eventloop.Time(eventloop.Second))
+	loop.After(1500*eventloop.Millisecond, func() {
+		if a.State != JobAdmitted {
+			t.Errorf("first job state = %v, want admitted", a.State)
+		}
+		if b.State != JobQueued {
+			t.Errorf("second job state = %v, want queued behind live capacity", b.State)
+		}
+	})
+	loop.Run()
+	if !sys.AllDone() {
+		t.Fatal("jobs did not finish")
+	}
+	_ = b
+}

@@ -148,7 +148,7 @@ func (ctx *PlaceContext) prepare() {
 		}
 		ctx.snapEpoch[i] = w.epoch
 		ctx.invRateEPT[i] = [3]float64{}
-		if w.failed {
+		if w.failed || w.draining {
 			ctx.memFree[i] = -1 // every placement gate rejects the worker
 			ctx.memCap[i] = w.MemCapacity()
 			ctx.staleAt[i] = staleNever

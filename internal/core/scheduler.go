@@ -45,6 +45,12 @@ type Scheduler struct {
 	// rankBuf is the reusable priority scratch of computeRanks.
 	rankBuf []float64
 
+	// paused is set when an admission pass found queued jobs but no live
+	// capacity (every worker failed or draining): jobs stay queued until
+	// capacity returns (AddWorker re-runs admission) instead of admitting
+	// against a zero total and failing placement forever.
+	paused bool
+
 	ticking  bool
 	stopTick func()
 }
@@ -219,15 +225,49 @@ func (s *Scheduler) cancel(j *Job) bool {
 	return true
 }
 
-// memEstimate returns M(j) clamped to cluster capacity so a single
+// memEstimate returns M(j) clamped to the live cluster capacity so a single
 // over-estimated job cannot deadlock admission.
-func (s *Scheduler) memEstimate(j *Job) float64 {
+func (s *Scheduler) memEstimate(j *Job, total float64) float64 {
 	m := j.Spec.MemEstimate
-	if total := s.sys.Cluster.TotalMem(); m > total {
+	if m > total {
 		m = total
 	}
 	return m
 }
+
+// liveTotalMem returns admission's capacity denominator: cluster-wide
+// memory summed over workers that can still receive work. The fully-live
+// fast path returns the static cluster total, bit-identical to the
+// pre-elastic computation, so simulation results are unchanged when
+// membership never degrades.
+func (s *Scheduler) liveTotalMem() float64 {
+	for _, w := range s.sys.Workers {
+		if w.failed || w.draining {
+			var total float64
+			for _, lw := range s.sys.Workers {
+				if !lw.failed && !lw.draining {
+					total += lw.MemCapacity()
+				}
+			}
+			return total
+		}
+	}
+	return s.sys.Cluster.TotalMem()
+}
+
+// AdmissionPaused reports whether the last admission pass left jobs queued
+// because no live worker capacity exists. Loop-owned state: call on the
+// control loop.
+func (s *Scheduler) AdmissionPaused() bool { return s.paused }
+
+// ReservedMem returns the cluster-wide memory currently reserved by
+// admitted jobs. Loop-owned state: call on the control loop.
+func (s *Scheduler) ReservedMem() float64 { return s.reservedMem }
+
+// LiveCapacity returns admission's current capacity denominator — memory
+// summed over workers that can still receive work. Loop-owned state: call
+// on the control loop.
+func (s *Scheduler) LiveCapacity() float64 { return s.liveTotalMem() }
 
 // pickTenant returns the queue that feeds the next admission attempt: among
 // tenants with a live waiting job, the one with the smallest reserved/weight
@@ -257,22 +297,32 @@ func (s *Scheduler) pickTenant() *tenantQueue {
 // ordering, as in existing schedulers).
 func (s *Scheduler) tryAdmit() {
 	if s.nqueued == 0 {
+		s.paused = false
 		return
 	}
+	total := s.liveTotalMem()
+	if total <= 0 {
+		// Every worker is drained or dead: admitting against a zero total
+		// would clamp estimates to 0 and dispatch into a cluster that can
+		// place nothing. Pause instead — jobs stay queued, and AddWorker
+		// re-runs this pass when capacity returns.
+		s.paused = true
+		return
+	}
+	s.paused = false
 	if s.sys.Cfg.Policy == SRJF {
 		s.refreshPriorities()
 		for _, tq := range s.tenantSeq {
 			tq.sortByPriority()
 		}
 	}
-	total := s.sys.Cluster.TotalMem()
 	for s.nqueued > 0 {
 		tq := s.pickTenant()
 		if tq == nil {
 			break // only lazily cancelled entries remained
 		}
 		j := tq.jobs[tq.head]
-		m := s.memEstimate(j)
+		m := s.memEstimate(j, total)
 		if s.reservedMem+m > total {
 			break
 		}

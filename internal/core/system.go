@@ -34,6 +34,12 @@ type System struct {
 	// uses it to stream JobStatus and to prepare workers at admission time.
 	// On admission it fires before any monotask of the job can dispatch.
 	OnJobStateChange func(*Job)
+
+	// OnWorkerDrained, if set, fires on the loop when a draining worker
+	// empties: every resident task released, nothing queued or in flight.
+	// It fires at most once per worker, and synchronously from BeginDrain
+	// when the worker is already idle.
+	OnWorkerDrained func(id int)
 }
 
 // NewSystem builds an Ursa system over the given cluster, using the
@@ -154,6 +160,37 @@ func (s *System) FailWorker(id int) {
 	for j, tasks := range byJob {
 		j.jm.reportReady(tasks)
 	}
+}
+
+// BeginDrain starts a graceful drain of a worker: placement and admission
+// capacity exclude it immediately, but resident tasks run to completion —
+// nothing is aborted and no output is lost. OnWorkerDrained fires (possibly
+// synchronously, if the worker is already idle) once it empties. Returns
+// false if the worker is already draining or failed. Loop-owned.
+func (s *System) BeginDrain(id int) bool {
+	if id < 0 || id >= len(s.Workers) {
+		panic(fmt.Sprintf("core: no worker %d", id))
+	}
+	w := s.Workers[id]
+	if w.draining || w.failed {
+		return false
+	}
+	w.draining = true
+	w.markDirty()
+	w.maybeDrained()
+	return true
+}
+
+// AddWorker grows the cluster by one machine and registers a worker on it,
+// returning the worker. Admission re-runs immediately: jobs that were
+// queued (or paused for lack of live capacity) can admit onto the new
+// capacity. Loop-owned.
+func (s *System) AddWorker() *Worker {
+	m := s.Cluster.AddMachine()
+	w := newWorker(s, m)
+	s.Workers = append(s.Workers, w)
+	s.Sched.flushAdmission()
+	return w
 }
 
 // planWorkHint initializes R, the remaining per-resource work used by SRJF,

@@ -36,6 +36,13 @@ type Worker struct {
 	active map[*dag.Monotask]func()
 	failed bool
 
+	// draining marks a graceful drain in progress: placement and admission
+	// exclude the worker, but resident tasks run to completion — unlike
+	// failure, nothing is aborted. drainedNotified latches the one-shot
+	// OnWorkerDrained callback once the worker empties.
+	draining        bool
+	drainedNotified bool
+
 	enqSeq uint64
 
 	// epoch counts state changes that can alter the scheduler's per-worker
@@ -77,6 +84,37 @@ type taskMem struct {
 
 // Failed reports whether the worker has been failed by fault injection.
 func (w *Worker) Failed() bool { return w.failed }
+
+// Draining reports whether a graceful drain is in progress or complete.
+func (w *Worker) Draining() bool { return w.draining }
+
+// Idle reports whether the worker holds no resident tasks, no in-flight
+// monotasks and no queued monotasks — the scale-down candidate condition.
+func (w *Worker) Idle() bool {
+	if len(w.taskMem) != 0 || len(w.active) != 0 {
+		return false
+	}
+	for k := range w.queues {
+		if w.queues[k].Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeDrained fires the system's OnWorkerDrained hook once a draining
+// worker has emptied: every resident task released, nothing in flight,
+// nothing queued. A failure during drain suppresses it — the worker exits
+// through the failure path instead.
+func (w *Worker) maybeDrained() {
+	if !w.draining || w.failed || w.drainedNotified || !w.Idle() {
+		return
+	}
+	w.drainedNotified = true
+	if w.sys.OnWorkerDrained != nil {
+		w.sys.OnWorkerDrained(w.ID)
+	}
+}
 
 func newWorker(sys *System, m *cluster.Machine) *Worker {
 	w := &Worker{
@@ -171,6 +209,7 @@ func (w *Worker) releaseTask(t *dag.Task) {
 	w.Machine.Mem.Unuse(tm.used)
 	w.Machine.Mem.FreeAlloc(tm.reserved)
 	w.markDirty()
+	w.maybeDrained()
 }
 
 // taskKindEst sums the estimated inputs of a task's monotasks of kind k.

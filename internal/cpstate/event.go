@@ -32,6 +32,9 @@ const (
 	evCommit           byte = 7
 	evWorkerRegistered byte = 8
 	evWorkerFailed     byte = 9
+	evWorkerDraining   byte = 10
+	evWorkerDrained    byte = 11
+	evWorkerJoined     byte = 12
 )
 
 // Event is one control-plane mutation. Implementations are value types:
@@ -124,6 +127,31 @@ type WorkerFailed struct {
 	Worker int32
 }
 
+// WorkerDraining records the start of a graceful drain: the worker stops
+// receiving new dispatches but keeps executing (and committing) what it
+// already holds. A standby replaying this event excludes the worker from
+// placement exactly as the primary did.
+type WorkerDraining struct {
+	Worker int32
+}
+
+// WorkerDrained records drain completion: every inflight monotask on the
+// worker committed, its shuffle partitions are covered by the master's
+// canonical store, and it deregistered. The slot stays (origins referencing
+// it redirect to the canonical store) but it never receives work again.
+type WorkerDrained struct {
+	Worker int32
+}
+
+// WorkerJoined records an elastic mid-run join — a worker added beyond the
+// initial cluster size. Apply semantics match WorkerRegistered; the
+// distinct event type keeps the journal's membership history legible.
+type WorkerJoined struct {
+	Worker      int32
+	ShuffleAddr string
+	Cores       int32
+}
+
 func (Generation) typ() byte       { return evGeneration }
 func (JobSubmitted) typ() byte     { return evJobSubmitted }
 func (JobAdmitted) typ() byte      { return evJobAdmitted }
@@ -133,6 +161,9 @@ func (Placed) typ() byte           { return evPlaced }
 func (Commit) typ() byte           { return evCommit }
 func (WorkerRegistered) typ() byte { return evWorkerRegistered }
 func (WorkerFailed) typ() byte     { return evWorkerFailed }
+func (WorkerDraining) typ() byte   { return evWorkerDraining }
+func (WorkerDrained) typ() byte    { return evWorkerDrained }
+func (WorkerJoined) typ() byte     { return evWorkerJoined }
 
 func (ev Generation) encode(e *wire.Encoder) { e.I64(ev.Gen) }
 
@@ -179,7 +210,15 @@ func (ev WorkerRegistered) encode(e *wire.Encoder) {
 	e.I32(ev.Cores)
 }
 
-func (ev WorkerFailed) encode(e *wire.Encoder) { e.I32(ev.Worker) }
+func (ev WorkerFailed) encode(e *wire.Encoder)   { e.I32(ev.Worker) }
+func (ev WorkerDraining) encode(e *wire.Encoder) { e.I32(ev.Worker) }
+func (ev WorkerDrained) encode(e *wire.Encoder)  { e.I32(ev.Worker) }
+
+func (ev WorkerJoined) encode(e *wire.Encoder) {
+	e.I32(ev.Worker)
+	e.Str(ev.ShuffleAddr)
+	e.I32(ev.Cores)
+}
 
 // AppendEvent appends ev's canonical encoding — one type byte, then the
 // fields — to dst and returns it. The result is a journal record payload.
@@ -218,6 +257,12 @@ func DecodeEvent(p []byte) (Event, error) {
 		ev = WorkerRegistered{Worker: d.I32(), ShuffleAddr: d.Str(), Cores: d.I32()}
 	case evWorkerFailed:
 		ev = WorkerFailed{Worker: d.I32()}
+	case evWorkerDraining:
+		ev = WorkerDraining{Worker: d.I32()}
+	case evWorkerDrained:
+		ev = WorkerDrained{Worker: d.I32()}
+	case evWorkerJoined:
+		ev = WorkerJoined{Worker: d.I32(), ShuffleAddr: d.Str(), Cores: d.I32()}
 	default:
 		return nil, fmt.Errorf("cpstate: unknown event type %d", p[0])
 	}

@@ -20,6 +20,9 @@ func FuzzDecodeEvent(f *testing.F) {
 			Writes: []CommitWrite{{DS: 10, Part: 0}, {DS: 10, Part: 1}}},
 		WorkerRegistered{Worker: 2, ShuffleAddr: "127.0.0.1:7001", Cores: 8},
 		WorkerFailed{Worker: 2},
+		WorkerDraining{Worker: 2},
+		WorkerDrained{Worker: 2},
+		WorkerJoined{Worker: 3, ShuffleAddr: "127.0.0.1:7002", Cores: 4},
 	} {
 		f.Add(AppendEvent(nil, ev))
 	}

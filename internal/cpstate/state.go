@@ -44,12 +44,21 @@ type JobState struct {
 	Reserved float64
 }
 
-// WorkerState is one registry slot.
+// WorkerState is one registry slot. Failed, Draining and Drained are
+// one-way within a slot's lifetime: Draining marks a graceful drain in
+// progress (no new dispatches, inflight work still commits), Drained marks
+// it complete (the worker deregistered; origins referencing it redirect to
+// the canonical store — unlike Failed, nothing was lost on the way out).
 type WorkerState struct {
 	ShuffleAddr string
 	Cores       int32
 	Failed      bool
+	Draining    bool
+	Drained     bool
 }
+
+// Live reports whether the slot can still receive work.
+func (w WorkerState) Live() bool { return !w.Failed && !w.Draining && !w.Drained }
 
 // Placement is an in-flight dispatch.
 type Placement struct {
@@ -162,6 +171,20 @@ func Apply(st *State, ev Event) {
 		if int(ev.Worker) < len(st.Workers) {
 			st.Workers[ev.Worker].Failed = true
 		}
+	case WorkerDraining:
+		if int(ev.Worker) < len(st.Workers) {
+			st.Workers[ev.Worker].Draining = true
+		}
+	case WorkerDrained:
+		if int(ev.Worker) < len(st.Workers) {
+			st.Workers[ev.Worker].Drained = true
+			st.Workers[ev.Worker].Draining = false
+		}
+	case WorkerJoined:
+		for int(ev.Worker) >= len(st.Workers) {
+			st.Workers = append(st.Workers, WorkerState{})
+		}
+		st.Workers[ev.Worker] = WorkerState{ShuffleAddr: ev.ShuffleAddr, Cores: ev.Cores}
 	}
 }
 
@@ -240,7 +263,9 @@ func (st *State) addOrigin(key PartKey, worker int32) {
 // State snapshot encoding: magic + version, then every section in sorted
 // key order. Snapshot payloads embed this byte-for-byte.
 const stateMagic = "UCPS"
-const stateVersion byte = 1
+
+// stateVersion 2 added the Draining/Drained flags to the worker section.
+const stateVersion byte = 2
 
 // AppendEncoded appends the state's canonical encoding to dst. Two states
 // built from the same event sequence encode byte-identically — the replay
@@ -268,6 +293,8 @@ func (st *State) AppendEncoded(dst []byte) []byte {
 		e.Str(w.ShuffleAddr)
 		e.I32(w.Cores)
 		e.Bool(w.Failed)
+		e.Bool(w.Draining)
+		e.Bool(w.Drained)
 	}
 
 	mtKeys := make([]MTKey, 0, len(st.InFlight))
@@ -380,10 +407,11 @@ func DecodeState(p []byte) (*State, error) {
 		st.Order = append(st.Order, id)
 	}
 
-	nworkers := d.Count(4 + 4 + 1)
+	nworkers := d.Count(4 + 4 + 1 + 1 + 1)
 	for i := 0; i < nworkers && d.Err() == nil; i++ {
 		st.Workers = append(st.Workers, WorkerState{
 			ShuffleAddr: d.Str(), Cores: d.I32(), Failed: d.Bool(),
+			Draining: d.Bool(), Drained: d.Bool(),
 		})
 	}
 

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestDiurnalElasticWithinBudget is the elastic subsystem's acceptance
+// check: over the diurnal trace, autoscaling between 2 and 10 workers must
+// hold average JCT within 10% of a cluster fixed at the 10-worker peak
+// size while spending at most 70% of its machine-seconds. The simulation
+// is deterministic, so the bounds are exact, not flaky.
+func TestDiurnalElasticWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	fixed, fixedMS, el := diurnalCompare(Options{})
+	if el.AvgJCT > 1.10*fixed.AvgJCT {
+		t.Errorf("elastic avgJCT = %.1fs, want within 10%% of fixed %.1fs",
+			el.AvgJCT, fixed.AvgJCT)
+	}
+	if el.MachineSeconds > 0.70*fixedMS {
+		t.Errorf("elastic machine-seconds = %.0f, want <= 70%% of fixed %.0f",
+			el.MachineSeconds, fixedMS)
+	}
+	if el.Joins == 0 || el.Drains == 0 {
+		t.Errorf("elastic run never scaled: joins=%d drains=%d", el.Joins, el.Drains)
+	}
+}
+
+func TestDiurnalReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	rep := smoke(t, "diurnal", 0.5) // 12 jobs
+	if len(rep.Rows) != 2 {
+		t.Fatalf("diurnal rows = %d, want 2", len(rep.Rows))
+	}
+	// Column 4 is machine-seconds relative to fixed (%): the fixed row is
+	// 100 by construction, the elastic row must come in under it.
+	if got := cell(rep, 0, 4); got != 100 {
+		t.Errorf("fixed machine-s%% = %v, want 100", got)
+	}
+	if got := cell(rep, 1, 4); got <= 0 || got >= 100 {
+		t.Errorf("elastic machine-s%% = %v, want in (0, 100)", got)
+	}
+}

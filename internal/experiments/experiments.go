@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"ablation-netcc", "extra", "Network concurrency limit ablation (§4.2.3)", AblationNetConcurrency},
 		{"ablation-ept", "extra", "EPT sensitivity around the scheduling interval", AblationEPT},
 		{"ablation-fault", "extra", "Worker-failure recovery overhead (§4.3)", AblationFault},
+		{"diurnal", "extra", "Diurnal trace: elastic autoscaling vs fixed peak provisioning", Diurnal},
 	}
 }
 

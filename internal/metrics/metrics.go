@@ -237,6 +237,13 @@ func (s *Sampler) sample() {
 		return
 	}
 	cur := s.snapMachines()
+	// Elastic clusters grow mid-run: a machine first seen this window
+	// joined with zero accumulated usage, so its previous snapshot is its
+	// current one (zero delta) and its per-machine series starts now.
+	for len(s.prev) < len(cur) {
+		s.prev = append(s.prev, cur[len(s.prev)])
+		s.PerMachineCPU = append(s.PerMachineCPU, nil)
+	}
 	var cpu, mem, net float64
 	coresPer := s.src.CoresPerMachine()
 	memPer := s.src.MemBytesPerMachine()

@@ -136,3 +136,41 @@ func TestSamplerTracksUtilization(t *testing.T) {
 		t.Errorf("imbalance = %v, want ~25", got)
 	}
 }
+
+// An elastic join grows the cluster while the sampler is running; the
+// sampler must absorb the new machine instead of indexing out of range.
+func TestSamplerSurvivesMidRunGrowth(t *testing.T) {
+	loop := eventloop.New()
+	clus := cluster.New(loop, cluster.Config{
+		Machines: 1, CoresPerMachine: 4, MemPerMachine: resource.GB,
+		NetBandwidth: 1e9, DiskBandwidth: 1e8, CoreRate: 1e8,
+	})
+	s := NewSampler(loop, ClusterSource(clus), eventloop.Second)
+	loop.After(3*eventloop.Second+eventloop.Second/2, func() {
+		m := clus.AddMachine()
+		m.Cores.MustAlloc(4)
+		m.Cores.Use(4)
+	})
+	loop.After(10*eventloop.Second, func() {
+		m := clus.Machines[1]
+		m.Cores.Unuse(4)
+		m.Cores.FreeAlloc(4)
+		s.Stop()
+	})
+	loop.Run()
+	if n := len(s.PerMachineCPU); n != 2 {
+		t.Fatalf("per-machine series = %d, want 2", n)
+	}
+	// The joiner's series starts at the first sample after the join and
+	// reads fully busy from then on.
+	if len(s.PerMachineCPU[1]) >= len(s.PerMachineCPU[0]) {
+		t.Errorf("joiner has %d samples, original has %d; joiner should have fewer",
+			len(s.PerMachineCPU[1]), len(s.PerMachineCPU[0]))
+	}
+	// The join window itself reads zero delta; every later sample sees the
+	// joiner fully busy.
+	joiner := s.PerMachineCPU[1]
+	if last := joiner[len(joiner)-1]; math.Abs(last-100) > 1 {
+		t.Errorf("joiner last CPU%% = %v, want ~100", last)
+	}
+}

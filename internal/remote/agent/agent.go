@@ -499,12 +499,31 @@ func (a *Agent) handleMsg(m wire.Msg) error {
 			// longer resolve the job, so nothing serves from it.
 			js.rt.Close()
 		}
+	case wire.DrainWorker:
+		// The master is draining this worker: no further dispatches will
+		// arrive, but in-flight work keeps running and the shuffle server
+		// keeps serving peers until DrainDone says every consumer is settled.
+		a.logf("agent %d: draining (%s)", a.id, m.Reason)
+	case wire.DrainDone:
+		// Drain complete: fetch routing has migrated off this worker and its
+		// last completion is committed. Exit cleanly.
+		return errClean
 	case wire.Shutdown:
 		return errClean
 	default:
 		return fmt.Errorf("agent: unexpected %T on control connection", m)
 	}
 	return nil
+}
+
+// RequestDrain asks the master to drain this worker gracefully — the
+// -drain-on-signal path. The master stops dispatching here, lets in-flight
+// monotasks commit, migrates fetch routing off this worker, and answers
+// DrainDone, which shuts the agent down cleanly (Wait returns nil). Returns
+// false when the control connection is already down; callers fall back to
+// Stop.
+func (a *Agent) RequestDrain(reason string) bool {
+	return a.conn.Load().Send(wire.DrainWorker{WorkerID: a.id, Reason: reason})
 }
 
 // abortInflight marks every in-flight execution aborted so its completion
@@ -695,6 +714,19 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 			DatasetID: int32(w.Dataset.ID), Part: int32(w.Part),
 			Flags: flags, RawLen: uint32(rawLen), Rows: blob,
 		})
+	}
+	// Memory high-water proxy for the master's reservation corrector: the
+	// larger of the raw bytes this monotask materialized as input and the
+	// raw bytes it produced. The master sums these per job into an
+	// aggregate-working-set estimate it compares against the admission
+	// reservation.
+	var outRaw float64
+	for _, w := range comp.Writes {
+		outRaw += float64(w.RawLen)
+	}
+	comp.MemPeak = rawBytes
+	if outRaw > comp.MemPeak {
+		comp.MemPeak = outRaw
 	}
 	a.finish(key, inf, comp)
 }

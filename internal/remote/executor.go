@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,16 @@ type remoteExecutor struct {
 	// are built from. Input partitions never appear: agents seed those
 	// locally from the deterministic builder.
 	origins map[originKey][]int
+	// contribBytes sizes each worker's committed contribution per partition
+	// (encoded blob bytes), so a drain can report how much fetch traffic its
+	// migration rerouted to the canonical store.
+	contribBytes map[contribSrc]float64
+	// fetchRefs counts, per origin worker, the in-flight dispatches whose
+	// fetch specs name it as a peer-to-peer holder. A drain completes only
+	// once the worker's count reaches zero: until then some agent may still
+	// be pulling from its shuffle server, and cutting it loose would turn a
+	// graceful drain into fetch fallbacks.
+	fetchRefs map[int]int
 	// precommits holds commits inherited from the previous generation whose
 	// outputs the takeover already pulled into the canonical store: when the
 	// scheduler re-places such a monotask, Start completes it immediately
@@ -63,6 +74,11 @@ type originKey struct {
 	part int32
 }
 
+type contribSrc struct {
+	key    originKey
+	worker int
+}
+
 type dispatchState struct {
 	seq     uint64
 	worker  int
@@ -70,6 +86,9 @@ type dispatchState struct {
 	done    func(bytes, seconds float64)
 	release func()
 	sentAt  time.Time
+	// fetchOrigins are the peer workers this dispatch's fetch specs name —
+	// the holds counted in remoteExecutor.fetchRefs.
+	fetchOrigins []int
 }
 
 // jobRec is the master's record of one submitted workload job. wireID is
@@ -85,6 +104,14 @@ type jobRec struct {
 	built  *workload.BuiltJob
 	core   *core.Job
 	rt     *localrt.Runtime
+
+	// Reservation-correction samples, loop-owned: reserved is the admission
+	// reservation stashed at JobAdmitted (the core zeroes its copy before
+	// the finished hook), memPeak accumulates the workers' per-monotask
+	// memory high-water marks — an aggregate-materialized-working-set proxy
+	// for the job's true peak.
+	reserved float64
+	memPeak  float64
 }
 
 func newRemoteExecutor(m *Master, sys *live.System) *remoteExecutor {
@@ -95,12 +122,14 @@ func newRemoteExecutor(m *Master, sys *live.System) *remoteExecutor {
 		// (g-1)<<32), so a commit token minted by a dead master can never
 		// collide with one minted after takeover — PR 4's at-most-once
 		// (jobID, mtID, seq) discipline extended across generations.
-		seq:        uint64(m.gen-1) << 32,
-		dispatches: make(map[dispatchKey]*dispatchState),
-		origins:    make(map[originKey][]int),
-		precommits: make(map[dispatchKey]cpstate.CommitState),
-		jobs:       make(map[int64]*jobRec),
-		byCore:     make(map[*core.Job]*jobRec),
+		seq:          uint64(m.gen-1) << 32,
+		dispatches:   make(map[dispatchKey]*dispatchState),
+		origins:      make(map[originKey][]int),
+		contribBytes: make(map[contribSrc]float64),
+		fetchRefs:    make(map[int]int),
+		precommits:   make(map[dispatchKey]cpstate.CommitState),
+		jobs:         make(map[int64]*jobRec),
+		byCore:       make(map[*core.Job]*jobRec),
 	}
 }
 
@@ -154,6 +183,25 @@ func (e *remoteExecutor) RegisterJob(j *core.Job, rt *localrt.Runtime) {
 	e.byCore[j] = rec
 }
 
+// liveJobRecs returns every registered job that has not reached a terminal
+// state, ordered by wire ID — the catch-up Prepare set for an elastically
+// joined worker. The executor's registry is the one complete index: batch
+// jobs and front-door jobs both pass through RegisterJob, while
+// Master.jobs only sees the batch path.
+func (e *remoteExecutor) liveJobRecs() []*jobRec {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*jobRec, 0, len(e.jobs))
+	for _, rec := range e.jobs {
+		if rec.core == nil || rec.core.State == core.JobFinished || rec.core.State == core.JobCancelled {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].wireID < out[j].wireID })
+	return out
+}
+
 func (e *remoteExecutor) record(jobID int64) *jobRec {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -183,7 +231,7 @@ func (e *remoteExecutor) closeRuntimes() {
 // flushes the queued frame before the sockets drop.
 func (e *remoteExecutor) Close() {
 	for _, link := range e.m.workers {
-		if link != nil && !link.failed {
+		if link != nil && !link.failed && !link.drained {
 			link.conn.Send(wire.Shutdown{})
 			link.conn.CloseGraceful()
 		}
@@ -244,13 +292,21 @@ func (e *remoteExecutor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, do
 		seq: e.seq, worker: w.ID, mt: mt, done: done, release: release,
 		sentAt: time.Now(),
 	}
+	fetches := e.buildFetches(rec, mt, w.ID)
+	for _, sp := range fetches {
+		o := int(sp.Origin)
+		if sp.Origin < 0 || containsInt(st.fetchOrigins, o) {
+			continue
+		}
+		st.fetchOrigins = append(st.fetchOrigins, o)
+		e.fetchRefs[o]++
+	}
 	e.dispatches[key] = st
 	e.m.rec.record(cpstate.Placed{
 		JobID: key.job, MTID: key.mt, Worker: int32(w.ID), Seq: st.seq,
 	})
 
-	d := wire.Dispatch{JobID: key.job, MTID: key.mt, Seq: st.seq,
-		Fetches: e.buildFetches(rec, mt, w.ID)}
+	d := wire.Dispatch{JobID: key.job, MTID: key.mt, Seq: st.seq, Fetches: fetches}
 	link := e.m.workers[w.ID]
 	e.m.Transport.ObserveDispatch(w.ID)
 	if link == nil || link.failed || !link.conn.Send(d) {
@@ -269,6 +325,7 @@ func (e *remoteExecutor) Start(w *core.Worker, j *core.Job, mt *dag.Monotask, do
 		if st.release != nil {
 			st.release()
 		}
+		e.releaseFetchRefs(st)
 		// Best-effort: tell the agent to discard the in-flight execution.
 		// If the connection is gone the seq check drops the completion.
 		if link != nil && !link.failed {
@@ -295,7 +352,10 @@ func (e *remoteExecutor) buildFetches(rec *jobRec, mt *dag.Monotask, workerID in
 		}
 		anyDead := false
 		for _, o := range origins {
-			if e.m.workers[o].failed {
+			// Drained counts as dead for routing (its contributions now live
+			// only in the canonical store); draining does not — a draining
+			// worker keeps serving shuffle peers until its drain completes.
+			if w := e.m.workers[o]; w.failed || w.drained {
 				anyDead = true
 				break
 			}
@@ -338,6 +398,7 @@ func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
 	if st.release != nil {
 		st.release()
 	}
+	e.releaseFetchRefs(st)
 	if c.Err != "" {
 		e.sys.Fail(fmt.Errorf("remote: worker %d: %v failed: %s", workerID, st.mt, c.Err))
 		return
@@ -354,9 +415,12 @@ func (e *remoteExecutor) handleComplete(workerID int, c wire.Complete) {
 		// stored exactly as the worker encoded it — no decode, no re-encode —
 		// so fallback fetches serve byte-identical contributions, and the
 		// rows materialize lazily only if the master itself reads them.
+		okey := originKey{c.JobID, w.DatasetID, w.Part}
 		rec.rt.InsertEncoded(ds, int(w.Part), int(c.MTID), w.Rows, w.Flags, int(w.RawLen))
-		e.noteOrigin(originKey{c.JobID, w.DatasetID, w.Part}, workerID)
+		e.noteOrigin(okey, workerID)
+		e.contribBytes[contribSrc{okey, workerID}] += float64(len(w.Rows))
 	}
+	rec.memPeak += c.MemPeak
 	writes := make([]cpstate.CommitWrite, len(c.Writes))
 	for i, w := range c.Writes {
 		writes[i] = cpstate.CommitWrite{DS: w.DatasetID, Part: w.Part}
@@ -377,4 +441,44 @@ func (e *remoteExecutor) noteOrigin(key originKey, workerID int) {
 		}
 	}
 	e.origins[key] = append(e.origins[key], workerID)
+}
+
+// releaseFetchRefs drops a settled dispatch's holds on its fetch origins.
+// A draining worker whose last hold just dropped may now complete its
+// drain. Loop-owned.
+func (e *remoteExecutor) releaseFetchRefs(st *dispatchState) {
+	for _, o := range st.fetchOrigins {
+		if e.fetchRefs[o]--; e.fetchRefs[o] <= 0 {
+			delete(e.fetchRefs, o)
+			e.m.maybeFinishDrain(o)
+		}
+	}
+	st.fetchOrigins = nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// migrateOrigins accounts a drained worker's committed contributions: every
+// partition listing it as an origin will now route to the canonical store
+// (buildFetches sees the drained flag — origin lists are never rewritten,
+// mirroring the failure path). Returns the partition count and encoded
+// bytes whose serving moved. Loop-owned.
+func (e *remoteExecutor) migrateOrigins(workerID int) (parts int, bytes float64) {
+	for key, origins := range e.origins {
+		for _, o := range origins {
+			if o == workerID {
+				parts++
+				bytes += e.contribBytes[contribSrc{key, workerID}]
+				break
+			}
+		}
+	}
+	return parts, bytes
 }

@@ -347,6 +347,7 @@ func (fd *frontDoor) submitBatch(batch []intakeSub, after func()) int {
 		}
 		spec := bj.Spec
 		spec.Tenant = in.tenant
+		spec.MemEstimate *= fd.m.reserveFactor(in.workload)
 		recs = append(recs, &jobRec{name: in.workload, params: in.params, built: bj})
 		subs = append(subs, live.Submission{
 			Spec: spec, Plan: bj.Plan, Inputs: bj.Inputs,
@@ -433,7 +434,7 @@ func (fd *frontDoor) onJobState(j *core.Job) {
 		rec := fd.m.exec.recordByCore(j)
 		p := wire.Prepare{JobID: rec.wireID, Workload: rec.name, Params: rec.params}
 		for _, link := range fd.m.workers {
-			if link != nil && !link.failed {
+			if link != nil && !link.failed && !link.drained && !link.draining {
 				link.conn.Send(p)
 			}
 		}

@@ -22,6 +22,7 @@ import (
 
 	"ursa/internal/core"
 	"ursa/internal/cpstate"
+	"ursa/internal/elastic"
 	"ursa/internal/eventloop"
 	"ursa/internal/journal"
 	"ursa/internal/live"
@@ -135,6 +136,33 @@ type Config struct {
 	// baseline the ingest benchmark compares against; never set in real
 	// deployments.
 	NaiveAdmission bool
+	// Elastic enables cluster elasticity: graceful drains (DrainWorker) and
+	// mid-run worker joins — a fresh agent registering against a full,
+	// running master grows the registry instead of being rejected. An
+	// elastic cluster that loses every worker pauses admission and waits for
+	// capacity rather than failing the run. Autoscale implies Elastic.
+	Elastic bool
+	// Autoscale runs the utilization-driven autoscaler: every
+	// AutoscaleInterval a policy tick samples admission pressure (queued
+	// jobs, paused admission, reservation fraction) and either starts a
+	// worker through Provisioner or drains an idle one, within
+	// [MinWorkers, MaxWorkers].
+	Autoscale bool
+	// MinWorkers and MaxWorkers bound the autoscaler's target cluster size.
+	// Defaults: Workers and Workers (i.e. no movement until raised).
+	MinWorkers int
+	MaxWorkers int
+	// AutoscaleInterval paces autoscaler policy ticks. Default 250ms.
+	AutoscaleInterval time.Duration
+	// Provisioner starts new workers on scale-up decisions (the loopback
+	// seam in tests, process spawning under -serve). Nil leaves scale-up
+	// decisions unsatisfied (logged, harmless).
+	Provisioner elastic.Provisioner
+	// ReserveCorrect enables DRESS-style dynamic reservation: per-workload
+	// EWMA correction factors, learned from worker-reported memory
+	// high-water marks of finished jobs, multiply the admission MemEstimate
+	// at submit time.
+	ReserveCorrect bool
 	// Core configures the scheduling core (defaults as in live.Config).
 	Core core.Config
 	// Logf, if set, receives the master's log lines.
@@ -195,18 +223,35 @@ func (c Config) withDefaults() Config {
 	if c.JournalSyncInterval <= 0 {
 		c.JournalSyncInterval = 2 * time.Millisecond
 	}
+	if c.Autoscale {
+		c.Elastic = true
+	}
+	if c.AutoscaleInterval <= 0 {
+		c.AutoscaleInterval = 250 * time.Millisecond
+	}
 	return c
 }
 
 // workerLink is the master's handle on one registered agent. conn and
-// shuffleAddr are written once during registration (before Run); failed is
-// owned by the control loop thereafter.
+// shuffleAddr are written once during registration (before Run, or on the
+// control loop for elastic joins); the state flags are owned by the control
+// loop thereafter. The drain lifecycle is draining → drained: a draining
+// worker takes no new dispatches but still serves shuffle fetches peer-to-
+// peer and finishes its in-flight monotasks; a drained worker is gone — its
+// partitions' fetch routing has migrated to the master's canonical store
+// and its connection is closed.
 type workerLink struct {
 	id          int
 	conn        *wire.Conn
 	shuffleAddr string
 	cores       int
 	failed      bool
+	draining    bool
+	drained     bool
+	// drainPending: the core reported the worker idle, but in-flight
+	// dispatches elsewhere still hold fetch references on it — the drain
+	// completes when the last reference drops (maybeFinishDrain).
+	drainPending bool
 }
 
 // RemoteJob is one submitted workload job.
@@ -247,6 +292,9 @@ type Master struct {
 	// generation, events applied/journaled/replayed, snapshots, duplicate
 	// commits rejected, precommits short-circuited, worker re-attaches.
 	Journal *metrics.Journal
+	// Elastic aggregates the elasticity counters: membership movement,
+	// drain migrations, autoscaler decisions, reservation corrections.
+	Elastic *metrics.Elastic
 
 	cfg        Config
 	ln         net.Listener
@@ -263,6 +311,11 @@ type Master struct {
 	rec      *recorder
 	jnl      *journal.Journal
 	takeover *takeoverState
+
+	// corrector is the DRESS reservation corrector (nil unless
+	// Config.ReserveCorrect): observations land on the control loop at job
+	// finish, factors are read at submit time from front-door goroutines.
+	corrector *elastic.ReserveCorrector
 
 	needed int           // registrations that close ready
 	ready  chan struct{} // closed when `needed` agents have registered
@@ -307,13 +360,26 @@ func newMaster(cfg Config, tk *takeoverState) (*Master, error) {
 	if cfg.Workers <= 0 {
 		return nil, errors.New("remote: Config.Workers must be positive")
 	}
+	// The autoscaler's size band defaults to the initial cluster size, and
+	// is resolved here (not withDefaults) because a takeover just rewrote
+	// cfg.Workers from the inherited registry.
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = cfg.Workers
+	}
+	if cfg.MaxWorkers < cfg.MinWorkers {
+		cfg.MaxWorkers = cfg.MinWorkers
+	}
 	m := &Master{
 		cfg:       cfg,
 		Transport: metrics.NewTransport(),
 		Journal:   metrics.NewJournal(),
+		Elastic:   metrics.NewElastic(),
 		ready:     make(chan struct{}),
 		workers:   make([]*workerLink, cfg.Workers),
 		takeover:  tk,
+	}
+	if cfg.ReserveCorrect {
+		m.corrector = elastic.NewReserveCorrector()
 	}
 
 	// Generation and state machine. A fresh master is generation 1 on an
@@ -352,22 +418,30 @@ func newMaster(cfg Config, tk *takeoverState) (*Master, error) {
 	if tk != nil {
 		m.needed = 0
 		for _, w := range tk.st.Workers {
-			if !w.Failed {
+			if w.Live() {
 				m.needed++
 			}
 		}
 		if m.needed == 0 {
-			close(m.ready) // every inherited slot is dead; don't wait on registrations
+			close(m.ready) // every inherited slot is gone; don't wait on registrations
 		}
-		// Dead registry slots become failed placeholder links so worker IDs,
-		// origin lists and fetch routing keep their old meaning — buildFetches
-		// sees the slot failed and degrades the partition to the canonical
-		// store, exactly the §4.3 path.
+		// Dead and drained registry slots become placeholder links so worker
+		// IDs, origin lists and fetch routing keep their old meaning —
+		// buildFetches sees the slot failed/drained and degrades the
+		// partition to the canonical store, exactly the §4.3 path. A worker
+		// that was mid-drain at the crash is inherited as draining; the
+		// takeover completes its drain during recovery (its committed
+		// contributions are already checkpointed, and its agent lost the
+		// connection anyway).
 		for i, w := range tk.st.Workers {
-			if w.Failed {
-				m.workers[i] = &workerLink{
-					id: i, shuffleAddr: w.ShuffleAddr, cores: int(w.Cores), failed: true,
-				}
+			if w.Live() {
+				continue
+			}
+			m.workers[i] = &workerLink{
+				id: i, shuffleAddr: w.ShuffleAddr, cores: int(w.Cores),
+				failed:   w.Failed,
+				draining: !w.Failed && w.Draining && !w.Drained,
+				drained:  !w.Failed && w.Drained,
 			}
 		}
 	}
@@ -407,6 +481,10 @@ func newMaster(cfg Config, tk *takeoverState) (*Master, error) {
 	// as control-plane events first, then relayed to the front door's status
 	// streaming. The front door no longer installs its own hook.
 	m.Sys.Core.OnJobStateChange = m.onJobState
+	// The core fires this once per drain, on the control loop, the moment
+	// the draining worker's last in-flight monotask commits (possibly
+	// synchronously inside BeginDrain when it is already idle).
+	m.Sys.Core.OnWorkerDrained = m.finishDrain
 
 	if m.jnl != nil {
 		m.startLease()
@@ -452,8 +530,15 @@ func (m *Master) onJobState(j *core.Job) {
 		switch j.State {
 		case core.JobAdmitted:
 			m.rec.record(cpstate.JobAdmitted{JobID: rec.wireID, Reserved: j.ReservedMem()})
+			// Stash the reservation now: the core zeroes it before the
+			// finished-state hook fires, and the corrector needs the pair.
+			rec.reserved = j.ReservedMem()
 		case core.JobFinished:
 			m.rec.record(cpstate.JobFinished{JobID: rec.wireID})
+			if m.corrector != nil {
+				m.corrector.Observe(rec.name, rec.reserved, rec.memPeak)
+				m.Elastic.ObserveCorrection(m.corrector.Range())
+			}
 		case core.JobCancelled:
 			m.rec.record(cpstate.JobCancelled{JobID: rec.wireID})
 		}
@@ -545,6 +630,7 @@ func (m *Master) Submit(name string, params []byte) (*RemoteJob, error) {
 	if err != nil {
 		return nil, err
 	}
+	bj.Spec.MemEstimate *= m.reserveFactor(name)
 	m.exec.setPending(name, params, bj)
 	lj, err := m.Sys.SubmitPlan(bj.Spec, bj.Plan, bj.Inputs)
 	if err != nil {
@@ -629,7 +715,16 @@ func (m *Master) registerWorker(nc net.Conn, br *bufio.Reader, reg wire.Register
 	})
 	m.mu.Lock()
 	if m.nreg >= m.needed {
+		started := m.started
 		m.mu.Unlock()
+		if m.cfg.Elastic && reg.WorkerID < 0 && m.takeover == nil && started {
+			// Elastic join: a fresh agent arriving at a full, running master
+			// grows the registry instead of being turned away — the
+			// autoscaler's scale-up path, but equally open to operators
+			// pointing extra ursa-worker processes at the cluster.
+			m.elasticJoin(nc, c, reg)
+			return
+		}
 		m.logf("master: rejecting extra agent from %v (cluster full)", nc.RemoteAddr())
 		c.Close()
 		return
@@ -691,6 +786,215 @@ func (m *Master) registerWorker(nc net.Conn, br *bufio.Reader, reg wire.Register
 	go m.readLoop(link)
 }
 
+// elasticJoin admits a fresh agent into a running elastic cluster. The
+// registry grows by one slot on the control loop — the scheduling core
+// gains a worker, so placement and admission see the new capacity in the
+// same loop turn — and the agent receives Welcome plus a Prepare for every
+// non-terminal job, so dispatches that land on it later (strictly after
+// this closure, FIFO per connection) find their plans built.
+func (m *Master) elasticJoin(nc net.Conn, c *wire.Conn, reg wire.Register) {
+	joined := make(chan *workerLink, 1)
+	m.Sys.Drv.Send(func() {
+		m.mu.Lock()
+		id := len(m.workers)
+		link := &workerLink{id: id, conn: c, shuffleAddr: reg.ShuffleAddr, cores: int(reg.Cores)}
+		m.workers = append(m.workers, link)
+		m.nreg++
+		m.needed++ // keep nreg >= needed: the next fresh agent is elastic too
+		m.mu.Unlock()
+		m.Sys.Core.AddWorker()
+		m.rec.record(cpstate.WorkerJoined{
+			Worker: int32(id), ShuffleAddr: reg.ShuffleAddr, Cores: reg.Cores,
+		})
+		m.Elastic.ObserveJoin()
+		m.Transport.ObserveRegister(id, time.Now())
+		c.Send(wire.Welcome{
+			WorkerID:          int32(id),
+			HeartbeatMicros:   m.cfg.HeartbeatInterval.Microseconds(),
+			MaxFrame:          int64(m.cfg.MaxFrame),
+			MasterShuffleAddr: m.shuffleSrv.Addr(),
+			Compress:          m.cfg.Compress && reg.Compress,
+			Gen:               m.gen,
+		})
+		// The executor's registry is the complete in-flight set: front-door
+		// jobs never enter m.jobs, and a dispatch for any of them could land
+		// on this worker as soon as the core sees its capacity. Re-Prepare is
+		// idempotent, so overlapping with a front-door admission broadcast on
+		// this same loop turn is harmless.
+		for _, rec := range m.exec.liveJobRecs() {
+			c.Send(wire.Prepare{JobID: rec.wireID, Workload: rec.name, Params: rec.params})
+		}
+		m.updateMembership()
+		m.logf("master: worker %d joined elastically from %v (cores=%d shuffle=%s)",
+			id, nc.RemoteAddr(), reg.Cores, reg.ShuffleAddr)
+		joined <- link
+	})
+	select {
+	case link := <-joined:
+		go m.readLoop(link)
+	case <-time.After(m.cfg.HandshakeTimeout):
+		// The control loop never picked the join up (master shutting down):
+		// cut the agent loose rather than pinning this goroutine. If the
+		// closure still runs later, the agent sees the close and retries.
+		m.logf("master: elastic join from %v timed out on the control loop", nc.RemoteAddr())
+		c.Close()
+	}
+}
+
+// DrainWorker begins a graceful drain of one worker: dispatch to it stops,
+// its in-flight monotasks run to completion, its committed partitions'
+// fetch routing migrates to the master's canonical store, and only then is
+// it deregistered and told to exit (DrainDone). Safe from any goroutine;
+// no-op on unknown, failed, or already-draining workers.
+func (m *Master) DrainWorker(id int, reason string) {
+	m.Sys.Drv.Send(func() { m.beginDrain(id, reason) })
+}
+
+// beginDrain is the loop-side drain entry point.
+func (m *Master) beginDrain(id int, reason string) {
+	if id < 0 || id >= len(m.workers) {
+		return
+	}
+	link := m.workers[id]
+	if link == nil || link.failed || link.draining || link.drained {
+		return
+	}
+	link.draining = true
+	m.rec.record(cpstate.WorkerDraining{Worker: int32(id)})
+	m.Elastic.ObserveDrainStart()
+	m.logf("master: draining worker %d (%s)", id, reason)
+	if link.conn != nil {
+		link.conn.Send(wire.DrainWorker{WorkerID: int32(id), Reason: reason})
+	}
+	m.updateMembership()
+	// Last: the core excludes the worker from placement and admission
+	// capacity, and fires OnWorkerDrained (finishDrain) once its in-flight
+	// monotasks have all committed — synchronously right here if it is
+	// already idle.
+	m.Sys.Core.BeginDrain(id)
+}
+
+// finishDrain marks a draining worker ready to complete once the core
+// reports it empty (no in-flight monotasks of its own). Loop-owned. The
+// drain actually completes in maybeFinishDrain, which additionally waits
+// for every in-flight dispatch that names this worker as a fetch origin to
+// settle — only then is it provable that no peer will pull from its
+// shuffle server again.
+func (m *Master) finishDrain(id int) {
+	link := m.workers[id]
+	if link == nil || link.failed || link.drained {
+		return
+	}
+	link.drainPending = true
+	m.maybeFinishDrain(id)
+}
+
+// maybeFinishDrain completes a pending drain once no in-flight dispatch
+// still holds a fetch reference on the worker (remoteExecutor.fetchRefs).
+// Loop-owned. Every contribution the worker ever committed is already
+// checkpointed in the canonical store (handleComplete inserts each one), so
+// migration is pure routing: mark the link drained and buildFetches serves
+// its partitions from the master — no data moves, and no fetch ever falls
+// back mid-flight because the worker kept serving shuffle peers until this
+// moment, when it provably has no consumers left.
+func (m *Master) maybeFinishDrain(id int) {
+	if id < 0 || id >= len(m.workers) {
+		return
+	}
+	link := m.workers[id]
+	if link == nil || link.failed || link.drained || !link.drainPending {
+		return
+	}
+	if m.exec.fetchRefs[id] > 0 {
+		return
+	}
+	link.drainPending = false
+	link.draining = false
+	link.drained = true
+	parts, bytes := m.exec.migrateOrigins(id)
+	m.rec.record(cpstate.WorkerDrained{Worker: int32(id)})
+	m.Elastic.ObserveDrainDone(parts, bytes)
+	m.logf("master: worker %d drained (%d partitions, %.0f B rerouted to the canonical store)",
+		id, parts, bytes)
+	if link.conn != nil {
+		link.conn.Send(wire.DrainDone{WorkerID: int32(id)})
+		link.conn.CloseGraceful()
+	}
+	m.updateMembership()
+}
+
+// updateMembership refreshes the elastic monitor's membership snapshot.
+// Loop-owned.
+func (m *Master) updateMembership() {
+	live, draining := 0, 0
+	for _, l := range m.workers {
+		switch {
+		case l == nil || l.failed || l.drained:
+		case l.draining:
+			draining++
+		default:
+			live++
+		}
+	}
+	m.Elastic.SetMembership(live, draining)
+}
+
+// signals samples the autoscaler's view of the cluster. Loop-owned.
+func (m *Master) signals() elastic.Signals {
+	s := elastic.Signals{Joined: m.Elastic.Joined()}
+	var capCores, freeCores float64
+	for i, l := range m.workers {
+		switch {
+		case l == nil || l.failed || l.drained:
+		case l.draining:
+			s.Draining++
+		default:
+			s.Live++
+			cores := m.Sys.Core.Workers[i].Machine.Cores
+			capCores += cores.Capacity()
+			freeCores += cores.Free()
+		}
+	}
+	sched := m.Sys.Core.Sched
+	s.Queued = sched.QueuedCount()
+	s.Admitted = sched.AdmittedCount()
+	s.Paused = sched.AdmissionPaused()
+	if cap := sched.LiveCapacity(); cap > 0 {
+		s.ReservedFrac = sched.ReservedMem() / cap
+	}
+	if capCores > 0 {
+		s.Utilization = 1 - freeCores/capCores
+	}
+	return s
+}
+
+// drainOneIdle begins draining the highest-ID idle live worker — the
+// autoscaler's scale-down callback. Loop-owned; false when every live
+// worker still holds in-flight work.
+func (m *Master) drainOneIdle() bool {
+	for id := len(m.workers) - 1; id >= 0; id-- {
+		l := m.workers[id]
+		if l == nil || l.failed || l.draining || l.drained {
+			continue
+		}
+		if !m.Sys.Core.Workers[id].Idle() {
+			continue
+		}
+		m.beginDrain(id, "autoscaler scale-down")
+		return true
+	}
+	return false
+}
+
+// reserveFactor returns the DRESS correction multiplier for a workload's
+// admission estimate (1 when correction is off or nothing is learned yet).
+func (m *Master) reserveFactor(workload string) float64 {
+	if m.corrector == nil {
+		return 1
+	}
+	return m.corrector.Factor(workload)
+}
+
 // readLoop is one worker's inbound control path. Heartbeats update the
 // (thread-safe) transport monitor directly; everything that touches
 // scheduler state is relayed onto the control loop through the driver inbox.
@@ -715,6 +1019,14 @@ func (m *Master) readLoop(link *workerLink) {
 					link.id, msg.JobID, msg.Err)
 				m.Sys.Drv.Send(func() { m.Sys.Fail(err) })
 			}
+		case wire.DrainWorker:
+			// Worker-requested drain (-drain-on-signal): same master-side
+			// state machine as an operator-initiated DrainWorker.
+			reason := msg.Reason
+			if reason == "" {
+				reason = "worker requested"
+			}
+			m.Sys.Drv.Send(func() { m.beginDrain(link.id, reason) })
 		default:
 			return fmt.Errorf("remote: unexpected %T from worker %d", msg, link.id)
 		}
@@ -732,19 +1044,33 @@ func (m *Master) readLoop(link *workerLink) {
 // them on surviving workers.
 func (m *Master) failWorker(id int, cause error) {
 	link := m.workers[id]
-	if link == nil || link.failed {
+	if link == nil || link.failed || link.drained {
+		// A drained worker's connection closing is the drain protocol's
+		// normal epilogue, not a failure.
 		return
 	}
 	link.failed = true
+	link.draining = false
+	link.drainPending = false
 	m.rec.record(cpstate.WorkerFailed{Worker: int32(id)})
 	m.Transport.ObserveFailure(id)
+	m.Elastic.ObserveFail()
 	m.logf("master: worker %d failed: %v", id, cause)
 	link.conn.Close()
 	m.Sys.Core.FailWorker(id)
+	m.updateMembership()
 	for _, l := range m.workers {
-		if l != nil && !l.failed {
+		if l != nil && !l.failed && !l.drained {
 			return
 		}
+	}
+	if m.cfg.Elastic {
+		// An elastic cluster with no live workers pauses admission (jobs
+		// stay queued, visibly) and waits for a join — from the autoscaler
+		// or an operator — instead of failing the run.
+		m.Elastic.SetPaused(true)
+		m.logf("master: no live workers remain; admission paused until a worker joins")
+		return
 	}
 	m.Sys.Fail(fmt.Errorf("remote: all workers dead (last: %w)", cause))
 }
@@ -778,11 +1104,14 @@ func (m *Master) Run(ctx context.Context) error {
 	// core's own IDs renumber when a standby resubmits the backlog). On a
 	// takeover master the re-Prepare is idempotent on agents that already
 	// hold the plan, and failed placeholder slots have no connection.
+	m.mu.Lock()
+	links := append([]*workerLink(nil), m.workers...)
+	m.mu.Unlock()
 	for _, rj := range jobs {
 		rec := m.exec.recordByCore(rj.Live.Core)
 		p := wire.Prepare{JobID: rec.wireID, Workload: rj.Name, Params: rj.params}
-		for _, link := range m.workers {
-			if link != nil && !link.failed {
+		for _, link := range links {
+			if link != nil && !link.failed && !link.drained && !link.draining {
 				link.conn.Send(p)
 			}
 		}
@@ -826,8 +1155,31 @@ func (m *Master) Run(ctx context.Context) error {
 				m.Journal.ObservePendingDepth(unsynced)
 			}
 			m.logf("master: %s", m.Journal.StatsLine())
+			m.Elastic.SetPaused(m.Sys.Core.Sched.AdmissionPaused())
+			m.logf("master: %s", m.Elastic.StatsLine())
 		})
 		defer stopStats()
+	}
+	m.Sys.Drv.Send(func() { m.updateMembership() })
+	if m.cfg.Autoscale {
+		ctrl := &elastic.Controller{
+			Policy:  elastic.NewUtilizationPolicy(m.cfg.MinWorkers, m.cfg.MaxWorkers),
+			Prov:    m.cfg.Provisioner,
+			Drain:   m.drainOneIdle,
+			Logf:    m.cfg.Logf,
+			OnScale: m.Elastic.ObserveScale,
+		}
+		if ctrl.Prov == nil {
+			ctrl.Prov = elastic.ProvisionerFunc(func() error {
+				return errors.New("remote: autoscale without a Provisioner")
+			})
+		}
+		stopScale := loop.Every(eventloop.Duration(m.cfg.AutoscaleInterval/time.Microsecond), func() {
+			s := m.signals()
+			m.Elastic.SetPaused(s.Paused)
+			ctrl.Tick(s)
+		})
+		defer stopScale()
 	}
 	userCB := m.Sys.OnJobFinished
 	m.Sys.OnJobFinished = func(j *core.Job) {
@@ -836,7 +1188,9 @@ func (m *Master) Run(ctx context.Context) error {
 		if rec := m.exec.recordByCore(j); rec != nil && j.State != core.JobCancelled {
 			done := wire.JobDone{JobID: rec.wireID}
 			for _, link := range m.workers {
-				if link != nil && !link.failed {
+				// Draining workers still get JobDone: they hold the plan and
+				// may still be flushing their final completions for it.
+				if link != nil && !link.failed && !link.drained {
 					link.conn.Send(done)
 				}
 			}

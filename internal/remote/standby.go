@@ -226,6 +226,19 @@ func (m *Master) recoverFromState(st *cpstate.State) error {
 		m.exec.origins[originKey{pk.Job, pk.DS, pk.Part}] = ids
 	}
 
+	// Workers the old generation was draining (or had drained) stay out of
+	// the new one: their agents lost the control connection and were being
+	// decommissioned anyway. BeginDrain excludes them from placement and
+	// admission capacity; with nothing in flight yet they are immediately
+	// idle, so finishDrain runs synchronously here — completing an
+	// interrupted drain records its WorkerDrained event, while an
+	// already-drained slot's placeholder makes it a no-op.
+	for i, w := range st.Workers {
+		if !w.Failed && (w.Draining || w.Drained) {
+			m.Sys.Core.BeginDrain(i)
+		}
+	}
+
 	// State transfer: the dead master's canonical store died with it, so
 	// every committed contribution is pulled back from the surviving
 	// origins' shuffle servers (which outlive the control connection). A
@@ -256,7 +269,9 @@ func (m *Master) recoverFromState(st *cpstate.State) error {
 			return fmt.Errorf("remote: takeover job %d has no dataset %d", pk.Job, pk.DS)
 		}
 		for _, o := range origins {
-			if int(o) >= len(st.Workers) || st.Workers[o].Failed {
+			// Drained workers' processes have exited; a still-draining one may
+			// yet serve its shuffle port, so it stays worth trying.
+			if int(o) >= len(st.Workers) || st.Workers[o].Failed || st.Workers[o].Drained {
 				continue
 			}
 			pk := pk

@@ -45,6 +45,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		CancelJob{JobID: 41},
 		JobQuery{SubmitID: 10, JobID: 41},
 		JobStatus{SubmitID: 10, JobID: 99, State: StateNotFound, Detail: "unknown job"},
+		// Elastic membership frames.
+		DrainWorker{WorkerID: 2, Reason: "scale-down"},
+		DrainWorker{WorkerID: 0, Reason: ""}, // self-requested, no annotation
+		DrainDone{WorkerID: 2},
+		Complete{JobID: 3, MTID: 1, Seq: 9, Seconds: 0.1, MemPeak: 1 << 20},
 	}
 	for _, m := range seeds {
 		f.Add(AppendFrame(nil, m))

@@ -23,6 +23,9 @@ const (
 	TJobStatus byte = 15 // master → client: job state transition stream
 	TCancelJob byte = 16 // client → master: cancel a queued job
 	TJobQuery  byte = 17 // client → master: ask for a job's current state
+
+	TDrainWorker byte = 18 // either direction: begin a graceful drain
+	TDrainDone   byte = 19 // master → worker: drain complete, exit cleanly
 )
 
 // Blob encoding flags carried per contribution. The flags byte is opaque to
@@ -81,6 +84,10 @@ func Decode(typ byte, payload []byte) (Msg, error) {
 		m = decodeCancelJob(d)
 	case TJobQuery:
 		m = decodeJobQuery(d)
+	case TDrainWorker:
+		m = decodeDrainWorker(d)
+	case TDrainDone:
+		m = decodeDrainDone(d)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}
@@ -315,8 +322,13 @@ type Complete struct {
 	// degradation signals the master folds into metrics.Transport.
 	FetchRetries   int32
 	FetchFallbacks int32
-	Err            string
-	Writes         []PartWrite
+	// MemPeak is the observed memory high-water mark of this monotask's
+	// execution (bytes): the larger of its materialized input and its raw
+	// output. The master folds per-job maxima into the DRESS-style
+	// reservation corrector, so admission's estimate learns from usage.
+	MemPeak float64
+	Err     string
+	Writes  []PartWrite
 }
 
 func (Complete) Type() byte { return TComplete }
@@ -329,6 +341,7 @@ func (m Complete) encode(e *Encoder) {
 	e.F64(m.FetchedRawBytes)
 	e.I32(m.FetchRetries)
 	e.I32(m.FetchFallbacks)
+	e.F64(m.MemPeak)
 	e.Str(m.Err)
 	e.U32(uint32(len(m.Writes)))
 	for _, w := range m.Writes {
@@ -339,7 +352,7 @@ func decodeComplete(d *Decoder) Msg {
 	m := Complete{
 		JobID: d.I64(), MTID: d.I32(), Seq: d.U64(),
 		Seconds: d.F64(), FetchedWireBytes: d.F64(), FetchedRawBytes: d.F64(),
-		FetchRetries: d.I32(), FetchFallbacks: d.I32(), Err: d.Str(),
+		FetchRetries: d.I32(), FetchFallbacks: d.I32(), MemPeak: d.F64(), Err: d.Str(),
 	}
 	n := d.count(partWriteMin)
 	for i := 0; i < n && d.Err() == nil; i++ {
@@ -599,3 +612,31 @@ func (m JobQuery) encode(e *Encoder) {
 func decodeJobQuery(d *Decoder) Msg {
 	return JobQuery{SubmitID: d.I64(), JobID: d.I64()}
 }
+
+// DrainWorker begins a graceful drain. Master → worker it announces the
+// drain (the worker keeps executing inflight dispatches but expects no new
+// ones); worker → master it is a self-requested drain (e.g. SIGTERM with
+// -drain-on-signal) asking the master to run the drain state machine for
+// this worker. Reason is a human-readable annotation for logs.
+type DrainWorker struct {
+	WorkerID int32
+	Reason   string
+}
+
+func (DrainWorker) Type() byte { return TDrainWorker }
+func (m DrainWorker) encode(e *Encoder) {
+	e.I32(m.WorkerID)
+	e.Str(m.Reason)
+}
+func decodeDrainWorker(d *Decoder) Msg {
+	return DrainWorker{WorkerID: d.I32(), Reason: d.Str()}
+}
+
+// DrainDone tells a draining worker its last inflight monotask committed and
+// its shuffle partitions are covered by the master's canonical store: it may
+// exit cleanly. Unlike Shutdown it is per-worker, not a cluster stop.
+type DrainDone struct{ WorkerID int32 }
+
+func (DrainDone) Type() byte          { return TDrainDone }
+func (m DrainDone) encode(e *Encoder) { e.I32(m.WorkerID) }
+func decodeDrainDone(d *Decoder) Msg  { return DrainDone{WorkerID: d.I32()} }
