@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race smoke-dist smoke-failover smoke-elastic chaos fuzz-wire fuzz-events bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
+.PHONY: ci fmt-check vet build test race smoke-dist smoke-failover smoke-elastic smoke-hetero chaos fuzz-wire fuzz-events bench bench-json bench-guard bench-wire bench-wire-guard bench-ingest bench-ingest-guard clean
 
-ci: fmt-check vet build test race smoke-dist smoke-failover smoke-elastic chaos bench-wire-guard bench-ingest-guard
+ci: fmt-check vet build test race smoke-dist smoke-failover smoke-elastic smoke-hetero chaos bench-wire-guard bench-ingest-guard
 
 # gofmt -l prints offending files; fail when it prints anything.
 fmt-check:
@@ -53,6 +53,14 @@ smoke-failover:
 # the race detector.
 smoke-elastic:
 	$(GO) test -race -count=1 -run 'TestElasticAutoscaleLoopback|TestDrainMidJobNoFallbacks|TestElasticDrainAndKillChaos' ./internal/remote
+
+# Heterogeneous-fleet smoke: a loopback cluster where one agent advertises a
+# smaller machine profile and is artificially slowed, with the interference
+# penalty steering placement — the profile must reach the master's scheduling
+# core and rows must stay byte-identical to direct execution. Runs under the
+# race detector.
+smoke-hetero:
+	$(GO) test -race -count=1 -run 'TestHeteroLoopback' ./internal/remote
 
 # Hostile-network matrix: the loopback cluster under every injected fault
 # class (drop, delay, partition, slow-reader, truncation, wedge) must finish

@@ -149,6 +149,8 @@ func writePerf(path string) error {
 	fmt.Printf("wrote %s\n", path)
 	fmt.Printf("placement tick: %.0f ns/op, %d allocs/op, %.0f ticks/s\n",
 		rep.PlacementTick.NsPerOp, rep.PlacementTick.AllocsPerOp, rep.PlacementTick.Throughput)
+	fmt.Printf("placement tick hetero+penalty: %.0f ns/op, %d allocs/op, %.0f ticks/s\n",
+		rep.PlacementTickHetero.NsPerOp, rep.PlacementTickHetero.AllocsPerOp, rep.PlacementTickHetero.Throughput)
 	fmt.Printf("eventloop timers: %.1f ns/op-batch/%d, %d allocs/op, %.0f timers/s\n",
 		rep.EventLoopTimers.NsPerOp, 1024, rep.EventLoopTimers.AllocsPerOp, rep.EventLoopTimers.Throughput)
 	fmt.Printf("table1 serial: %.2f sim-runs/s; parallel: %.2f sim-runs/s\n",
@@ -357,19 +359,37 @@ func guardPerf(path string) error {
 	}
 	fmt.Fprintln(os.Stderr, "measuring placement tick for regression guard...")
 	cur := perf.MeasurePlacementTick()
-	ratio := cur.NsPerOp / base.PlacementTick.NsPerOp
-	fmt.Printf("placement tick: %.0f ns/op now vs %.0f ns/op baseline (%.2fx)\n",
-		cur.NsPerOp, base.PlacementTick.NsPerOp, ratio)
-	if cur.AllocsPerOp > base.PlacementTick.AllocsPerOp {
-		return fmt.Errorf("placement tick allocates: %d allocs/op vs %d baseline",
-			cur.AllocsPerOp, base.PlacementTick.AllocsPerOp)
+	if err := guardTick("placement tick", cur, base.PlacementTick, path); err != nil {
+		return err
 	}
-	if ratio > 1+guardRegression {
-		return fmt.Errorf("placement tick regressed %.0f%% (> %.0f%% budget); "+
-			"fix the regression or re-baseline with -perf %s",
-			100*(ratio-1), 100*guardRegression, path)
+	// Older snapshots predate the hetero scenario; guard it only once the
+	// baseline records it (regenerating with -perf adds it).
+	if base.PlacementTickHetero.NsPerOp > 0 {
+		fmt.Fprintln(os.Stderr, "measuring hetero placement tick for regression guard...")
+		curH := perf.MeasurePlacementTickHetero()
+		if err := guardTick("placement tick hetero+penalty", curH, base.PlacementTickHetero, path); err != nil {
+			return err
+		}
 	}
 	fmt.Println("bench guard: ok")
+	return nil
+}
+
+// guardTick applies the shared regression policy to one placement-tick
+// scenario: any extra allocation fails, and so does a >20% ns/op slowdown.
+func guardTick(name string, cur, base perf.Benchmark, path string) error {
+	ratio := cur.NsPerOp / base.NsPerOp
+	fmt.Printf("%s: %.0f ns/op now vs %.0f ns/op baseline (%.2fx)\n",
+		name, cur.NsPerOp, base.NsPerOp, ratio)
+	if cur.AllocsPerOp > base.AllocsPerOp {
+		return fmt.Errorf("%s allocates: %d allocs/op vs %d baseline",
+			name, cur.AllocsPerOp, base.AllocsPerOp)
+	}
+	if ratio > 1+guardRegression {
+		return fmt.Errorf("%s regressed %.0f%% (> %.0f%% budget); "+
+			"fix the regression or re-baseline with -perf %s",
+			name, 100*(ratio-1), 100*guardRegression, path)
+	}
 	return nil
 }
 

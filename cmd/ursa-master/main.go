@@ -46,18 +46,20 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7400", "control-plane listen address")
-		shuffle  = flag.String("shuffle-listen", "127.0.0.1:0", "canonical-store shuffle listen address")
-		workers  = flag.Int("workers", 2, "worker agents to wait for")
-		cores    = flag.Int("cores-per-worker", 2, "scheduler CPU concurrency per worker")
-		wl       = flag.String("workload", "wordcount", "registered workload to run (see -list)")
-		list     = flag.Bool("list", false, "list registered workloads and exit")
-		jobs     = flag.Int("jobs", 1, "copies of the workload to submit")
-		lines    = flag.Int("lines", 20000, "wordcount: input lines")
-		parts    = flag.Int("parts", 8, "wordcount: input partitions")
-		query    = flag.Int("query", 0, "sql_analytics: canned query index")
-		sales    = flag.Int("sales-rows", 4000, "sql_analytics: generated sales rows")
-		policy   = flag.String("policy", "ejf", "ejf | srjf")
+		listen    = flag.String("listen", "127.0.0.1:7400", "control-plane listen address")
+		shuffle   = flag.String("shuffle-listen", "127.0.0.1:0", "canonical-store shuffle listen address")
+		workers   = flag.Int("workers", 2, "worker agents to wait for")
+		cores     = flag.Int("cores-per-worker", 2, "scheduler CPU concurrency per worker")
+		wl        = flag.String("workload", "wordcount", "registered workload to run (see -list)")
+		list      = flag.Bool("list", false, "list registered workloads and exit")
+		jobs      = flag.Int("jobs", 1, "copies of the workload to submit")
+		lines     = flag.Int("lines", 20000, "wordcount: input lines")
+		parts     = flag.Int("parts", 8, "wordcount: input partitions")
+		query     = flag.Int("query", 0, "sql_analytics: canned query index")
+		sales     = flag.Int("sales-rows", 4000, "sql_analytics: generated sales rows")
+		policy    = flag.String("policy", "ejf", "ejf | srjf")
+		interfPen = flag.Bool("interference-penalty", false,
+			"steer placement away from workers whose measured rates run below their advertised profile (see DESIGN.md §15)")
 		hb       = flag.Duration("heartbeat", 100*time.Millisecond, "worker heartbeat interval")
 		stats    = flag.Duration("stats", time.Second, "transport stats line period (0 disables)")
 		showRows = flag.Int("show-rows", 10, "result rows to print per job")
@@ -187,6 +189,7 @@ func main() {
 	if *policy == "srjf" {
 		cfg.Core.Policy = core.SRJF
 	}
+	cfg.Core.InterferencePenalty = *interfPen
 	cfg.Core.TenantWeights = weights
 	if *standby {
 		if *journalDir == "" {

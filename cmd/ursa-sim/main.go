@@ -39,6 +39,9 @@ func main() {
 		noStage   = flag.Bool("no-stage-aware", false, "disable stage-aware placement")
 		noNetDem  = flag.Bool("no-net-demand", false, "ignore network demands in placement")
 		netCC     = flag.Int("net-concurrency", 0, "per-worker network monotask limit (0 = default)")
+		interfPen = flag.Bool("interference-penalty", false, "steer placement away from machines running below their nominal rates (ursa only)")
+		slowN     = flag.Int("slow-machines", 0, "machines suffering hidden co-located contention")
+		slowFac   = flag.Float64("slow-factor", 0.5, "fraction of nominal core rate the contended machines actually deliver")
 		sparkline = flag.Bool("sparkline", true, "print utilization sparklines")
 	)
 	flag.Parse()
@@ -47,6 +50,16 @@ func main() {
 	clusCfg.Machines = *machines
 	clusCfg.CoresPerMachine = *cores
 	clusCfg.NetBandwidth = resource.BytesPerSec(*netGbps * 1.25e8)
+	if *slowN > 0 {
+		if *slowN > *machines {
+			fmt.Fprintf(os.Stderr, "ursa-sim: -slow-machines %d exceeds -machines %d\n", *slowN, *machines)
+			os.Exit(2)
+		}
+		clusCfg.Profiles = []cluster.MachineProfile{
+			{Count: *machines - *slowN},
+			{Count: *slowN, Contention: *slowFac},
+		}
+	}
 
 	var w *workload.Workload
 	switch *wl {
@@ -74,6 +87,7 @@ func main() {
 			DisableStageAware:   *noStage,
 			IgnoreNetworkDemand: *noNetDem,
 			NetConcurrency:      *netCC,
+			InterferencePenalty: *interfPen,
 		}
 		if *policy == "srjf" {
 			cfg.Policy = core.SRJF

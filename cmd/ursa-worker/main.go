@@ -26,10 +26,20 @@ import (
 
 func main() {
 	var (
-		master        = flag.String("master", "127.0.0.1:7400", "master control-plane address(es), comma-separated: primary first, then standbys")
-		shuffle       = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
-		cores         = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
-		quiet         = flag.Bool("quiet", false, "suppress agent logs")
+		master  = flag.String("master", "127.0.0.1:7400", "master control-plane address(es), comma-separated: primary first, then standbys")
+		shuffle = flag.String("shuffle-listen", "127.0.0.1:0", "shuffle listen address peers dial")
+		cores   = flag.Int("cores", 0, "local execution parallelism (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "suppress agent logs")
+
+		// Machine-profile advertisement (see DESIGN.md §15): non-zero values
+		// are carried in Register and re-declare this worker's machine in the
+		// master's scheduling core, so a mixed fleet is modeled per-machine.
+		// Units are scheduler accounting units (rows, rows/sec for the live
+		// runtime), matching the master's cluster config.
+		memAdv        = flag.Float64("mem", 0, "advertise memory capacity to the master (0 = master's uniform default)")
+		coreRateAdv   = flag.Float64("core-rate", 0, "advertise per-core execution rate (0 = master's uniform default)")
+		netAdv        = flag.Float64("net-bandwidth", 0, "advertise network bandwidth (0 = master's uniform default)")
+		diskAdv       = flag.Float64("disk-bandwidth", 0, "advertise disk bandwidth (0 = master's uniform default)")
 		drainOnSignal = flag.Bool("drain-on-signal", false,
 			"on SIGINT/SIGTERM, request a graceful master-side drain (dispatch stops, fetch routing migrates, master answers DrainDone) instead of detaching immediately; a second signal forces the immediate path")
 
@@ -76,6 +86,8 @@ func main() {
 	}
 	cfg := agent.Config{
 		MasterAddrs: addrs, ShuffleAddr: *shuffle, Cores: *cores,
+		MemBytes: *memAdv, CoreRate: *coreRateAdv,
+		NetBandwidth: *netAdv, DiskBandwidth: *diskAdv,
 		RegisterAttempts:   *regAttempts,
 		RegisterBackoff:    *regBackoff,
 		RegisterBackoffMax: *regBackoffMax,

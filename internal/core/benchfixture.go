@@ -23,13 +23,9 @@ type PlacementBench struct {
 	placer Placer
 }
 
-// NewPlacementBench builds a pool of nStages pending stages with
-// tasksPerStage estimated tasks each, over nWorkers workers. Stage demand
-// profiles rotate through CPU-, network- and disk-dominant mixes so every
-// resource dimension of F(t,w) is exercised.
-func NewPlacementBench(nWorkers, nStages, tasksPerStage int) *PlacementBench {
-	loop := eventloop.New()
-	clus := cluster.New(loop, cluster.Config{
+// benchClusterConfig is the uniform hardware shape the fixtures share.
+func benchClusterConfig(nWorkers int) cluster.Config {
+	return cluster.Config{
 		Machines:           nWorkers,
 		CoresPerMachine:    8,
 		MemPerMachine:      32 * resource.GB,
@@ -37,7 +33,51 @@ func NewPlacementBench(nWorkers, nStages, tasksPerStage int) *PlacementBench {
 		DiskBandwidth:      2e8,
 		CoreRate:           1e8,
 		NetPerFlowFraction: 0.75,
-	})
+	}
+}
+
+// NewPlacementBench builds a pool of nStages pending stages with
+// tasksPerStage estimated tasks each, over nWorkers workers. Stage demand
+// profiles rotate through CPU-, network- and disk-dominant mixes so every
+// resource dimension of F(t,w) is exercised.
+func NewPlacementBench(nWorkers, nStages, tasksPerStage int) *PlacementBench {
+	return newPlacementBench(benchClusterConfig(nWorkers), nStages, tasksPerStage)
+}
+
+// NewPlacementBenchHetero is the mixed-capacity variant: three quarters of
+// the workers keep the uniform shape, the rest are smaller (half the cores,
+// half the memory, a slower declared core rate) and run at half their
+// declared rate to hidden contention. Every worker's monitors are fed one
+// window of observations at its *effective* rates, so the snapshot the tick
+// scores against carries realistic heterogeneous, interference-displaced
+// measurements — the worst case for both the bucketed index and the
+// penalty path.
+func NewPlacementBenchHetero(nWorkers, nStages, tasksPerStage int) *PlacementBench {
+	slow := nWorkers / 4
+	if slow < 1 {
+		slow = 1
+	}
+	cfg := benchClusterConfig(nWorkers)
+	cfg.Profiles = []cluster.MachineProfile{
+		{Count: nWorkers - slow},
+		{Count: slow, Cores: 4, Mem: 16 * resource.GB, CoreRate: 5e7, Contention: 0.5},
+	}
+	pb := newPlacementBench(cfg, nStages, tasksPerStage)
+	loop := pb.Sys.Loop
+	for _, w := range pb.Sys.Workers {
+		m := w.Machine
+		w.rates[resource.CPU].sample(m.CoreRate(), 1)
+		w.rates[resource.Net].sample(m.NetBandwidth()*cfg.NetPerFlowFraction, 1)
+		w.rates[resource.Disk].sample(m.DiskBandwidth(), 1)
+	}
+	loop.RunUntil(eventloop.Time(pb.Sys.Cfg.RateWindow))
+	pb.ctx.Now = loop.Now()
+	return pb
+}
+
+func newPlacementBench(clusCfg cluster.Config, nStages, tasksPerStage int) *PlacementBench {
+	loop := eventloop.New()
+	clus := cluster.New(loop, clusCfg)
 	sys := NewSystem(loop, clus, Config{})
 	pb := &PlacementBench{Sys: sys}
 

@@ -74,6 +74,15 @@ type Config struct {
 	// applies the memory gate. 0 (default) or any value ≥ the worker count
 	// selects the exact full scan.
 	CandidateWorkers int
+	// InterferencePenalty scales each resource term of the placement score
+	// F(t,w) by the worker's observed-vs-nominal rate deviation, normalized
+	// against the best-deviating live worker (see PlaceContext.prepare):
+	// a machine whose measured rates run below its declared profile —
+	// co-located interference, a failing disk, a saturated NIC — scores
+	// proportionally lower, steering work toward machines that deliver
+	// their nominal rates. Off by default: placement is bit-identical to
+	// the penalty-free score (guarded by the equivalence suites).
+	InterferencePenalty bool
 	// RankParallelism shards the ranking pass of Algorithm 1's two-pass
 	// placement across up to this many goroutines with per-goroutine
 	// scratch state; candidate scores merge in stable stage order, so

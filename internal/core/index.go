@@ -14,11 +14,27 @@ package core
 // snapshot was refreshed are re-bucketed — pairing with the dirty-worker
 // snapshot path.
 //
-// Headroom values live in [0, 1] (D_r = max(0, (EPT−APT_r)/EPT), D_mem =
-// free/capacity), so a fixed linear bucket grid loses no generality;
-// out-of-range values clamp to the boundary buckets. Within a bucket,
-// iteration order is insertion order, which is deterministic because every
-// mutation of the index is driven by the deterministic event loop.
+// Headroom values live in [0, 1] *per worker by construction*, including on
+// heterogeneous clusters: D_r = max(0, (EPT−APT_r)/EPT) normalizes each
+// worker's load by its own measured rate (APT_r = load_r/rate_r) against
+// the shared EPT horizon, and D_mem = free/capacity normalizes by the
+// worker's own capacity — no term depends on any other machine's profile,
+// so mixed core counts, rates or memory sizes never push a live worker's
+// headroom outside the grid. (Failed/draining workers carry D_mem < 0 from
+// the -1 memFree sentinel; bucketOf clamps them into bucket 0, and every
+// scoring gate rejects them regardless.) A fixed linear bucket grid
+// therefore loses no generality; out-of-range values clamp to the boundary
+// buckets. Within a bucket, iteration order is insertion order, which is
+// deterministic because every mutation of the index is driven by the
+// deterministic event loop.
+//
+// Note the index ranks by headroom D_r only — deliberately not by the
+// interference-penalized score: the penalty scales scores by at most 1, so
+// ranking by D_r remains an admissible candidate pre-filter, and scoring
+// (which applies the penalty) stays exact for whichever candidates are
+// examined. With K ≥ W every worker is examined and the index path is
+// bit-identical to the exact scan, penalty on or off — the property the
+// heterogeneous equivalence suites pin.
 type headroomIndex struct {
 	n       int          // number of indexed workers
 	buckets [4][][]int32 // [kind][bucket] → worker ids, low bucket = low headroom

@@ -41,6 +41,21 @@ type PlaceContext struct {
 	memFree    []float64
 	memCap     []float64
 
+	// Interference penalty state (Config.InterferencePenalty). dev holds
+	// each worker's observed-vs-nominal CPU rate deviation (the no-decay
+	// Worker.Deviation signal), refreshed under the same dirty/stale
+	// discipline as invRateEPT; pen holds the derived per-worker score
+	// factor in [penFloor, 1]. The signal is CPU-only: network and disk
+	// observed rates drop below nominal whenever the scheduler's own
+	// placements share a link (per-flow fair sharing), so a below-nominal
+	// observation there is self-inflicted load — already modelled by the
+	// D_r headroom term — not external interference. Both slices are
+	// allocated only when the flag is on, so the default path stays
+	// allocation-free and bit-identical.
+	dev    []float64
+	pen    []float64
+	usePen bool
+
 	// d holds the per-worker headroom vectors for the current interval.
 	d []dVec
 	// undo journals trial mutations of d during StageScore evaluation so a
@@ -139,6 +154,14 @@ func (ctx *PlaceContext) prepare() {
 		ctx.refreshed = ctx.refreshed[:n]
 		ctx.touched = ctx.touched[:n]
 	}
+	ctx.usePen = ctx.Cfg.InterferencePenalty
+	if ctx.usePen && cap(ctx.dev) < n {
+		ctx.dev = make([]float64, n)
+		ctx.pen = make([]float64, n)
+	} else if ctx.usePen {
+		ctx.dev = ctx.dev[:n]
+		ctx.pen = ctx.pen[:n]
+	}
 	for i, w := range ctx.Workers {
 		refresh := full || ctx.touched[i] || w.epoch != ctx.snapEpoch[i] || ctx.Now >= ctx.staleAt[i]
 		ctx.refreshed[i] = refresh
@@ -152,12 +175,19 @@ func (ctx *PlaceContext) prepare() {
 			ctx.memFree[i] = -1 // every placement gate rejects the worker
 			ctx.memCap[i] = w.MemCapacity()
 			ctx.staleAt[i] = staleNever
+			if ctx.usePen {
+				ctx.dev[i] = 0 // excluded from the deviation max
+			}
 			continue
 		}
 		for _, k := range resource.MonotaskKinds {
-			if rate := w.Rate(k); rate > 0 {
+			rate := w.Rate(k)
+			if rate > 0 {
 				ctx.invRateEPT[i][k] = 1 / (rate * ept)
 			}
+		}
+		if ctx.usePen {
+			ctx.dev[i] = w.Deviation(resource.CPU)
 		}
 		ctx.memFree[i] = w.MemFree()
 		ctx.memCap[i] = w.MemCapacity()
@@ -166,6 +196,70 @@ func (ctx *PlaceContext) prepare() {
 		ctx.staleAt[i] = w.snapshotStaleAt()
 	}
 	ctx.snapValid = ctx.Cfg.IncrementalSnapshots
+	if ctx.usePen {
+		ctx.computePenalty()
+	}
+}
+
+// penFloor keeps a contended worker's score factor strictly positive so it
+// can still absorb work when nothing better is available, and keeps the
+// tie-break order (earliest worker on equal F) meaningful.
+const penFloor = 0.01
+
+// computePenalty derives each worker's score factor from the deviation
+// snapshot: deviations are normalized against the best live worker's, so
+// on a cluster delivering its declared rates every factor is ≈1 and the
+// penalty is inert; a worker measuring below its profile — interference
+// the profile doesn't declare — is scaled down. Normalizing against the
+// observed best rather than the absolute ratio keeps the factor
+// insensitive to workload properties (compute intensity, dispatch
+// overhead) that displace *every* worker's measured rate from nominal by
+// the same factor.
+//
+// The factor is the *square* of the normalized deviation, and the
+// exponent is load-bearing: the score term Inc_cpu ∝ 1/rate is inflated
+// on a slow worker (the same task consumes a larger share of a smaller
+// rate), so a first-power penalty merely cancels that inflation, leaving
+// F indifferent to interference — the blind preference survives in the
+// rounding noise. Squaring makes the penalized CPU term strictly
+// increasing in the delivered rate, which is what actually steers work
+// toward machines that deliver.
+//
+// The factor scales the worker's *whole* score F, not just its CPU term.
+// A stage finishes when its slowest task does, so a below-profile machine
+// is a straggler risk for any task placed on it — including network- or
+// disk-dominant tasks, whose fetch/merge pipelines still compete for the
+// contended CPU — and a per-term discount would let a shuffle task's
+// untouched network term steer it onto a machine the CPU evidence says to
+// avoid.
+//
+// The factors are recomputed from dev every tick in O(W); dev itself
+// follows the incremental dirty/stale refresh discipline, so with clean
+// workers the inputs — and therefore the factors — are bitwise stable and
+// the incremental-snapshot exactness argument carries over.
+func (ctx *PlaceContext) computePenalty() {
+	maxDev := 0.0
+	for i, d := range ctx.dev {
+		if ctx.memFree[i] < 0 {
+			continue // failed or draining: not a reference point
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	for i := range ctx.pen {
+		p := 1.0
+		if maxDev > 0 {
+			p = ctx.dev[i] / maxDev
+			p *= p
+		}
+		if p < penFloor {
+			p = penFloor
+		} else if p > 1 {
+			p = 1
+		}
+		ctx.pen[i] = p
+	}
 }
 
 // Placer is a task placement algorithm. Algorithm 1 is the default;
@@ -468,19 +562,28 @@ func incVec(ctx *PlaceContext, t *dag.Task, wi int) dVec {
 	return inc
 }
 
-// scoreTask computes F(t,w), returning ok=false when w is not viable: it
-// lacks memory, or some resource is exhausted (D_r = 0) while the task needs
-// it (Inc_r > 0) — placing there would block the task (§4.2.2).
+// scoreTask computes F(t,w), returning ok=false when w is not viable: it is
+// failed or draining (memFree carries the -1 sentinel), it lacks memory,
+// some resource is exhausted (D_r = 0) while the task needs it (Inc_r > 0)
+// — placing there would block the task (§4.2.2) — or the task demands
+// nothing at all while the worker retains no headroom on any dimension (a
+// zero-estimate task must not land on a saturated worker). With
+// Config.InterferencePenalty the score is scaled by the worker's
+// observed-vs-nominal penalty factor (see computePenalty); scaling by
+// exactly 1.0 when the flag is off would leave F bit-identical, and the
+// branch keeps even that multiply off the default path.
 func scoreTask(ctx *PlaceContext, t *dag.Task, wi int, d dVec) (f float64, inc dVec, ok bool) {
-	if ctx.memFree[wi] < t.EstUsage[resource.Mem] {
+	if ctx.memFree[wi] < 0 || ctx.memFree[wi] < t.EstUsage[resource.Mem] {
 		return 0, inc, false
 	}
 	inc = incVec(ctx, t, wi)
+	demanding := false
 	for k := range d {
 		ik := inc[k]
 		if ik <= 0 {
 			continue
 		}
+		demanding = true
 		dk := d[k]
 		if dk <= 0 {
 			return 0, inc, false
@@ -490,6 +593,12 @@ func scoreTask(ctx *PlaceContext, t *dag.Task, wi int, d dVec) (f float64, inc d
 			ik = dk
 		}
 		f += dk * ik
+	}
+	if !demanding && !anyVec(&d) {
+		return 0, inc, false
+	}
+	if ctx.usePen {
+		f *= ctx.pen[wi]
 	}
 	return f, inc, true
 }

@@ -117,6 +117,44 @@ func TestTickTopKSmallDeterministic(t *testing.T) {
 	}
 }
 
+// TestTickEquivalenceHetero re-proves the optimized paths' exactness on a
+// mixed-capacity cluster with interference-displaced measured rates — the
+// setting the bucketed index's [0,1]-per-worker invariant and the
+// incremental penalty snapshot must survive — with the interference penalty
+// both off and on. K = W keeps the index plumbing active while remaining an
+// exact scan.
+func TestTickEquivalenceHetero(t *testing.T) {
+	variants := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"incremental", func(c *Config) { c.IncrementalSnapshots = true }},
+		{"topk-exact", func(c *Config) { c.CandidateWorkers = 48 }},
+		{"parallel-rank", func(c *Config) { c.RankParallelism = 4 }},
+		{"all", func(c *Config) {
+			c.IncrementalSnapshots = true
+			c.CandidateWorkers = 48
+			c.RankParallelism = 4
+		}},
+	}
+	for _, penalty := range []bool{false, true} {
+		name := "penalty-off"
+		if penalty {
+			name = "penalty-on"
+		}
+		for _, v := range variants {
+			exact := NewPlacementBenchHetero(48, 24, 8)
+			exact.Configure(func(c *Config) { c.InterferencePenalty = penalty })
+			variant := NewPlacementBenchHetero(48, 24, 8)
+			variant.Configure(func(c *Config) {
+				c.InterferencePenalty = penalty
+				v.mod(c)
+			})
+			assertSameTicks(t, name+"/"+v.name, exact, variant, 6)
+		}
+	}
+}
+
 // runSystem executes n shuffle jobs (optionally killing a worker mid-run)
 // under the given config and returns each job's finish time. Bit-identical
 // scheduling decisions imply bit-identical finish times.
@@ -177,6 +215,60 @@ func TestSystemEquivalence(t *testing.T) {
 				if got[i] != want[i] {
 					t.Errorf("%s/%s: job %d finished at %v, exact %v",
 						sc.name, v.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSystemEquivalenceHetero runs full simulations on a mixed-capacity
+// cluster (one machine contended) and demands bit-identical job finish
+// times between the exact serial scheduler and each optimized path, with
+// the interference penalty off and on.
+func TestSystemEquivalenceHetero(t *testing.T) {
+	variants := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"incremental", func(c *Config) { c.IncrementalSnapshots = true }},
+		{"topk-exact", func(c *Config) { c.CandidateWorkers = 1 << 20 }},
+		{"parallel-rank", func(c *Config) { c.RankParallelism = 4 }},
+		{"all", func(c *Config) {
+			c.IncrementalSnapshots = true
+			c.CandidateWorkers = 1 << 20
+			c.RankParallelism = 4
+		}},
+	}
+	run := func(cfg Config) []eventloop.Time {
+		t.Helper()
+		loop, clus := heteroTestCluster(3, 1, 0.5)
+		sys := NewSystem(loop, clus, cfg)
+		jobs := submitN(t, sys, 6, eventloop.Second/2)
+		loop.Run()
+		if !sys.AllDone() {
+			t.Fatal("jobs did not finish")
+		}
+		out := make([]eventloop.Time, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.Finished
+		}
+		return out
+	}
+	for _, penalty := range []bool{false, true} {
+		name := "penalty-off"
+		if penalty {
+			name = "penalty-on"
+		}
+		base := Config{InterferencePenalty: penalty}
+		want := run(base)
+		for _, v := range variants {
+			cfg := base
+			v.mod(&cfg)
+			got := run(cfg)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s/%s: job %d finished at %v, exact %v",
+						name, v.name, i, got[i], want[i])
 				}
 			}
 		}

@@ -135,7 +135,35 @@ func (s *System) jobDone(j *Job) {
 }
 
 func (s *System) maxWorkerMem() float64 {
-	return float64(s.Cluster.Cfg.MemPerMachine)
+	max := float64(s.Cluster.Cfg.MemPerMachine)
+	for _, m := range s.Cluster.Machines {
+		if c := m.Mem.Capacity(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// SetWorkerProfile re-declares an idle worker's machine profile (zero
+// fields inherit the cluster's uniform config): pools, devices and the
+// nominal rates seeding the rate monitors are rebuilt from it. The remote
+// master calls this when a registering worker advertises its hardware, so
+// a heterogeneous fleet is modeled per-machine instead of by the uniform
+// assumption. Loop-owned; must run before any work dispatches to the
+// worker (the worker must be idle with nothing allocated).
+func (s *System) SetWorkerProfile(id int, p cluster.MachineProfile) {
+	if id < 0 || id >= len(s.Workers) {
+		panic(fmt.Sprintf("core: no worker %d", id))
+	}
+	w := s.Workers[id]
+	if !w.Idle() {
+		panic(fmt.Sprintf("core: profile change on busy worker %d", id))
+	}
+	s.Cluster.Reprofile(w.Machine, p)
+	w.initRates()
+	w.Machine.Net.OnActivity = w.markDirty
+	w.Machine.Disk.OnActivity = w.markDirty
+	w.markDirty()
 }
 
 // FailWorker injects a machine failure at the current virtual time (§4.3):
@@ -181,12 +209,20 @@ func (s *System) BeginDrain(id int) bool {
 	return true
 }
 
-// AddWorker grows the cluster by one machine and registers a worker on it,
-// returning the worker. Admission re-runs immediately: jobs that were
-// queued (or paused for lack of live capacity) can admit onto the new
-// capacity. Loop-owned.
+// AddWorker grows the cluster by one uniform machine and registers a
+// worker on it. See AddWorkerProfile.
 func (s *System) AddWorker() *Worker {
-	m := s.Cluster.AddMachine()
+	return s.AddWorkerProfile(cluster.MachineProfile{})
+}
+
+// AddWorkerProfile grows the cluster by one machine with the given profile
+// (zero fields inherit the uniform config) and registers a worker on it,
+// returning the worker. The worker is built directly on the profiled
+// machine — its capacities and nominal rates are right before admission
+// re-runs, so jobs that were queued (or paused for lack of live capacity)
+// admit against the true new capacity. Loop-owned.
+func (s *System) AddWorkerProfile(p cluster.MachineProfile) *Worker {
+	m := s.Cluster.AddMachineProfile(p)
 	w := newWorker(s, m)
 	s.Workers = append(s.Workers, w)
 	s.Sched.flushAdmission()

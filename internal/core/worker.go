@@ -26,6 +26,11 @@ type Worker struct {
 	load [3]float64
 
 	rates [3]*rateMonitor
+	// nominal holds the declared (profile) processing rates the monitors
+	// were seeded from: per-core rate for CPU, per-flow bandwidth for
+	// network, disk bandwidth for disk. The interference penalty compares
+	// measured rates against these.
+	nominal [3]float64
 
 	// taskMem tracks per-task memory reservations (§4.2.1: memory is
 	// requested per task, not per monotask).
@@ -124,13 +129,7 @@ func newWorker(sys *System, m *cluster.Machine) *Worker {
 		taskMem: make(map[*dag.Task]taskMem),
 		active:  make(map[*dag.Monotask]func()),
 	}
-	netInit := float64(sys.Cluster.Cfg.NetBandwidth)
-	if f := sys.Cluster.Cfg.NetPerFlowFraction; f > 0 && f <= 1 {
-		netInit *= f
-	}
-	w.rates[resource.CPU] = newRateMonitor(sys.Loop, m.CoreRate(), sys.Cfg.RateWindow)
-	w.rates[resource.Net] = newRateMonitor(sys.Loop, netInit, sys.Cfg.RateWindow)
-	w.rates[resource.Disk] = newRateMonitor(sys.Loop, float64(sys.Cluster.Cfg.DiskBandwidth), sys.Cfg.RateWindow)
+	w.initRates()
 	for k := range w.queues {
 		w.queues[k].cfg = &sys.Cfg
 	}
@@ -139,6 +138,25 @@ func newWorker(sys *System, m *cluster.Machine) *Worker {
 	m.Net.OnActivity = w.markDirty
 	m.Disk.OnActivity = w.markDirty
 	return w
+}
+
+// initRates (re)builds the rate monitors from the machine's declared
+// profile: monitors are seeded with — and decay back toward — the nominal
+// per-machine rates, not a cluster-wide uniform assumption.
+func (w *Worker) initRates() {
+	m := w.Machine
+	netInit := m.NetBandwidth()
+	if f := w.sys.Cluster.Cfg.NetPerFlowFraction; f > 0 && f <= 1 {
+		netInit *= f
+	}
+	w.nominal = [3]float64{
+		resource.CPU:  m.NominalCoreRate(),
+		resource.Net:  netInit,
+		resource.Disk: m.DiskBandwidth(),
+	}
+	w.rates[resource.CPU] = newRateMonitor(w.sys.Loop, w.nominal[resource.CPU], w.sys.Cfg.RateWindow)
+	w.rates[resource.Net] = newRateMonitor(w.sys.Loop, w.nominal[resource.Net], w.sys.Cfg.RateWindow)
+	w.rates[resource.Disk] = newRateMonitor(w.sys.Loop, w.nominal[resource.Disk], w.sys.Cfg.RateWindow)
 }
 
 // Rate returns the measured processing rate for kind k in bytes/s. For CPU
@@ -151,6 +169,25 @@ func (w *Worker) Rate(k resource.Kind) float64 {
 	return r
 }
 
+// NominalRate returns the declared (profile) processing rate for kind k in
+// bytes/s — the whole-machine rate for CPU, mirroring Rate. The ratio
+// Rate/NominalRate is the interference penalty's deviation signal.
+func (w *Worker) NominalRate(k resource.Kind) float64 {
+	r := w.nominal[k]
+	if k == resource.CPU {
+		r *= w.Machine.Cores.Capacity()
+	}
+	return r
+}
+
+// Deviation returns the worker's observed-vs-nominal type-k rate ratio —
+// the no-decay interference signal the penalty-aware placement scores
+// against (see rateMonitor.deviation). 1 means the worker delivers its
+// declared profile.
+func (w *Worker) Deviation(k resource.Kind) float64 {
+	return w.rates[k].deviation()
+}
+
 // APT returns the approximate processing time to complete all type-k
 // monotasks currently assigned to the worker (§4.2.2). An idle core makes
 // APT_cpu zero, signalling immediately available CPU.
@@ -158,9 +195,16 @@ func (w *Worker) APT(k resource.Kind) float64 {
 	if k == resource.CPU && w.idleCores() > 0 {
 		return 0
 	}
+	if w.load[k] <= 0 {
+		return 0
+	}
 	rate := w.Rate(k)
 	if rate <= 0 {
-		return 0
+		// A collapsed measured rate with work still assigned means the
+		// worker is stalled, not free: report full occupancy over the
+		// horizon (D_r = 0) instead of the old 0 (D_r = 1), which piled
+		// more work onto the slowest machine.
+		return w.sys.Cfg.EPT.Seconds()
 	}
 	return w.load[k] / rate
 }
@@ -378,13 +422,16 @@ type rateMonitor struct {
 	loop        *eventloop.Loop
 	window      eventloop.Duration
 	current     float64
+	initial     float64 // nominal rate: the blend prior and the decay target
+	observed    float64 // EWMA of sampled windows only; never decays (interference memory)
 	bytes       float64
 	seconds     float64
 	windowStart eventloop.Time
 }
 
 func newRateMonitor(loop *eventloop.Loop, initial float64, window eventloop.Duration) *rateMonitor {
-	return &rateMonitor{loop: loop, window: window, current: initial, windowStart: loop.Now()}
+	return &rateMonitor{loop: loop, window: window, current: initial, initial: initial,
+		observed: initial, windowStart: loop.Now()}
 }
 
 func (r *rateMonitor) sample(bytes, seconds float64) {
@@ -398,36 +445,78 @@ func (r *rateMonitor) rate() float64 {
 	return r.current
 }
 
-// roll commits the window if it has elapsed, blending with the previous
-// estimate to damp noise from sparse samples.
+// deviation is the monitor's interference signal: the ratio of the
+// no-decay observed-rate EWMA to the nominal rate. Unlike rate(), which
+// relaxes back to nominal across idle windows (absence of measurements is
+// not evidence of health for *prediction*), the observed EWMA only moves
+// when a window actually carried samples — interference is a property of
+// the machine and must be remembered across idle gaps, or an interference-
+// aware placement oscillates: the contended machine idles, its estimate
+// snaps back to nominal, it looks healthy, absorbs a burst, and measures
+// slow again. Returns 1 when the monitor has no nominal rate to compare
+// against.
+func (r *rateMonitor) deviation() float64 {
+	r.roll()
+	if r.initial <= 0 {
+		return 1
+	}
+	return r.observed / r.initial
+}
+
+// rateDecayEps is the relative distance from the nominal rate at which a
+// decaying estimate snaps back to exactly nominal, bounding the decay loop
+// (≈30 halvings from any starting point) and restoring the staleNever
+// fast path for idle workers.
+const rateDecayEps = 1e-9
+
+// roll commits elapsed windows, blending pending samples with the previous
+// estimate to damp noise, and decaying the estimate one 0.5-step toward the
+// nominal rate for every *empty* window — a measurement from arbitrarily
+// long ago must not keep full weight across an idle gap. Pending samples
+// always belong to the first elapsed window (sample() rolls before
+// recording, so samples never straddle a boundary), so a multi-window gap
+// commits exactly one blend followed by per-window decay steps.
 //
 // The window grid is anchored at the monitor's creation time: windowStart
 // advances in whole multiples of the window rather than snapping to the
-// read time, so *when* the rate changes is a function of virtual time and
-// the sample history alone, never of how often the scheduler happens to
-// read it. Incremental snapshot refreshes (Config.IncrementalSnapshots)
-// rely on this: a clean worker's rate() is provably unchanged until the
-// boundary reported by nextChange, so skipping the read is exact.
+// read time, and the decay is applied as the identical sequence of
+// per-window steps whether the windows are observed one roll at a time or
+// all at once — so *what* the rate is at any virtual time is a function of
+// time and the sample history alone, never of how often the scheduler
+// happens to read it. Incremental snapshot refreshes
+// (Config.IncrementalSnapshots) rely on this: a clean worker's rate() is
+// provably unchanged until the boundary reported by nextChange, so
+// skipping the read is exact.
 func (r *rateMonitor) roll() {
 	now := r.loop.Now()
 	elapsed := now - r.windowStart
 	if elapsed < eventloop.Time(r.window) {
 		return
 	}
+	n := int64(elapsed / eventloop.Time(r.window))
 	if r.seconds > 1e-9 {
 		observed := r.bytes / r.seconds
 		r.current = 0.5*r.current + 0.5*observed
+		r.observed = 0.5*r.observed + 0.5*observed
+		r.bytes, r.seconds = 0, 0
+		n--
 	}
-	r.bytes, r.seconds = 0, 0
+	for ; n > 0 && r.current != r.initial; n-- {
+		r.current = 0.5*r.current + 0.5*r.initial
+		if d := r.current - r.initial; d <= rateDecayEps*r.initial && d >= -rateDecayEps*r.initial {
+			r.current = r.initial
+		}
+	}
 	r.windowStart += elapsed / eventloop.Time(r.window) * eventloop.Time(r.window)
 }
 
 // nextChange returns the earliest virtual time at which the monitor's rate
 // can change without a further sample being recorded: the end of the
-// current window when unrolled samples are pending, or never. Callers must
-// have read rate() (i.e. rolled) at the current time first.
+// current window when unrolled samples are pending *or* the estimate is
+// displaced from nominal (the next boundary decays it), or never. Callers
+// must have read rate() (i.e. rolled) at the current time first.
 func (r *rateMonitor) nextChange() eventloop.Time {
-	if r.seconds <= 1e-9 {
+	if r.seconds <= 1e-9 && r.current == r.initial {
 		return staleNever
 	}
 	return r.windowStart + eventloop.Time(r.window)

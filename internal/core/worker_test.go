@@ -107,19 +107,25 @@ func TestRateMonitorAdapts(t *testing.T) {
 	if got := rm.rate(); got != 100 {
 		t.Fatalf("initial rate = %v", got)
 	}
-	// Observe work at 50 B/s for over a window.
+	// Observe work at 50 B/s within the first window.
 	rm.sample(500, 10)
-	loop.RunUntil(eventloop.Time(2 * eventloop.Second))
+	loop.RunUntil(eventloop.Time(eventloop.Second))
 	got := rm.rate()
-	// Blended: 0.5·100 + 0.5·50 = 75.
+	// Blended at the boundary: 0.5·100 + 0.5·50 = 75.
 	if math.Abs(got-75) > 1e-9 {
 		t.Errorf("rate after window = %v, want 75", got)
 	}
 	// Another identical window converges further.
 	rm.sample(500, 10)
-	loop.RunUntil(eventloop.Time(4 * eventloop.Second))
+	loop.RunUntil(eventloop.Time(2 * eventloop.Second))
 	if got := rm.rate(); math.Abs(got-62.5) > 1e-9 {
 		t.Errorf("rate after second window = %v, want 62.5", got)
+	}
+	// An empty window decays the estimate back toward the nominal rate
+	// rather than pinning the last measurement forever.
+	loop.RunUntil(eventloop.Time(3 * eventloop.Second))
+	if got := rm.rate(); math.Abs(got-81.25) > 1e-9 {
+		t.Errorf("rate after idle window = %v, want 81.25", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"ursa/internal/cluster"
 	"ursa/internal/core"
 	"ursa/internal/eventloop"
 	"ursa/internal/workload"
@@ -58,11 +59,16 @@ func assertSameResult(t *testing.T, name string, want, got Result) {
 
 func runEquivalence(t *testing.T, gen func() *workload.Workload, base core.Config) {
 	t.Helper()
-	want := RunUrsa(gen(), base, paperCluster(), 0)
+	runEquivalenceOn(t, gen, base, paperCluster())
+}
+
+func runEquivalenceOn(t *testing.T, gen func() *workload.Workload, base core.Config, clusCfg cluster.Config) {
+	t.Helper()
+	want := RunUrsa(gen(), base, clusCfg, 0)
 	for _, v := range placementVariants() {
 		cfg := base
 		v.mod(&cfg)
-		got := RunUrsa(gen(), cfg, paperCluster(), 0)
+		got := RunUrsa(gen(), cfg, clusCfg, 0)
 		assertSameResult(t, v.name, want, got)
 	}
 }
@@ -86,4 +92,15 @@ func TestEquivalenceTPCHSRJF(t *testing.T) {
 func TestEquivalenceSynthetic(t *testing.T) {
 	gen := func() *workload.Workload { return workload.Setting1(4) }
 	runEquivalence(t, gen, core.Config{})
+}
+
+// TestEquivalenceHetero re-proves the optimized paths' exactness at the
+// experiment level on the contended heterogeneous testbed — the setting
+// where interference-displaced measured rates and the penalty snapshot
+// stress the incremental refresh discipline — with the penalty off and on.
+func TestEquivalenceHetero(t *testing.T) {
+	gen := func() *workload.Workload { return workload.TPCH(4, 10*eventloop.Second, 7) }
+	clusCfg := heteroPaperCluster(5, 0.1)
+	runEquivalenceOn(t, gen, core.Config{Policy: core.SRJF}, clusCfg)
+	runEquivalenceOn(t, gen, core.Config{Policy: core.SRJF, InterferencePenalty: true}, clusCfg)
 }

@@ -71,6 +71,11 @@ type Report struct {
 	// speedup (acceptance bar: ≥5×).
 	PlacementTickLarge      Benchmark `json:"placement_tick_large"`
 	PlacementTickLargeExact Benchmark `json:"placement_tick_large_exact"`
+	// PlacementTickHetero is the headline pool on a mixed-capacity fleet
+	// (a quarter of the workers smaller and contended) with the
+	// interference penalty enabled — the flag's hot-path cost, held to the
+	// same zero-allocation bar as the homogeneous tick.
+	PlacementTickHetero Benchmark `json:"placement_tick_hetero"`
 	// EventLoopTimers is schedule+dispatch of pooled timers in 1024-event
 	// batches (the BenchmarkEventLoopTimers scenario).
 	EventLoopTimers Benchmark `json:"eventloop_timers"`
@@ -126,6 +131,31 @@ func MeasurePlacementTick() Benchmark {
 	return measure(placementTickBench(64, 32, 16, false), 1, "ticks/s")
 }
 
+// placementTickHeteroBench is the mixed-capacity, penalty-enabled variant of
+// the headline scenario: the snapshot carries heterogeneous capacities and
+// interference-displaced measured rates, and scoring pays the penalty
+// multiply on every candidate.
+func placementTickHeteroBench(workers, stages, tasks int) func(b *testing.B) {
+	return func(b *testing.B) {
+		pb := core.NewPlacementBenchHetero(workers, stages, tasks)
+		pb.Configure(func(c *core.Config) { c.InterferencePenalty = true })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pb.Tick() == 0 {
+				b.Fatal("no placements")
+			}
+		}
+	}
+}
+
+// MeasurePlacementTickHetero re-measures only the placement_tick_hetero
+// scenario, for the bench guard.
+func MeasurePlacementTickHetero() Benchmark {
+	initTesting.Do(testing.Init)
+	return measure(placementTickHeteroBench(64, 32, 16), 1, "ticks/s")
+}
+
 // Load parses a BENCH_core.json document.
 func Load(r io.Reader) (*Report, error) {
 	rep := &Report{}
@@ -163,6 +193,7 @@ func Collect() *Report {
 	}
 
 	rep.PlacementTick = measure(placementTickBench(64, 32, 16, false), 1, "ticks/s")
+	rep.PlacementTickHetero = measure(placementTickHeteroBench(64, 32, 16), 1, "ticks/s")
 	rep.PlacementTickLargeExact = measure(placementTickBench(1024, 256, 16, false), 1, "ticks/s")
 	atFullProcs(func() {
 		lg := measure(placementTickBench(1024, 256, 16, true), 1, "ticks/s")

@@ -40,6 +40,22 @@ type Config struct {
 	ShuffleAddr string
 	// Cores bounds concurrent monotask execution. Default: GOMAXPROCS.
 	Cores int
+	// MemBytes, CoreRate, NetBandwidth and DiskBandwidth advertise this
+	// machine's profile to the master (scheduler accounting units: rows and
+	// rows/sec for the local runtime). All zero means unprofiled — the
+	// master keeps its uniform per-worker defaults. Any non-zero field
+	// makes the master rebuild this worker's scheduler capacities and
+	// nominal rates from the profile (plus Cores) before dispatching to it.
+	MemBytes      float64
+	CoreRate      float64
+	NetBandwidth  float64
+	DiskBandwidth float64
+	// ExecDelay artificially stretches every monotask execution, inside
+	// the timed section the Complete message reports — the agent measures
+	// honestly, so the master's rate monitors see a machine delivering
+	// below its advertised profile. This is the contention injection knob
+	// for heterogeneous-cluster tests and smoke runs; zero for production.
+	ExecDelay time.Duration
 	// MaxFrame bounds control and shuffle frames. Default wire.DefaultMaxFrame.
 	MaxFrame int
 	// Compress offers per-contribution compression at registration; it is in
@@ -318,6 +334,8 @@ func (a *Agent) registerOnce(addr, shuffleAddr string) (wire.Welcome, error) {
 	if !conn.Send(wire.Register{
 		WorkerID: workerID, Gen: a.gen.Load(),
 		ShuffleAddr: shuffleAddr, Cores: int32(cfg.Cores), Compress: cfg.Compress,
+		MemBytes: cfg.MemBytes, CoreRate: cfg.CoreRate,
+		NetBandwidth: cfg.NetBandwidth, DiskBandwidth: cfg.DiskBandwidth,
 	}) {
 		conn.Close()
 		return wire.Welcome{}, fmt.Errorf("agent: registration send failed")
@@ -683,6 +701,12 @@ func (a *Agent) execute(js *jobState, d wire.Dispatch, key dispatchKey, inf *inf
 	execStart := time.Now()
 	if !inf.aborted.Load() {
 		writes, err = js.rt.ExecRecord(mt)
+		if d := a.cfg.ExecDelay; d > 0 {
+			// Contention injection: the stall sits inside the timed section,
+			// so the honestly-measured completion exposes the slow-down to
+			// the master's rate monitors.
+			time.Sleep(d)
+		}
 	}
 	execDur := time.Since(execStart)
 	<-a.sem

@@ -19,6 +19,13 @@ type LocalCluster struct {
 // returned cluster is registered and ready: Submit jobs on the Master, then
 // Run. agentCfg's MasterAddr is overridden; zero values take defaults.
 func StartLocalCluster(n int, cfg Config, agentCfg agent.Config) (*LocalCluster, error) {
+	return StartLocalClusterFunc(n, cfg, func(int) agent.Config { return agentCfg })
+}
+
+// StartLocalClusterFunc is StartLocalCluster with a per-agent config hook —
+// heterogeneous loopback clusters (mixed profiles, one artificially slowed
+// agent) are built here.
+func StartLocalClusterFunc(n int, cfg Config, agentCfg func(i int) agent.Config) (*LocalCluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("remote: local cluster needs at least one agent, got %d", n)
 	}
@@ -29,7 +36,7 @@ func StartLocalCluster(n int, cfg Config, agentCfg agent.Config) (*LocalCluster,
 	}
 	lc := &LocalCluster{Master: m}
 	for i := 0; i < n; i++ {
-		ac := agentCfg
+		ac := agentCfg(i)
 		ac.MasterAddr = m.Addr()
 		a, err := agent.Dial(ac)
 		if err != nil {

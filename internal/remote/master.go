@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"ursa/internal/cluster"
 	"ursa/internal/core"
 	"ursa/internal/cpstate"
 	"ursa/internal/elastic"
@@ -30,6 +31,7 @@ import (
 	"ursa/internal/metrics"
 	"ursa/internal/remote/shuffle"
 	"ursa/internal/remote/workload"
+	"ursa/internal/resource"
 	"ursa/internal/wire"
 )
 
@@ -780,10 +782,50 @@ func (m *Master) registerWorker(nc net.Conn, br *bufio.Reader, reg wire.Register
 	})
 	m.logf("master: worker %d registered from %v (cores=%d shuffle=%s gen=%d reattach=%v)",
 		id, nc.RemoteAddr(), reg.Cores, reg.ShuffleAddr, m.gen, reattach)
+	m.applyProfile(id, reg)
 	if full {
 		close(m.ready)
 	}
 	go m.readLoop(link)
+}
+
+// regProfile maps a registration's advertised hardware onto a machine
+// profile for the scheduling core. The advertised cores ride along only
+// when the agent profiles itself: an unprofiled agent's Cores field is its
+// executor parallelism, which historically did not override the master's
+// uniform scheduler accounting.
+func regProfile(reg wire.Register) cluster.MachineProfile {
+	return cluster.MachineProfile{
+		Cores:         int(reg.Cores),
+		Mem:           resource.Bytes(reg.MemBytes),
+		CoreRate:      resource.BytesPerSec(reg.CoreRate),
+		NetBandwidth:  resource.BytesPerSec(reg.NetBandwidth),
+		DiskBandwidth: resource.BytesPerSec(reg.DiskBandwidth),
+	}
+}
+
+// applyProfile forwards a registering agent's advertised machine profile
+// to the scheduling core on the control loop, so a heterogeneous fleet is
+// modeled per-machine instead of by the uniform CoresPerWorker assumption.
+// A worker that is not idle when the closure runs — a takeover reattach
+// whose replayed in-flight work already dispatched — keeps the profile it
+// was scheduled under; re-basing capacities under live allocations is not
+// sound. The control-plane journal intentionally does not record profiles:
+// they are re-learned from the agent on every (re-)registration.
+func (m *Master) applyProfile(id int, reg wire.Register) {
+	if !reg.HasProfile() {
+		return
+	}
+	p := regProfile(reg)
+	m.Sys.Drv.Send(func() {
+		if !m.Sys.Core.Workers[id].Idle() {
+			m.logf("master: worker %d busy at profile apply, keeping current profile", id)
+			return
+		}
+		m.Sys.Core.SetWorkerProfile(id, p)
+		m.logf("master: worker %d profiled (cores=%d mem=%g rate=%g net=%g disk=%g)",
+			id, reg.Cores, reg.MemBytes, reg.CoreRate, reg.NetBandwidth, reg.DiskBandwidth)
+	})
 }
 
 // elasticJoin admits a fresh agent into a running elastic cluster. The
@@ -802,7 +844,13 @@ func (m *Master) elasticJoin(nc net.Conn, c *wire.Conn, reg wire.Register) {
 		m.nreg++
 		m.needed++ // keep nreg >= needed: the next fresh agent is elastic too
 		m.mu.Unlock()
-		m.Sys.Core.AddWorker()
+		if reg.HasProfile() {
+			// The worker is built directly on a machine with the advertised
+			// profile, so the admission re-run inside sees true capacities.
+			m.Sys.Core.AddWorkerProfile(regProfile(reg))
+		} else {
+			m.Sys.Core.AddWorker()
+		}
 		m.rec.record(cpstate.WorkerJoined{
 			Worker: int32(id), ShuffleAddr: reg.ShuffleAddr, Cores: reg.Cores,
 		})

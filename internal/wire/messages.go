@@ -119,6 +119,23 @@ type Register struct {
 	// Gen echoes the master generation the worker last served under (0 on a
 	// fresh registration); a takeover master uses it for sanity logging only.
 	Gen int64
+	// MemBytes, CoreRate, NetBandwidth and DiskBandwidth advertise the
+	// agent's machine profile (bytes, bytes/sec). Zero means "unprofiled":
+	// the master keeps its uniform cluster defaults for this worker, which
+	// is also what every pre-profile agent sends — both sides of the codec
+	// changed together, so there is no compatibility shim. A non-zero
+	// profile makes the master rebuild the worker's capacities and nominal
+	// rates before the worker takes work (see core.System.SetWorkerProfile).
+	MemBytes      float64
+	CoreRate      float64
+	NetBandwidth  float64
+	DiskBandwidth float64
+}
+
+// HasProfile reports whether the registration advertises any machine
+// profile dimension.
+func (m Register) HasProfile() bool {
+	return m.MemBytes != 0 || m.CoreRate != 0 || m.NetBandwidth != 0 || m.DiskBandwidth != 0
 }
 
 func (Register) Type() byte { return TRegister }
@@ -128,11 +145,17 @@ func (m Register) encode(e *Encoder) {
 	e.Bool(m.Compress)
 	e.I32(m.WorkerID)
 	e.I64(m.Gen)
+	e.F64(m.MemBytes)
+	e.F64(m.CoreRate)
+	e.F64(m.NetBandwidth)
+	e.F64(m.DiskBandwidth)
 }
 func decodeRegister(d *Decoder) Msg {
 	return Register{
 		ShuffleAddr: d.Str(), Cores: d.I32(), Compress: d.Bool(),
 		WorkerID: d.I32(), Gen: d.I64(),
+		MemBytes: d.F64(), CoreRate: d.F64(),
+		NetBandwidth: d.F64(), DiskBandwidth: d.F64(),
 	}
 }
 

@@ -43,6 +43,8 @@ func TestRoundTripAllMessages(t *testing.T) {
 	msgs := []Msg{
 		Register{ShuffleAddr: "127.0.0.1:9999", Cores: 8, Compress: true},
 		Register{}, // empty strings must survive
+		Register{ShuffleAddr: "127.0.0.1:9999", Cores: 4, MemBytes: 16e9,
+			CoreRate: 5e7, NetBandwidth: 1.25e9, DiskBandwidth: 2e8},
 		Welcome{WorkerID: 3, HeartbeatMicros: 250_000, MaxFrame: DefaultMaxFrame, Compress: true},
 		Heartbeat{WorkerID: 3, SentUnixMicros: 1_722_000_000_123_456},
 		Prepare{JobID: 7, Workload: "wordcount", Params: []byte{1, 2, 3}},
